@@ -1,0 +1,90 @@
+// Command csvhist ingests a corpus of timestamped CSV snapshots (the
+// open-government-data setting of the paper's future work) and writes a
+// preprocessed binary dataset ready for tindsearch/allpairs.
+//
+// Expected layout: one YYYY-MM-DD directory per snapshot, CSV files
+// inside; each (file, column) pair becomes one attribute history.
+//
+// Usage:
+//
+//	csvhist -dir ./snapshots -out corpus.tind
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"tind/internal/opendata"
+	"tind/internal/persist"
+	"tind/internal/preprocess"
+)
+
+func main() {
+	var (
+		dir         = flag.String("dir", "", "snapshot corpus root (YYYY-MM-DD subdirectories)")
+		out         = flag.String("out", "", "output binary dataset")
+		startDate   = flag.String("start", "", "observation start (YYYY-MM-DD; default: first snapshot)")
+		endDate     = flag.String("end", "", "observation end (YYYY-MM-DD; default: day after last snapshot)")
+		minVersions = flag.Int("min-versions", 2, "minimum versions per attribute (snapshots change less often than wiki pages)")
+	)
+	flag.Parse()
+	if *dir == "" || *out == "" {
+		fmt.Fprintln(os.Stderr, "csvhist: -dir and -out are required")
+		os.Exit(2)
+	}
+
+	recs, err := opendata.LoadSnapshots(os.DirFS(*dir))
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "loaded %d column histories\n", len(recs))
+
+	// Default window: span of the observations.
+	var start, end time.Time
+	for _, r := range recs {
+		for _, o := range r.Observations {
+			if start.IsZero() || o.Time.Before(start) {
+				start = o.Time
+			}
+			if o.Time.After(end) {
+				end = o.Time
+			}
+		}
+	}
+	end = end.AddDate(0, 0, 1)
+	if *startDate != "" {
+		if start, err = time.Parse(opendata.DateLayout, *startDate); err != nil {
+			fatal(fmt.Errorf("bad -start: %w", err))
+		}
+	}
+	if *endDate != "" {
+		if end, err = time.Parse(opendata.DateLayout, *endDate); err != nil {
+			fatal(fmt.Errorf("bad -end: %w", err))
+		}
+	}
+
+	ds, rep, err := preprocess.Run(recs, preprocess.Config{
+		Start: start, End: end, MinVersions: *minVersions,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "preprocessing: %+v\n", rep)
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := persist.Write(ds, f); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d attributes over %d days to %s\n", ds.Len(), ds.Horizon(), *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "csvhist:", err)
+	os.Exit(1)
+}

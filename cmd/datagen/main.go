@@ -1,0 +1,114 @@
+// Command datagen generates a synthetic Wikipedia-table corpus and either
+// summarizes it or writes it out as a wikitext revision stream (JSON
+// lines) for the end-to-end extraction pipeline.
+//
+// Usage:
+//
+//	datagen -attrs 5000 -horizon 2000                  # print corpus stats
+//	datagen -attrs 500 -wikitext revisions.jsonl       # emit revision stream
+//	datagen -attrs 500 -truth truth.tsv                # dump the oracle labels
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"tind/internal/datagen"
+	"tind/internal/history"
+	"tind/internal/persist"
+	"tind/internal/timeline"
+)
+
+func main() {
+	var (
+		attrs    = flag.Int("attrs", 1000, "number of attributes")
+		horizon  = flag.Int("horizon", 2000, "observation period in days")
+		seed     = flag.Int64("seed", 1, "random seed")
+		wikitext = flag.String("wikitext", "", "write the corpus as a wikitext revision stream (JSONL) to this file")
+		truth    = flag.String("truth", "", "write the genuine-pair oracle as TSV to this file")
+		out      = flag.String("out", "", "write the corpus as a binary dataset (.tind) to this file")
+	)
+	flag.Parse()
+
+	c, err := datagen.Generate(datagen.Config{
+		Seed:       *seed,
+		Attributes: *attrs,
+		Horizon:    timeline.Time(*horizon),
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	st := c.Dataset.ComputeStats()
+	fmt.Printf("attributes:        %d\n", st.Attributes)
+	fmt.Printf("horizon:           %d days\n", *horizon)
+	fmt.Printf("distinct values:   %d\n", st.DistinctValues)
+	fmt.Printf("mean changes:      %.1f\n", st.MeanChanges)
+	fmt.Printf("mean lifespan:     %.0f days\n", st.MeanLifespanDay)
+	fmt.Printf("mean cardinality:  %.1f\n", st.MeanCardinality)
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		if err := persist.Write(c.Dataset, f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote binary dataset to %s\n", *out)
+	}
+
+	if *wikitext != "" {
+		f, err := os.Create(*wikitext)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w := bufio.NewWriter(f)
+		enc := json.NewEncoder(w)
+		revs := datagen.EmitRevisions(c, timeline.Epoch)
+		for _, r := range revs {
+			if err := enc.Encode(r); err != nil {
+				fatal(err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d revisions to %s\n", len(revs), *wikitext)
+	}
+
+	if *truth != "" {
+		f, err := os.Create(*truth)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w := bufio.NewWriter(f)
+		n := 0
+		for lhs := history.AttrID(0); int(lhs) < c.Dataset.Len(); lhs++ {
+			for rhs := history.AttrID(0); int(rhs) < c.Dataset.Len(); rhs++ {
+				if c.Truth.Genuine(lhs, rhs) {
+					fmt.Fprintf(w, "%s\t%s\n",
+						c.Dataset.Attr(lhs).Meta(), c.Dataset.Attr(rhs).Meta())
+					n++
+				}
+			}
+		}
+		if err := w.Flush(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d genuine pairs to %s\n", n, *truth)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "datagen:", err)
+	os.Exit(1)
+}

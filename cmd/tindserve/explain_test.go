@@ -1,0 +1,19 @@
+package main
+
+import (
+	"net/http"
+	"testing"
+)
+
+func TestExplainEndpoint(t *testing.T) {
+	_, ts := testServer(t)
+	out := getJSON(t, ts.URL+"/explain?lhs=0&rhs=1", http.StatusOK)
+	if out["violations"] == nil || out["holds"] == nil {
+		t.Fatalf("explain response shape: %v", out)
+	}
+	if _, err := http.Get(ts.URL + "/explain?lhs=0"); err != nil {
+		t.Fatal(err)
+	}
+	getJSON(t, ts.URL+"/explain?lhs=0", http.StatusBadRequest)
+	getJSON(t, ts.URL+"/explain?lhs=0&rhs=99999", http.StatusBadRequest)
+}

@@ -1,0 +1,329 @@
+// Command tindserve exposes tIND search over HTTP — the interactive
+// exploration scenario of the paper's introduction (suggesting joinable
+// tables to a user browsing one) as a small JSON service.
+//
+// Usage:
+//
+//	tindserve -corpus corpus.tind -addr :8080
+//	tindserve -attrs 5000                      # synthetic corpus
+//
+// Endpoints:
+//
+//	GET /search?attr=<id|page-substring>&eps=3&delta=7   Q ⊆ A results
+//	GET /reverse?attr=...&eps=3&delta=7                  A ⊆ Q results
+//	GET /topk?attr=...&k=10&delta=7                      ranked by violation
+//	GET /explain?lhs=...&rhs=...&delta=7                 violated intervals
+//	GET /attr?attr=...                                   attribute details
+//	GET /stats                                           corpus and index stats
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"tind/internal/core"
+	"tind/internal/datagen"
+	"tind/internal/history"
+	"tind/internal/index"
+	"tind/internal/persist"
+	"tind/internal/timeline"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		corpusF = flag.String("corpus", "", "binary dataset to serve (default: synthetic)")
+		attrs   = flag.Int("attrs", 2000, "synthetic corpus size")
+		horizon = flag.Int("horizon", 1500, "synthetic corpus horizon (days)")
+		seed    = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	var ds *history.Dataset
+	if *corpusF != "" {
+		f, err := os.Open(*corpusF)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ds, err = persist.Read(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		c, err := datagen.Generate(datagen.Config{
+			Seed: *seed, Attributes: *attrs, Horizon: timeline.Time(*horizon),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ds = c.Dataset
+	}
+
+	opt := index.DefaultOptions(ds.Horizon())
+	opt.Reverse = true
+	opt.Seed = *seed
+	start := time.Now()
+	idx, err := index.Build(ds, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("serving %d attributes (index built in %v) on %s",
+		ds.Len(), time.Since(start).Round(time.Millisecond), *addr)
+
+	srv := newServer(ds, idx)
+	log.Fatal(http.ListenAndServe(*addr, srv.routes()))
+}
+
+// server bundles the dataset and index behind the HTTP handlers.
+type server struct {
+	ds  *history.Dataset
+	idx *index.Index
+}
+
+func newServer(ds *history.Dataset, idx *index.Index) *server {
+	return &server{ds: ds, idx: idx}
+}
+
+func (s *server) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /search", s.handleSearch(false))
+	mux.HandleFunc("GET /reverse", s.handleSearch(true))
+	mux.HandleFunc("GET /topk", s.handleTopK)
+	mux.HandleFunc("GET /explain", s.handleExplain)
+	mux.HandleFunc("GET /attr", s.handleAttr)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	return mux
+}
+
+// attrResult is one attribute in a JSON response.
+type attrResult struct {
+	ID     history.AttrID `json:"id"`
+	Page   string         `json:"page"`
+	Table  string         `json:"table"`
+	Column string         `json:"column"`
+}
+
+func (s *server) attrResult(id history.AttrID) attrResult {
+	m := s.ds.Attr(id).Meta()
+	return attrResult{ID: id, Page: m.Page, Table: m.Table, Column: m.Column}
+}
+
+// resolve finds an attribute by id or page substring.
+func (s *server) resolve(arg string) (*history.History, error) {
+	if arg == "" {
+		return nil, fmt.Errorf("missing attr parameter")
+	}
+	if id, err := strconv.Atoi(arg); err == nil {
+		if id < 0 || id >= s.ds.Len() {
+			return nil, fmt.Errorf("attribute id %d out of range [0,%d)", id, s.ds.Len())
+		}
+		return s.ds.Attr(history.AttrID(id)), nil
+	}
+	needle := strings.ToLower(arg)
+	for _, h := range s.ds.Attrs() {
+		if strings.Contains(strings.ToLower(h.Meta().Page), needle) {
+			return h, nil
+		}
+	}
+	return nil, fmt.Errorf("no attribute matches %q", arg)
+}
+
+// params parses eps/delta query parameters with the paper's defaults.
+func (s *server) params(r *http.Request) (core.Params, error) {
+	p := core.DefaultDays(s.ds.Horizon())
+	if v := r.URL.Query().Get("eps"); v != "" {
+		e, err := strconv.ParseFloat(v, 64)
+		if err != nil || e < 0 {
+			return p, fmt.Errorf("bad eps %q", v)
+		}
+		p.Epsilon = e
+	}
+	if v := r.URL.Query().Get("delta"); v != "" {
+		d, err := strconv.Atoi(v)
+		if err != nil || d < 0 {
+			return p, fmt.Errorf("bad delta %q", v)
+		}
+		p.Delta = timeline.Time(d)
+	}
+	return p, nil
+}
+
+func (s *server) handleSearch(reverse bool) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		q, err := s.resolve(r.URL.Query().Get("attr"))
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		p, err := s.params(r)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		var res index.Result
+		if reverse {
+			res, err = s.idx.Reverse(q, p)
+		} else {
+			res, err = s.idx.Search(q, p)
+		}
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		results := make([]attrResult, 0, len(res.IDs))
+		for _, id := range res.IDs {
+			results = append(results, s.attrResult(id))
+		}
+		writeJSON(w, map[string]interface{}{
+			"query":      s.attrResult(q.ID()),
+			"eps":        p.Epsilon,
+			"delta":      int(p.Delta),
+			"results":    results,
+			"elapsed_ms": float64(res.Stats.Elapsed) / float64(time.Millisecond),
+			"candidates": res.Stats.InitialCandidates,
+			"validated":  res.Stats.Validated,
+		})
+	}
+}
+
+func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	q, err := s.resolve(r.URL.Query().Get("attr"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	p, err := s.params(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	k := 10
+	if v := r.URL.Query().Get("k"); v != "" {
+		if k, err = strconv.Atoi(v); err != nil || k <= 0 || k > 1000 {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad k %q", v))
+			return
+		}
+	}
+	ranked, err := s.idx.TopK(q, p.Delta, p.Weight, k)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	type rankedResult struct {
+		attrResult
+		Violation float64 `json:"violation"`
+	}
+	results := make([]rankedResult, 0, len(ranked))
+	for _, rr := range ranked {
+		results = append(results, rankedResult{attrResult: s.attrResult(rr.ID), Violation: rr.Violation})
+	}
+	writeJSON(w, map[string]interface{}{
+		"query":   s.attrResult(q.ID()),
+		"results": results,
+	})
+}
+
+func (s *server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	lhs, err := s.resolve(r.URL.Query().Get("lhs"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	rhs, err := s.resolve(r.URL.Query().Get("rhs"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	p, err := s.params(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	type violation struct {
+		FromDay int     `json:"from_day"`
+		ToDay   int     `json:"to_day"` // exclusive
+		Weight  float64 `json:"weight"`
+		Missing string  `json:"missing_value"`
+	}
+	vios := core.Explain(lhs, rhs, p)
+	out := make([]violation, 0, len(vios))
+	var total float64
+	for _, v := range vios {
+		out = append(out, violation{
+			FromDay: int(v.Interval.Start),
+			ToDay:   int(v.Interval.End),
+			Weight:  v.Weight,
+			Missing: s.ds.Dict().String(v.Missing),
+		})
+		total += v.Weight
+	}
+	writeJSON(w, map[string]interface{}{
+		"lhs":             s.attrResult(lhs.ID()),
+		"rhs":             s.attrResult(rhs.ID()),
+		"violations":      out,
+		"total_violation": total,
+		"eps":             p.Epsilon,
+		"holds":           total <= p.Epsilon,
+	})
+}
+
+func (s *server) handleAttr(w http.ResponseWriter, r *http.Request) {
+	h, err := s.resolve(r.URL.Query().Get("attr"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	type version struct {
+		Day    int      `json:"day"`
+		Values []string `json:"values"`
+	}
+	versions := make([]version, 0, h.NumVersions())
+	for i := 0; i < h.NumVersions(); i++ {
+		v := h.Version(i)
+		versions = append(versions, version{
+			Day:    int(v.Start),
+			Values: s.ds.Dict().Strings(v.Values),
+		})
+	}
+	writeJSON(w, map[string]interface{}{
+		"attr":          s.attrResult(h.ID()),
+		"observed_from": int(h.ObservedFrom()),
+		"observed_to":   int(h.ObservedUntil()),
+		"versions":      versions,
+	})
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := s.ds.ComputeStats()
+	ist := s.idx.Stats()
+	writeJSON(w, map[string]interface{}{
+		"attributes":       st.Attributes,
+		"horizon_days":     int(s.ds.Horizon()),
+		"distinct_values":  st.DistinctValues,
+		"mean_changes":     st.MeanChanges,
+		"mean_cardinality": st.MeanCardinality,
+		"index_slices":     ist.Slices,
+		"index_bytes":      ist.MemoryBytes,
+	})
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("tindserve: encoding response: %v", err)
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}

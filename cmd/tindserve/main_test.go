@@ -1,0 +1,126 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"testing"
+
+	"tind/internal/datagen"
+	"tind/internal/index"
+)
+
+func testServer(t *testing.T) (*server, *httptest.Server) {
+	t.Helper()
+	c, err := datagen.Generate(datagen.Config{Seed: 4, Attributes: 80, Horizon: 500, AttrsPerDomain: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := index.DefaultOptions(c.Dataset.Horizon())
+	opt.Reverse = true
+	idx, err := index.Build(c.Dataset, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newServer(c.Dataset, idx)
+	ts := httptest.NewServer(s.routes())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func getJSON(t *testing.T, url string, wantStatus int) map[string]interface{} {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("GET %s: status %d, want %d", url, resp.StatusCode, wantStatus)
+	}
+	var out map[string]interface{}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestSearchEndpoint(t *testing.T) {
+	_, ts := testServer(t)
+	out := getJSON(t, ts.URL+"/search?attr=derived&eps=3&delta=7", http.StatusOK)
+	if out["query"] == nil || out["results"] == nil {
+		t.Fatalf("response shape: %v", out)
+	}
+	if out["eps"].(float64) != 3 || out["delta"].(float64) != 7 {
+		t.Fatalf("parameters not echoed: %v", out)
+	}
+}
+
+func TestSearchDefaultsAndReverse(t *testing.T) {
+	_, ts := testServer(t)
+	out := getJSON(t, ts.URL+"/search?attr=0", http.StatusOK)
+	if out["eps"].(float64) != 3 || out["delta"].(float64) != 7 {
+		t.Fatalf("paper defaults expected: %v", out)
+	}
+	rout := getJSON(t, ts.URL+"/reverse?attr="+url.QueryEscape("List of D0"), http.StatusOK)
+	if rout["results"] == nil {
+		t.Fatal("reverse results missing")
+	}
+	// A reference list should contain at least one attribute.
+	if len(rout["results"].([]interface{})) == 0 {
+		t.Fatal("reverse search from a reference must find subsets")
+	}
+}
+
+func TestTopKEndpoint(t *testing.T) {
+	_, ts := testServer(t)
+	out := getJSON(t, ts.URL+"/topk?attr=derived&k=3", http.StatusOK)
+	results := out["results"].([]interface{})
+	if len(results) != 3 {
+		t.Fatalf("topk returned %d results", len(results))
+	}
+	prev := -1.0
+	for _, r := range results {
+		v := r.(map[string]interface{})["violation"].(float64)
+		if v < prev {
+			t.Fatal("topk results not sorted by violation")
+		}
+		prev = v
+	}
+}
+
+func TestAttrEndpoint(t *testing.T) {
+	_, ts := testServer(t)
+	out := getJSON(t, ts.URL+"/attr?attr=0", http.StatusOK)
+	if out["versions"] == nil || out["observed_from"] == nil {
+		t.Fatalf("attr response shape: %v", out)
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	_, ts := testServer(t)
+	out := getJSON(t, ts.URL+"/stats", http.StatusOK)
+	if out["attributes"].(float64) != 80 {
+		t.Fatalf("stats: %v", out)
+	}
+}
+
+func TestErrorResponses(t *testing.T) {
+	_, ts := testServer(t)
+	cases := []string{
+		"/search",                   // missing attr
+		"/search?attr=no-such-page", // unresolvable
+		"/search?attr=0&eps=-1",     // bad eps
+		"/search?attr=0&delta=x",    // bad delta
+		"/search?attr=99999",        // out of range
+		"/topk?attr=0&k=0",          // bad k
+		"/topk?attr=0&k=abc",        // bad k
+	}
+	for _, path := range cases {
+		out := getJSON(t, ts.URL+path, http.StatusBadRequest)
+		if out["error"] == nil {
+			t.Errorf("%s: error message missing", path)
+		}
+	}
+}

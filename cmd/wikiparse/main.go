@@ -1,0 +1,154 @@
+// Command wikiparse converts a MediaWiki XML export (pages-meta-history
+// dump) into the corpus formats the rest of the toolchain consumes:
+// either a JSONL revision stream, or — running the full extraction and
+// preprocessing pipeline — a binary tind dataset ready for indexing.
+//
+// Usage:
+//
+//	wikiparse -dump pages-meta-history.xml -revisions revs.jsonl
+//	wikiparse -dump pages-meta-history.xml.gz -out corpus.tind
+//	wikiparse -dump dump.xml.bz2 -out corpus.tind -max-pages 10000
+//
+// Plain, gzip- and bzip2-compressed dumps are supported (by extension).
+package main
+
+import (
+	"bufio"
+	"compress/bzip2"
+	"compress/gzip"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"tind/internal/persist"
+	"tind/internal/preprocess"
+	"tind/internal/wiki"
+)
+
+func main() {
+	var (
+		dump      = flag.String("dump", "", "MediaWiki XML export (.xml, .xml.gz or .xml.bz2); - for stdin")
+		revsOut   = flag.String("revisions", "", "write the raw revision stream as JSONL to this file")
+		out       = flag.String("out", "", "run extraction + preprocessing and write a binary dataset to this file")
+		maxPages  = flag.Int("max-pages", 0, "stop after this many pages (0 = all)")
+		allRevs   = flag.Bool("all-revisions", false, "keep revisions without table markup too")
+		startDate = flag.String("start", "2001-01-15", "observation period start (YYYY-MM-DD)")
+		endDate   = flag.String("end", "2017-11-01", "observation period end (YYYY-MM-DD)")
+	)
+	flag.Parse()
+	if *dump == "" {
+		fmt.Fprintln(os.Stderr, "wikiparse: -dump is required")
+		os.Exit(2)
+	}
+	if *revsOut == "" && *out == "" {
+		fmt.Fprintln(os.Stderr, "wikiparse: need -revisions and/or -out")
+		os.Exit(2)
+	}
+
+	in, closeIn, err := openDump(*dump)
+	if err != nil {
+		fatal(err)
+	}
+	defer closeIn()
+
+	var jsonl *json.Encoder
+	var jsonlFlush func() error
+	if *revsOut != "" {
+		f, err := os.Create(*revsOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		bw := bufio.NewWriter(f)
+		jsonl = json.NewEncoder(bw)
+		jsonlFlush = bw.Flush
+	}
+
+	var ex *wiki.Extractor
+	if *out != "" {
+		ex = wiki.NewExtractor()
+	}
+
+	nRevs := 0
+	opt := wiki.DumpOptions{TablesOnly: !*allRevs, MaxPages: *maxPages}
+	err = wiki.ParseDump(in, opt, func(r wiki.Revision) error {
+		nRevs++
+		if jsonl != nil {
+			if err := jsonl.Encode(r); err != nil {
+				return err
+			}
+		}
+		if ex != nil {
+			return ex.Process(r)
+		}
+		return nil
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if jsonlFlush != nil {
+		if err := jsonlFlush(); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "parsed %d revisions\n", nRevs)
+
+	if ex != nil {
+		start, err := time.Parse("2006-01-02", *startDate)
+		if err != nil {
+			fatal(fmt.Errorf("bad -start: %w", err))
+		}
+		end, err := time.Parse("2006-01-02", *endDate)
+		if err != nil {
+			fatal(fmt.Errorf("bad -end: %w", err))
+		}
+		ds, rep, err := preprocess.Run(ex.Records(), preprocess.Config{Start: start, End: end})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "preprocessing: %+v\n", rep)
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := persist.Write(ds, f); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d attributes to %s\n", ds.Len(), *out)
+	}
+}
+
+// openDump opens the dump file, transparently decompressing by extension.
+func openDump(path string) (io.Reader, func(), error) {
+	if path == "-" {
+		return bufio.NewReaderSize(os.Stdin, 1<<20), func() {}, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	br := bufio.NewReaderSize(f, 1<<20)
+	switch {
+	case strings.HasSuffix(path, ".gz"):
+		gz, err := gzip.NewReader(br)
+		if err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		return gz, func() { gz.Close(); f.Close() }, nil
+	case strings.HasSuffix(path, ".bz2"):
+		return bzip2.NewReader(br), func() { f.Close() }, nil
+	default:
+		return br, func() { f.Close() }, nil
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "wikiparse:", err)
+	os.Exit(1)
+}

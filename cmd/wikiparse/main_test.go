@@ -1,0 +1,91 @@
+package main
+
+import (
+	"compress/gzip"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const tinyDump = `<mediawiki><page><title>X</title><ns>0</ns>
+<revision><id>1</id><timestamp>2004-01-01T00:00:00Z</timestamp><text>{|
+! A
+|-
+| x
+|}</text></revision>
+</page></mediawiki>`
+
+func readAll(t *testing.T, r io.Reader) string {
+	t.Helper()
+	b, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func TestOpenDumpPlain(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "dump.xml")
+	if err := os.WriteFile(path, []byte(tinyDump), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, closeFn, err := openDump(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeFn()
+	if got := readAll(t, r); got != tinyDump {
+		t.Fatal("plain dump content mismatch")
+	}
+}
+
+func TestOpenDumpGzip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "dump.xml.gz")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gz := gzip.NewWriter(f)
+	gz.Write([]byte(tinyDump))
+	gz.Close()
+	f.Close()
+
+	r, closeFn, err := openDump(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeFn()
+	if got := readAll(t, r); got != tinyDump {
+		t.Fatal("gzip dump content mismatch")
+	}
+}
+
+func TestOpenDumpMissing(t *testing.T) {
+	if _, _, err := openDump(filepath.Join(t.TempDir(), "nope.xml")); err == nil {
+		t.Fatal("missing dump must fail")
+	}
+}
+
+func TestOpenDumpBadGzip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.gz")
+	os.WriteFile(path, []byte("not gzip"), 0o644)
+	if _, _, err := openDump(path); err == nil {
+		t.Fatal("corrupt gzip must fail")
+	}
+}
+
+func TestOpenDumpBz2Extension(t *testing.T) {
+	// bzip2 readers are lazy; opening must succeed, reading must fail on
+	// garbage.
+	path := filepath.Join(t.TempDir(), "bad.bz2")
+	os.WriteFile(path, []byte("not bzip2"), 0o644)
+	r, closeFn, err := openDump(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeFn()
+	if _, err := io.ReadAll(r); err == nil {
+		t.Fatal("garbage bzip2 must fail on read")
+	}
+}

@@ -1,0 +1,88 @@
+package tind_test
+
+import (
+	"fmt"
+	"time"
+
+	"tind"
+)
+
+// Example demonstrates the core workflow: build versioned attributes,
+// index them, and search for temporal inclusion dependencies.
+func Example() {
+	const horizon = tind.Time(365)
+	ds := tind.NewDataset(horizon)
+	in := func(ss ...string) tind.ValueSet { return ds.Dict().InternAll(ss) }
+
+	list := tind.NewBuilder(tind.Meta{Page: "List of games", Column: "Game"})
+	list.Observe(0, in("Red", "Blue"))
+	list.Observe(100, in("Red", "Blue", "Gold"))
+	lh, _ := list.Build(horizon)
+	ds.Add(lh)
+
+	composer := tind.NewBuilder(tind.Meta{Page: "Composer", Column: "Game"})
+	composer.Observe(0, in("Red"))
+	composer.Observe(98, in("Red", "Gold")) // two days ahead of the list
+	ch, _ := composer.Build(horizon)
+	ds.Add(ch)
+
+	idx, _ := tind.BuildIndex(ds, tind.DefaultOptions(horizon))
+	res, _ := idx.Search(ch, tind.DefaultParams(horizon))
+	for _, id := range res.IDs {
+		fmt.Println(ds.Attr(id).Meta().Page)
+	}
+	// Output: List of games
+}
+
+// ExampleHolds shows the difference between the strict and relaxed tIND
+// variants on a pair with a short temporal shift.
+func ExampleHolds() {
+	const horizon = tind.Time(100)
+	ds := tind.NewDataset(horizon)
+	in := func(ss ...string) tind.ValueSet { return ds.Dict().InternAll(ss) }
+
+	q := tind.NewBuilder(tind.Meta{Page: "Q"})
+	q.Observe(0, in("a"))
+	q.Observe(50, in("a", "b")) // Q learns of "b" three days early
+	qh, _ := q.Build(horizon)
+
+	a := tind.NewBuilder(tind.Meta{Page: "A"})
+	a.Observe(0, in("a", "x"))
+	a.Observe(53, in("a", "b", "x"))
+	ah, _ := a.Build(horizon)
+
+	fmt.Println("strict:", tind.Holds(qh, ah, tind.Strict(horizon)))
+	fmt.Println("relaxed:", tind.Holds(qh, ah, tind.DefaultParams(horizon)))
+	fmt.Println("violation days:", tind.ViolationWeight(qh, ah, tind.Strict(horizon)))
+	// Output:
+	// strict: false
+	// relaxed: true
+	// violation days: 3
+}
+
+// ExampleParseTables extracts a wikitable and resolves its links.
+func ExampleParseTables() {
+	tables := tind.ParseTables(`{| class="wikitable"
+! Game !! Year
+|-
+| [[Pokémon Red and Blue|Red]] || 1996
+|}`)
+	fmt.Println(tables[0].Headers[0], "/", tables[0].Rows[0][0])
+	// Output: Game / Pokémon Red and Blue
+}
+
+// ExamplePreprocess runs the §5.1 pipeline on extracted records.
+func ExamplePreprocess() {
+	start := time.Date(2005, 1, 1, 0, 0, 0, 0, time.UTC)
+	ex := tind.NewExtractor()
+	ex.Process(tind.WikiRevision{
+		Page: "P", ID: 1, Timestamp: start.Add(10 * time.Hour),
+		Wikitext: "{|\n! No. !! Name\n|-\n| 1 || Alice\n|-\n| 2 || Bob\n|}",
+	})
+	ds, report, _ := tind.Preprocess(ex.Records(), tind.PreprocessConfig{
+		Start: start, End: start.AddDate(0, 0, 30),
+		MinVersions: 1, MinMedianCardinality: 1,
+	})
+	fmt.Println("kept:", ds.Len(), "numeric dropped:", report.DroppedNumeric)
+	// Output: kept: 1 numeric dropped: 1
+}

@@ -1,0 +1,89 @@
+// Genuine demonstrates §5.5 of the paper: using relaxed tINDs to find
+// genuine inclusion dependencies with far better precision than static
+// IND discovery. It generates a synthetic corpus with a ground-truth
+// oracle, samples labelled static INDs, and compares the variants.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tind"
+)
+
+func main() {
+	corpus, err := tind.GenerateCorpus(tind.CorpusConfig{
+		Seed: 7, Attributes: 600, Horizon: 1000,
+	})
+	must(err)
+	ds := corpus.Dataset
+	n := ds.Horizon()
+	fmt.Printf("corpus: %d attributes over %d days\n", ds.Len(), n)
+
+	labeled, err := tind.SampleLabeled(ds, corpus.Truth, n-1, 100, 1)
+	must(err)
+	genuine := 0
+	for _, lp := range labeled {
+		if lp.Genuine {
+			genuine++
+		}
+	}
+	fmt.Printf("labelled static INDs: %d (genuine: %d → static precision %.1f%%)\n\n",
+		len(labeled), genuine, 100*float64(genuine)/float64(len(labeled)))
+
+	variants := []struct {
+		name string
+		p    tind.Params
+	}{
+		{"strict tIND              ", tind.Strict(n)},
+		{"ε-relaxed  (ε=3d)        ", tind.Params{Epsilon: 3, Delta: 0, Weight: tind.Uniform(n)}},
+		{"(ε,δ)-relaxed (ε=3d,δ=7d)", tind.DefaultParams(n)},
+	}
+	if w, err := tind.NewExponentialDecay(n, 0.999); err == nil {
+		eps := w.Sum(tind.NewInterval(n-3, n)) // ε ≈ the last 3 days' weight
+		variants = append(variants, struct {
+			name string
+			p    tind.Params
+		}{"(w,ε,δ) decay a=0.999    ", tind.Params{Epsilon: eps, Delta: 7, Weight: w}})
+	}
+
+	fmt.Println("variant                      precision  recall  predicted")
+	for _, v := range variants {
+		var predicted, tp int
+		for _, lp := range labeled {
+			if tind.Holds(ds.Attr(lp.LHS), ds.Attr(lp.RHS), v.p) {
+				predicted++
+				if lp.Genuine {
+					tp++
+				}
+			}
+		}
+		precision, recall := 0.0, 0.0
+		if predicted > 0 {
+			precision = float64(tp) / float64(predicted)
+		}
+		if genuine > 0 {
+			recall = float64(tp) / float64(genuine)
+		}
+		fmt.Printf("%s    %6.1f%%  %5.1f%%  %9d\n", v.name, 100*precision, 100*recall, predicted)
+	}
+
+	fmt.Println("\nExample genuine tINDs confirmed by the default relaxation:")
+	shown := 0
+	p := tind.DefaultParams(n)
+	for _, lp := range labeled {
+		if !lp.Genuine || shown >= 3 {
+			continue
+		}
+		if tind.Holds(ds.Attr(lp.LHS), ds.Attr(lp.RHS), p) {
+			fmt.Printf("  %s ⊆ %s\n", ds.Attr(lp.LHS).Meta().Page, ds.Attr(lp.RHS).Meta().Page)
+			shown++
+		}
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

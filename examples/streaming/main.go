@@ -1,0 +1,83 @@
+// Streaming demonstrates incremental index maintenance: the corpus keeps
+// receiving new observation days (as a live wiki does), histories are
+// appended in place, and Index.Refresh folds the changes in without a
+// rebuild. Queries stay exact throughout — refreshed attributes lose some
+// slice pruning until the next full rebuild, nothing else.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tind"
+)
+
+func main() {
+	const day0Horizon = tind.Time(200)
+	ds := tind.NewDataset(day0Horizon)
+	in := func(ss ...string) tind.ValueSet { return ds.Dict().InternAll(ss) }
+
+	// A reference list and a derived column, both alive at day 200.
+	ref := tind.NewBuilder(tind.Meta{Page: "List of satellites", Column: "Name"})
+	ref.Observe(0, in("Sputnik", "Explorer", "Vanguard"))
+	ref.Observe(120, in("Sputnik", "Explorer", "Vanguard", "Telstar"))
+	refH := mustBuild(ds, ref, day0Horizon)
+
+	derived := tind.NewBuilder(tind.Meta{Page: "Communications satellites", Column: "Name"})
+	derived.Observe(0, in("Telstar"))
+	derivedH := mustBuild(ds, derived, day0Horizon)
+
+	idx, err := tind.BuildIndex(ds, tind.DefaultOptions(day0Horizon))
+	must(err)
+
+	query := func(label string, horizon tind.Time) {
+		res, err := idx.Search(derivedH, tind.DefaultParams(horizon))
+		must(err)
+		fmt.Printf("%s: %q is contained in %d attribute(s)\n", label, derivedH.Meta().Page, len(res.IDs))
+		for _, id := range res.IDs {
+			fmt.Println("   ⊆", ds.Attr(id).Meta().Page)
+		}
+	}
+
+	// Initially the derived column lists Telstar before the reference
+	// picked it up at day 120 — 120 violated days, no tIND.
+	query("day 200", day0Horizon)
+
+	// Sixty new days stream in: the derived column adds a new satellite
+	// two days before the reference page does.
+	const day260 = tind.Time(260)
+	must(ds.ExtendHorizon(day260))
+	must(derivedH.Append(230, in("Telstar", "Syncom"), day260))
+	must(refH.Append(232, in("Sputnik", "Explorer", "Vanguard", "Telstar", "Syncom"), day260))
+	must(idx.Refresh([]tind.AttrID{refH.ID(), derivedH.ID()}, day260))
+
+	// Still no tIND: the early violation days dominate.
+	query("day 260", day260)
+
+	// Much later, the early inconsistency has been diluted... it has not:
+	// ε is absolute. But a recency-weighted query discounts the distant
+	// past — the exploration knob the w relaxation exists for.
+	w, err := tind.NewExponentialDecay(day260, 0.98)
+	must(err)
+	eps := w.Sum(tind.NewInterval(day260-3, day260)) // ≈ the last 3 days' weight
+	res, err := idx.Search(derivedH, tind.Params{Epsilon: eps, Delta: 7, Weight: w})
+	must(err)
+	fmt.Printf("day 260, recency-weighted: %d result(s)\n", len(res.IDs))
+	for _, id := range res.IDs {
+		fmt.Println("   ⊆", ds.Attr(id).Meta().Page)
+	}
+}
+
+func mustBuild(ds *tind.Dataset, b *tind.Builder, end tind.Time) *tind.History {
+	h, err := b.Build(end)
+	must(err)
+	_, err = ds.Add(h)
+	must(err)
+	return h
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

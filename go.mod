@@ -1,0 +1,3 @@
+module tind
+
+go 1.22

@@ -1,0 +1,51 @@
+package bitmatrix
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"tind/internal/bloom"
+	"tind/internal/values"
+)
+
+func benchMatrix(nAttrs int) (*Matrix, *bloom.Filter) {
+	p := bloom.Params{M: 4096, K: 2}
+	r := rand.New(rand.NewSource(1))
+	m := NewMatrix(p, nAttrs)
+	for c := 0; c < nAttrs; c++ {
+		ids := make([]values.Value, 28)
+		for i := range ids {
+			ids[i] = values.Value(r.Intn(100000))
+		}
+		m.SetColumn(c, bloom.FromSet(p, values.NewSet(ids...)))
+	}
+	qids := make([]values.Value, 10)
+	for i := range qids {
+		qids[i] = values.Value(r.Intn(100000))
+	}
+	return m, bloom.FromSet(p, values.NewSet(qids...))
+}
+
+func BenchmarkSupersets(b *testing.B) {
+	for _, n := range []int{1000, 10000, 100000} {
+		m, q := benchMatrix(n)
+		b.Run(fmt.Sprintf("attrs=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				m.Supersets(q, nil)
+			}
+		})
+	}
+}
+
+func BenchmarkSubsets(b *testing.B) {
+	// The reverse direction ORs the zero rows — many more row operations,
+	// the asymmetry behind Figure 12.
+	m, q := benchMatrix(10000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Subsets(q, nil)
+	}
+}

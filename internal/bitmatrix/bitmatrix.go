@@ -1,0 +1,217 @@
+// Package bitmatrix implements the Bloom-filter bit matrix of MANY
+// (Section 4.1): rows are Bloom-filter bit positions, columns are
+// attributes. Candidate search for supersets of a query ANDs the rows at
+// which the query filter has a set bit; candidate search for subsets
+// (reverse direction) ORs the rows at which the query filter has a zero
+// bit and negates the result.
+package bitmatrix
+
+import (
+	"fmt"
+	"math/bits"
+
+	"tind/internal/bloom"
+)
+
+// Vec is a bit vector over attribute columns. Experiments and the index
+// use it as the candidate set representation C of Algorithm 1.
+type Vec struct {
+	n     int
+	words []uint64
+}
+
+// NewVec returns a vector of n bits, all clear.
+func NewVec(n int) *Vec {
+	return &Vec{n: n, words: make([]uint64, (n+63)/64)}
+}
+
+// NewVecFull returns a vector of n bits, all set — the initial candidate
+// set C_0 of Algorithm 1.
+func NewVecFull(n int) *Vec {
+	v := NewVec(n)
+	for i := range v.words {
+		v.words[i] = ^uint64(0)
+	}
+	v.clearTail()
+	return v
+}
+
+// clearTail zeroes the unused bits of the last word so that Count and
+// iteration never see ghost columns.
+func (v *Vec) clearTail() {
+	if r := v.n & 63; r != 0 && len(v.words) > 0 {
+		v.words[len(v.words)-1] &= (1 << uint(r)) - 1
+	}
+}
+
+// Len returns the number of bits.
+func (v *Vec) Len() int { return v.n }
+
+// Get reports whether bit i is set.
+func (v *Vec) Get(i int) bool { return v.words[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// Set sets bit i.
+func (v *Vec) Set(i int) { v.words[i>>6] |= 1 << (uint(i) & 63) }
+
+// Clear clears bit i.
+func (v *Vec) Clear(i int) { v.words[i>>6] &^= 1 << (uint(i) & 63) }
+
+// Count returns the number of set bits.
+func (v *Vec) Count() int {
+	n := 0
+	for _, w := range v.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// And intersects v with o in place.
+func (v *Vec) And(o *Vec) {
+	for i := range v.words {
+		v.words[i] &= o.words[i]
+	}
+}
+
+// AndNot removes o's bits from v in place.
+func (v *Vec) AndNot(o *Vec) {
+	for i := range v.words {
+		v.words[i] &^= o.words[i]
+	}
+}
+
+// Or unions o into v in place.
+func (v *Vec) Or(o *Vec) {
+	for i := range v.words {
+		v.words[i] |= o.words[i]
+	}
+}
+
+// Clone returns a deep copy.
+func (v *Vec) Clone() *Vec {
+	c := &Vec{n: v.n, words: make([]uint64, len(v.words))}
+	copy(c.words, v.words)
+	return c
+}
+
+// ForEach calls fn for every set bit in ascending order. Returning false
+// from fn stops the iteration.
+func (v *Vec) ForEach(fn func(i int) bool) {
+	for wi, w := range v.words {
+		base := wi << 6
+		for w != 0 {
+			if !fn(base + bits.TrailingZeros64(w)) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
+// Ones returns the indices of all set bits.
+func (v *Vec) Ones() []int {
+	out := make([]int, 0, v.Count())
+	v.ForEach(func(i int) bool { out = append(out, i); return true })
+	return out
+}
+
+// Matrix is an m×n bit matrix: m Bloom-filter rows over n attribute
+// columns. It is built once and then queried concurrently.
+type Matrix struct {
+	params bloom.Params
+	n      int    // columns (attributes)
+	rows   []*Vec // len = params.M
+}
+
+// NewMatrix returns an all-zero matrix for n attributes.
+func NewMatrix(params bloom.Params, n int) *Matrix {
+	if err := params.Validate(); err != nil {
+		panic(err)
+	}
+	m := &Matrix{params: params, n: n, rows: make([]*Vec, params.M)}
+	for i := range m.rows {
+		m.rows[i] = NewVec(n)
+	}
+	return m
+}
+
+// Params returns the Bloom parameters all columns were hashed with.
+func (m *Matrix) Params() bloom.Params { return m.params }
+
+// Columns returns the number of attribute columns.
+func (m *Matrix) Columns() int { return m.n }
+
+// SetColumn writes the attribute's Bloom filter into column col. It must
+// only be called during construction, before any queries run.
+func (m *Matrix) SetColumn(col int, f *bloom.Filter) {
+	if f.Params() != m.params {
+		panic(fmt.Sprintf("bitmatrix: filter params %v do not match matrix params %v", f.Params(), m.params))
+	}
+	if col < 0 || col >= m.n {
+		panic(fmt.Sprintf("bitmatrix: column %d out of range [0,%d)", col, m.n))
+	}
+	for _, b := range f.SetBits(nil) {
+		m.rows[b].Set(col)
+	}
+}
+
+// MemoryBytes returns the matrix size in bytes (the |D|·m/8 of the paper's
+// index-memory formula).
+func (m *Matrix) MemoryBytes() int64 {
+	return int64(m.params.M) * int64((m.n+63)/64) * 8
+}
+
+// Supersets narrows the candidate vector to columns whose filter contains
+// every set bit of the query filter — the query_index procedure of
+// Algorithm 1. The result is base ∧ (∧ rows with query bit set); base is
+// not modified. A nil base means all columns.
+func (m *Matrix) Supersets(q *bloom.Filter, base *Vec) *Vec {
+	if q.Params() != m.params {
+		panic(fmt.Sprintf("bitmatrix: query params %v do not match matrix params %v", q.Params(), m.params))
+	}
+	var out *Vec
+	if base != nil {
+		out = base.Clone()
+	} else {
+		out = NewVecFull(m.n)
+	}
+	for _, b := range q.SetBits(nil) {
+		out.And(m.rows[b])
+		// Early exit: candidate set already empty.
+		if out.Count() == 0 {
+			return out
+		}
+	}
+	return out
+}
+
+// Subsets narrows the candidate vector to columns whose filter is
+// contained in the query filter (reverse search, Section 4.1): a candidate
+// must have a zero in every row where the query has a zero, so the result
+// is base ∧ ¬(∨ rows with query bit clear).
+func (m *Matrix) Subsets(q *bloom.Filter, base *Vec) *Vec {
+	if q.Params() != m.params {
+		panic(fmt.Sprintf("bitmatrix: query params %v do not match matrix params %v", q.Params(), m.params))
+	}
+	violated := NewVec(m.n)
+	for _, b := range q.ZeroBits(nil) {
+		violated.Or(m.rows[b])
+	}
+	var out *Vec
+	if base != nil {
+		out = base.Clone()
+	} else {
+		out = NewVecFull(m.n)
+	}
+	out.AndNot(violated)
+	return out
+}
+
+// Violators returns base ∧ ¬Supersets: the columns of base whose filter
+// does NOT contain the query filter. The time-slice pruning of reverse
+// tIND search uses it to find attributes that must be violated in a slice.
+func (m *Matrix) Violators(q *bloom.Filter, base *Vec) *Vec {
+	ok := m.Subsets(q, base)
+	out := base.Clone()
+	out.AndNot(ok)
+	return out
+}

@@ -1,0 +1,43 @@
+package bloom
+
+import (
+	"testing"
+
+	"tind/internal/values"
+)
+
+func benchSet(n int) values.Set {
+	ids := make([]values.Value, n)
+	for i := range ids {
+		ids[i] = values.Value(i * 7)
+	}
+	return values.NewSet(ids...)
+}
+
+func BenchmarkFromSet28(b *testing.B) {
+	// 28 values: the corpus's average version cardinality.
+	s := benchSet(28)
+	p := DefaultParams
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		FromSet(p, s)
+	}
+}
+
+func BenchmarkSubsetOf(b *testing.B) {
+	p := DefaultParams
+	small := FromSet(p, benchSet(28))
+	big := FromSet(p, benchSet(200))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		small.SubsetOf(big)
+	}
+}
+
+func BenchmarkTest(b *testing.B) {
+	f := FromSet(DefaultParams, benchSet(200))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.Test(values.Value(i))
+	}
+}

@@ -1,0 +1,191 @@
+package bloom
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tind/internal/values"
+)
+
+func TestParamsValidate(t *testing.T) {
+	good := []Params{{64, 1}, {4096, 2}, {128, 7}}
+	for _, p := range good {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%v: unexpected error %v", p, err)
+		}
+	}
+	bad := []Params{{0, 1}, {100, 1}, {-64, 1}, {64, 0}, {64, -2}}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("%v: want error", p)
+		}
+	}
+}
+
+func TestAddTest(t *testing.T) {
+	f := New(Params{M: 256, K: 3})
+	s := values.NewSet(1, 5, 900, 1<<30)
+	f.AddSet(s)
+	for _, v := range s {
+		if !f.Test(v) {
+			t.Errorf("value %d must test positive", v)
+		}
+	}
+}
+
+func TestEmptyFilter(t *testing.T) {
+	f := New(Params{M: 64, K: 2})
+	if f.PopCount() != 0 {
+		t.Fatal("fresh filter must be empty")
+	}
+	if f.Test(7) {
+		t.Fatal("empty filter must test negative")
+	}
+	if !f.SubsetOf(New(Params{M: 64, K: 2})) {
+		t.Fatal("empty ⊆ empty")
+	}
+}
+
+func TestSubsetPreservation(t *testing.T) {
+	// The defining property: A ⊆ B ⟹ h(A) ⊆ h(B), for any params.
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := Params{M: 64 * (1 + r.Intn(8)), K: 1 + r.Intn(4)}
+		var a, b []values.Value
+		for i := 0; i < 30; i++ {
+			v := values.Value(r.Intn(1000))
+			b = append(b, v)
+			if r.Intn(2) == 0 {
+				a = append(a, v)
+			}
+		}
+		fa := FromSet(p, values.NewSet(a...))
+		fb := FromSet(p, values.NewSet(b...))
+		return fa.SubsetOf(fb)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubsetOfNegative(t *testing.T) {
+	p := Params{M: 4096, K: 2}
+	fa := FromSet(p, values.NewSet(1, 2, 3))
+	fb := FromSet(p, values.NewSet(4, 5, 6))
+	// With m=4096 and 6 distinct values a collision of all bits is
+	// effectively impossible.
+	if fa.SubsetOf(fb) {
+		t.Fatal("disjoint small sets must not test as subset at m=4096")
+	}
+}
+
+func TestSubsetOfParamMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("param mismatch must panic")
+		}
+	}()
+	New(Params{M: 64, K: 1}).SubsetOf(New(Params{M: 128, K: 1}))
+}
+
+func TestUnionWith(t *testing.T) {
+	p := Params{M: 512, K: 2}
+	a := values.NewSet(1, 2, 3)
+	b := values.NewSet(10, 11)
+	fa := FromSet(p, a)
+	fb := FromSet(p, b)
+	u := fa.Clone()
+	u.UnionWith(fb)
+	if !fa.SubsetOf(u) || !fb.SubsetOf(u) {
+		t.Fatal("union must contain both operands")
+	}
+	want := FromSet(p, a.Union(b))
+	if !u.SubsetOf(want) || !want.SubsetOf(u) {
+		t.Fatal("union of filters must equal filter of union")
+	}
+}
+
+func TestSetBitsZeroBits(t *testing.T) {
+	p := Params{M: 128, K: 2}
+	f := FromSet(p, values.NewSet(42, 77))
+	set := f.SetBits(nil)
+	zero := f.ZeroBits(nil)
+	if len(set)+len(zero) != p.M {
+		t.Fatalf("set+zero = %d+%d, want %d", len(set), len(zero), p.M)
+	}
+	if len(set) != f.PopCount() {
+		t.Fatalf("SetBits len %d != PopCount %d", len(set), f.PopCount())
+	}
+	seen := make(map[int]bool)
+	for _, b := range append(append([]int{}, set...), zero...) {
+		if b < 0 || b >= p.M || seen[b] {
+			t.Fatalf("bit %d out of range or duplicated", b)
+		}
+		seen[b] = true
+	}
+}
+
+func TestBitsDeterministicAndInRange(t *testing.T) {
+	p := Params{M: 192, K: 5}
+	for v := values.Value(0); v < 200; v++ {
+		b1 := p.Bits(v, nil)
+		b2 := p.Bits(v, nil)
+		if len(b1) != p.K {
+			t.Fatalf("Bits returned %d positions, want %d", len(b1), p.K)
+		}
+		for i := range b1 {
+			if b1[i] != b2[i] {
+				t.Fatal("Bits must be deterministic")
+			}
+			if b1[i] < 0 || b1[i] >= p.M {
+				t.Fatalf("bit %d out of range", b1[i])
+			}
+		}
+	}
+}
+
+func TestBitsSpread(t *testing.T) {
+	// Hashing should hit a large share of the filter across many values.
+	p := Params{M: 1024, K: 2}
+	f := New(p)
+	for v := values.Value(0); v < 2000; v++ {
+		f.Add(v)
+	}
+	if f.PopCount() < p.M*9/10 {
+		t.Fatalf("2000 values set only %d/%d bits; hash spread is poor", f.PopCount(), p.M)
+	}
+}
+
+func TestCloneResetIndependence(t *testing.T) {
+	p := Params{M: 64, K: 1}
+	f := FromSet(p, values.NewSet(1, 2))
+	g := f.Clone()
+	f.Reset()
+	if f.PopCount() != 0 {
+		t.Fatal("reset must clear")
+	}
+	if g.PopCount() == 0 {
+		t.Fatal("clone must be independent")
+	}
+}
+
+func TestFalsePositiveRateReasonable(t *testing.T) {
+	p := Params{M: 4096, K: 2}
+	f := New(p)
+	for v := values.Value(0); v < 28; v++ { // paper's average cardinality
+		f.Add(v)
+	}
+	fp := 0
+	const trials = 10000
+	for i := 0; i < trials; i++ {
+		if f.Test(values.Value(1000 + i)) {
+			fp++
+		}
+	}
+	// Expected fp rate ≈ (1-e^(-kn/m))^k ≈ 0.0002 at these settings; allow
+	// generous slack.
+	if rate := float64(fp) / trials; rate > 0.01 {
+		t.Fatalf("false positive rate %g too high", rate)
+	}
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"tind/internal/history"
+	"tind/internal/timeline"
+	"tind/internal/values"
+)
+
+// benchPair builds a contained pair with the given number of versions,
+// exercising Algorithm 2's interval partitioning.
+func benchPair(versions int) (*history.History, *history.History) {
+	r := rand.New(rand.NewSource(7))
+	horizon := timeline.Time(versions * 10)
+	rhs := history.NewBuilder(history.Meta{Page: "rhs"})
+	lhs := history.NewBuilder(history.Meta{Page: "lhs"})
+	var pool []values.Value
+	for v := 0; v < versions; v++ {
+		pool = append(pool, values.Value(v))
+		rhs.Observe(timeline.Time(v*10), values.NewSet(pool...))
+		sub := make([]values.Value, 0, len(pool)/2+1)
+		for _, x := range pool {
+			if r.Intn(2) == 0 {
+				sub = append(sub, x)
+			}
+		}
+		sub = append(sub, values.Value(v))
+		lhs.Observe(timeline.Time(v*10+r.Intn(3)), values.NewSet(sub...))
+	}
+	a, err := rhs.Build(horizon)
+	if err != nil {
+		panic(err)
+	}
+	q, err := lhs.Build(horizon)
+	if err != nil {
+		panic(err)
+	}
+	return q, a
+}
+
+func BenchmarkHolds(b *testing.B) {
+	for _, versions := range []int{13, 50, 200} {
+		q, a := benchPair(versions)
+		p := Params{Epsilon: 3, Delta: 7, Weight: timeline.Uniform(q.ObservedUntil())}
+		b.Run(fmt.Sprintf("versions=%d", versions), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				Holds(q, a, p)
+			}
+		})
+	}
+}
+
+func BenchmarkHoldsVsNaive(b *testing.B) {
+	q, a := benchPair(50)
+	p := Params{Epsilon: 3, Delta: 7, Weight: timeline.Uniform(q.ObservedUntil())}
+	b.Run("algorithm2", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			Holds(q, a, p)
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			HoldsNaive(q, a, p)
+		}
+	})
+}
+
+func BenchmarkRequiredValues(b *testing.B) {
+	q, _ := benchPair(50)
+	w := timeline.Uniform(q.ObservedUntil())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		RequiredValues(q, 3, w)
+	}
+}

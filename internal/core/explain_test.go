@@ -1,0 +1,82 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tind/internal/timeline"
+)
+
+func TestExplainBasic(t *testing.T) {
+	// Q needs POL during [4,9); A never has it. Violations elsewhere: none.
+	q := hist(t, 20, v(0, GER), v(4, GER, POL), v(9, GER))
+	a := hist(t, 20, v(0, GER, ITA))
+	p := Params{Epsilon: 0, Delta: 0, Weight: timeline.Uniform(20)}
+	vio := Explain(q, a, p)
+	if len(vio) != 1 {
+		t.Fatalf("violations = %+v", vio)
+	}
+	if vio[0].Interval != timeline.NewInterval(4, 9) || vio[0].Weight != 5 {
+		t.Fatalf("violation = %+v", vio[0])
+	}
+	if vio[0].Missing != POL {
+		t.Fatalf("missing value = %v, want POL", vio[0].Missing)
+	}
+}
+
+func TestExplainMergesAdjacent(t *testing.T) {
+	// Q changes at 5 but stays violated throughout [3,8): the two
+	// sub-intervals must merge.
+	q := hist(t, 10, v(0, GER), v(3, GER, POL), v(5, GER, POL, ITA), v(8, GER))
+	a := hist(t, 10, v(0, GER))
+	p := Params{Epsilon: 0, Delta: 0, Weight: timeline.Uniform(10)}
+	vio := Explain(q, a, p)
+	if len(vio) != 1 || vio[0].Interval != timeline.NewInterval(3, 8) || vio[0].Weight != 5 {
+		t.Fatalf("violations = %+v", vio)
+	}
+}
+
+func TestExplainNoViolations(t *testing.T) {
+	q := hist(t, 10, v(0, GER))
+	a := hist(t, 10, v(0, GER, POL))
+	if vio := Explain(q, a, DefaultDays(10)); len(vio) != 0 {
+		t.Fatalf("violations = %+v", vio)
+	}
+}
+
+// Explain's weights must reconstruct ViolationWeight exactly, and the
+// hold/fail verdict must follow.
+func TestExplainConsistencyProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := timeline.Time(15 + r.Intn(40))
+		q := randHistory(r, n)
+		a := randHistory(r, n)
+		p := Params{
+			Epsilon: r.Float64() * 6,
+			Delta:   timeline.Time(r.Intn(5)),
+			Weight:  timeline.Uniform(n),
+		}
+		vio := Explain(q, a, p)
+		var total float64
+		prevEnd := timeline.Time(-1 << 30)
+		for _, v := range vio {
+			if v.Interval.IsEmpty() || v.Interval.Start < prevEnd {
+				return false // ordered, non-overlapping, non-empty
+			}
+			if v.Interval.Start == prevEnd {
+				return false // adjacent intervals must have been merged
+			}
+			prevEnd = v.Interval.End
+			total += v.Weight
+		}
+		if !approx(total, ViolationWeight(q, a, p)) {
+			return false
+		}
+		return (total <= p.Epsilon) == Holds(q, a, p)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

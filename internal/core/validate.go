@@ -1,0 +1,206 @@
+package core
+
+import (
+	"sort"
+
+	"tind/internal/history"
+	"tind/internal/timeline"
+	"tind/internal/values"
+)
+
+// StaticIND reports whether Q[t] ⊆ A[t] (Definition 3.1).
+func StaticIND(q, a *history.History, t timeline.Time) bool {
+	return q.At(t).SubsetOf(a.At(t))
+}
+
+// DeltaContained reports whether Q[t] is δ-contained in A, i.e.
+// Q[t] ⊆ A[[t−δ, t+δ]] (Definition 3.4). It is a direct, unoptimized
+// realization of the definition; validation uses the interval-partitioned
+// Holds instead.
+func DeltaContained(q, a *history.History, t timeline.Time, delta timeline.Time) bool {
+	qv := q.At(t)
+	if qv.IsEmpty() {
+		return true
+	}
+	return qv.SubsetOf(a.Union(timeline.Window(t, delta)))
+}
+
+// Holds reports whether Q ⊆_{w,ε,δ} A (Definition 3.6), using Algorithm 2:
+// the observation period is partitioned into intervals within which both
+// Q's version and A's δ-window content are constant, so δ-containment is
+// checked once per interval instead of once per timestamp. A sliding
+// window (history.Cursor) over A's versions makes the overall cost linear
+// in the number of change points of Q and A.
+func Holds(q, a *history.History, p Params) bool {
+	_, ok := violationWeight(q, a, p, true)
+	return ok
+}
+
+// ViolationWeight returns the total summed weight of timestamps at which
+// Q[t] is not δ-contained in A. The tIND holds iff the result is ≤ ε; the
+// exact weight feeds diagnostics and the evaluation harness.
+func ViolationWeight(q, a *history.History, p Params) float64 {
+	w, _ := violationWeight(q, a, p, false)
+	return w
+}
+
+// boundaries assembles and sorts the timestamps at which δ-containment of
+// Q in A may change (lines 1–2 of Algorithm 2): Q's change points and
+// observation end, A's change points shifted by ±δ, the departure of A's
+// last version at obsEnd+δ, and the horizon n.
+func boundaries(q, a *history.History, delta timeline.Time, n timeline.Time) []timeline.Time {
+	ts := make([]timeline.Time, 0, q.NumVersions()+2*a.NumVersions()+4)
+	for _, t := range q.ChangeTimes() {
+		ts = append(ts, t)
+	}
+	ts = append(ts, q.ObservedUntil())
+	for _, t := range a.ChangeTimes() {
+		// A version starting at s is in the δ-window of t for
+		// t ∈ [s−δ, e−1+δ] with e its validity end, so window content
+		// changes at s−δ (version enters) and at s+δ (the previous
+		// version, which ended at s, leaves).
+		ts = append(ts, t-delta, t+delta)
+	}
+	ts = append(ts, a.ObservedUntil()+delta) // last version of A leaves
+	ts = append(ts, 0, n)
+
+	sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+	// Deduplicate and clamp to [0, n].
+	out := ts[:0]
+	for _, t := range ts {
+		if t < 0 || t > n {
+			continue
+		}
+		if len(out) == 0 || out[len(out)-1] != t {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// violationWeight runs Algorithm 2. With earlyExit it stops as soon as the
+// accumulated violation exceeds ε and reports ok=false; otherwise it
+// accumulates the exact total.
+func violationWeight(q, a *history.History, p Params, earlyExit bool) (weight float64, ok bool) {
+	n := p.Weight.Horizon()
+	bs := boundaries(q, a, p.Delta, n)
+	cursor := history.NewCursor(a)
+	var violation float64
+	for i := 0; i+1 < len(bs); i++ {
+		iv := timeline.NewInterval(bs[i], bs[i+1])
+		qv := q.At(iv.Start)
+		if qv.IsEmpty() {
+			continue // unobservable or empty Q is trivially contained
+		}
+		// A[[t−δ, t+δ]] is constant for t ∈ iv; materialize the union
+		// window for the whole interval.
+		win := iv.Expand(p.Delta)
+		if !cursor.Seek(win).ContainsAll(qv) {
+			violation += p.Weight.Sum(iv)
+			if earlyExit && violation > p.Epsilon {
+				return violation, false
+			}
+		}
+	}
+	return violation, violation <= p.Epsilon
+}
+
+// Violation is one maximal interval during which Q is not δ-contained in
+// A, with its summed weight.
+type Violation struct {
+	Interval timeline.Interval
+	Weight   float64
+	// Missing is one example value of Q that A's δ-window lacks during
+	// the interval (the first in id order), for human-readable output.
+	Missing values.Value
+}
+
+// Explain returns the violated intervals of Q ⊆_{w,·,δ} A in time order,
+// merging adjacent ones. It answers "why is this tIND (in)valid" for
+// interactive exploration: the dependency holds under ε iff the weights
+// sum to at most ε.
+func Explain(q, a *history.History, p Params) []Violation {
+	n := p.Weight.Horizon()
+	bs := boundaries(q, a, p.Delta, n)
+	cursor := history.NewCursor(a)
+	var out []Violation
+	for i := 0; i+1 < len(bs); i++ {
+		iv := timeline.NewInterval(bs[i], bs[i+1])
+		qv := q.At(iv.Start)
+		if qv.IsEmpty() {
+			continue
+		}
+		ms := cursor.Seek(iv.Expand(p.Delta))
+		var missing values.Value
+		violated := false
+		for _, v := range qv {
+			if !ms.Contains(v) {
+				violated = true
+				missing = v
+				break
+			}
+		}
+		if !violated {
+			continue
+		}
+		w := p.Weight.Sum(iv)
+		if len(out) > 0 && out[len(out)-1].Interval.End == iv.Start {
+			last := &out[len(out)-1]
+			last.Interval.End = iv.End
+			last.Weight += w
+			continue
+		}
+		out = append(out, Violation{Interval: iv, Weight: w, Missing: missing})
+	}
+	return out
+}
+
+// HoldsNaive checks Definition 3.6 timestamp by timestamp. It is the
+// oracle for property tests and deliberately trades speed for obvious
+// correctness.
+func HoldsNaive(q, a *history.History, p Params) bool {
+	return ViolationWeightNaive(q, a, p) <= p.Epsilon
+}
+
+// ViolationWeightNaive sums per-timestamp violation weights directly.
+func ViolationWeightNaive(q, a *history.History, p Params) float64 {
+	n := p.Weight.Horizon()
+	var violation float64
+	for t := timeline.Time(0); t < n; t++ {
+		if !DeltaContained(q, a, t, p.Delta) {
+			violation += p.Weight.Weight(t)
+		}
+	}
+	return violation
+}
+
+// OccurrenceWeights returns w_v(Q) for every value v of Q: the summed
+// weight of the timestamps at which v occurs in Q (Section 4.2.1,
+// Equation 6).
+func OccurrenceWeights(q *history.History, w timeline.WeightFunc) map[values.Value]float64 {
+	acc := make(map[values.Value]float64, q.AllValues().Len())
+	for i := 0; i < q.NumVersions(); i++ {
+		ws := w.Sum(q.Validity(i))
+		if ws == 0 {
+			continue
+		}
+		for _, v := range q.Version(i).Values {
+			acc[v] += ws
+		}
+	}
+	return acc
+}
+
+// RequiredValues returns R_{ε,w}(Q) = {v | w_v(Q) > ε} (Equation 7): the
+// values whose occurrence weight alone exceeds the violation budget, so
+// any valid right-hand side must contain them at some point in time.
+func RequiredValues(q *history.History, epsilon float64, w timeline.WeightFunc) values.Set {
+	acc := OccurrenceWeights(q, w)
+	ids := make([]values.Value, 0, len(acc))
+	for v, ow := range acc {
+		if ow > epsilon {
+			ids = append(ids, v)
+		}
+	}
+	return values.NewSet(ids...)
+}

@@ -1,0 +1,352 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tind/internal/history"
+	"tind/internal/timeline"
+	"tind/internal/values"
+)
+
+func set(vs ...values.Value) values.Set { return values.NewSet(vs...) }
+
+func hist(t testing.TB, end timeline.Time, versions ...history.Version) *history.History {
+	t.Helper()
+	h, err := history.New(history.Meta{Page: "p"}, versions, end)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func v(start timeline.Time, vals ...values.Value) history.Version {
+	return history.Version{Start: start, Values: set(vals...)}
+}
+
+// Value ids standing in for the country codes of the paper's Figure 2.
+const (
+	GER values.Value = iota
+	POL
+	ITA
+	USA
+)
+
+func TestStaticIND(t *testing.T) {
+	q := hist(t, 10, v(0, GER), v(5, GER, POL))
+	a := hist(t, 10, v(0, GER, ITA), v(7, ITA))
+	if !StaticIND(q, a, 0) {
+		t.Error("t=0: {GER} ⊆ {GER,ITA} must hold")
+	}
+	if StaticIND(q, a, 5) {
+		t.Error("t=5: {GER,POL} ⊄ {GER,ITA}")
+	}
+	if StaticIND(q, a, 8) {
+		t.Error("t=8: {GER,POL} ⊄ {ITA}")
+	}
+	// Unobservable Q is trivially included.
+	q2 := hist(t, 4, v(2, GER))
+	if !StaticIND(q2, a, 0) || !StaticIND(q2, a, 9) {
+		t.Error("unobservable LHS must be trivially included")
+	}
+}
+
+func TestStrictTIND(t *testing.T) {
+	// Figure 2 (A): inclusion at every timestamp.
+	q := hist(t, 3, v(0, GER), v(2, POL))
+	a := hist(t, 3, v(0, GER, ITA), v(2, POL))
+	if !Holds(q, a, Strict(3)) {
+		t.Error("strict tIND must hold")
+	}
+	// One violated timestamp breaks strictness.
+	a2 := hist(t, 3, v(0, GER, ITA), v(2, ITA))
+	if Holds(q, a2, Strict(3)) {
+		t.Error("violated strict tIND must fail")
+	}
+}
+
+func TestEpsilonRelaxed(t *testing.T) {
+	// Figure 2 (B): violation at 1 of 3 timestamps, ε = 1/3 tolerates it.
+	q := hist(t, 3, v(0, GER), v(1, POL), v(2, GER))
+	a := hist(t, 3, v(0, GER), v(1, ITA), v(2, GER))
+	if !Holds(q, a, EpsilonRelaxed(1.0/3, 3)) {
+		t.Error("ε=1/3 must tolerate one violated timestamp out of three")
+	}
+	if Holds(q, a, EpsilonRelaxed(0.2, 3)) {
+		t.Error("ε=0.2 must reject a 1/3 violation share")
+	}
+	if Holds(q, a, Strict(3)) {
+		t.Error("strict must reject")
+	}
+}
+
+func TestEpsilonDeltaRelaxed(t *testing.T) {
+	// Figure 2 (C): the needed value occurs in A one step earlier; δ=1
+	// bridges the shift without spending ε budget.
+	q := hist(t, 4, v(0, GER), v(3, POL))
+	a := hist(t, 4, v(0, GER, POL), v(3, GER))
+	if Holds(q, a, EpsilonRelaxed(0, 4)) {
+		t.Error("δ=0 must fail: POL missing at t=3")
+	}
+	if !Holds(q, a, EpsilonDelta(0, 1, 4)) {
+		t.Error("δ=1 must bridge the one-step delay")
+	}
+}
+
+func TestWeightedTIND(t *testing.T) {
+	// Figure 2 (D): two violated timestamps whose summed weight stays
+	// within the absolute ε.
+	q := hist(t, 4, v(0, GER), v(1, POL), v(2, GER), v(3, USA))
+	a := hist(t, 4, v(0, GER))
+	// Violations at t=1 and t=3. Under exponential decay the early
+	// violation is cheap.
+	w, err := timeline.NewExponentialDecay(4, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// w(1)=0.125, w(3)=0.5 → total violation 0.625.
+	p := Params{Epsilon: 0.7, Delta: 0, Weight: w}
+	if !Holds(q, a, p) {
+		t.Error("summed weighted violation 0.625 ≤ 0.7 must hold")
+	}
+	p.Epsilon = 0.6
+	if Holds(q, a, p) {
+		t.Error("summed weighted violation 0.625 > 0.6 must fail")
+	}
+	if got := ViolationWeight(q, a, p); !approx(got, 0.625) {
+		t.Errorf("ViolationWeight = %g, want 0.625", got)
+	}
+}
+
+func TestEpsilonBoundaryInclusive(t *testing.T) {
+	// Definition 3.6: violation weight exactly ε is still valid.
+	q := hist(t, 10, v(0, GER), v(4, POL), v(7, GER))
+	a := hist(t, 10, v(0, GER)) // POL missing during [4,7): 3 days
+	p := Params{Epsilon: 3, Delta: 0, Weight: timeline.Uniform(10)}
+	if !Holds(q, a, p) {
+		t.Error("violation weight exactly ε must be valid")
+	}
+	p.Epsilon = 2.999
+	if Holds(q, a, p) {
+		t.Error("violation weight above ε must fail")
+	}
+}
+
+func TestReflexivity(t *testing.T) {
+	// Section 3.4: reflexivity holds for all variants.
+	q := hist(t, 20, v(0, GER), v(5, POL, ITA), v(11, USA))
+	for _, p := range []Params{Strict(20), EpsilonRelaxed(0.1, 20), EpsilonDelta(0.1, 3, 20), DefaultDays(20)} {
+		if !Holds(q, q, p) {
+			t.Errorf("%v: reflexivity violated", p)
+		}
+	}
+}
+
+func TestNonTransitivity(t *testing.T) {
+	// Section 3.4's counterexample: Q ⊆_{1/3} A and A ⊆_{1/3} B hold but
+	// Q ⊆_{1/3} B does not, because violations are not temporally aligned.
+	// Q constant {GER}; A deviates at t=1; B deviates from A at t=2 only —
+	// but B misses GER at both t=1 and t=2.
+	q := hist(t, 3, v(0, GER))
+	a := hist(t, 3, v(0, GER), v(1, ITA), v(2, GER))
+	b := hist(t, 3, v(0, GER), v(1, ITA), v(2, POL))
+	p := EpsilonRelaxed(1.0/3, 3)
+	if !Holds(q, a, p) || !Holds(a, b, p) {
+		t.Fatal("premises of the counterexample must hold")
+	}
+	if Holds(q, b, p) {
+		t.Fatal("transitivity must fail on the counterexample")
+	}
+}
+
+func TestUnobservablePeriods(t *testing.T) {
+	// Q observable only during [10, 20); A from t=12 on.
+	q := hist(t, 20, v(10, GER), v(15, POL))
+	a := hist(t, 40, v(12, GER, POL))
+	p := Params{Epsilon: 2, Delta: 0, Weight: timeline.Uniform(40)}
+	// Violations only at t ∈ [10,12): Q={GER}, A unobservable.
+	if got := ViolationWeight(q, a, p); got != 2 {
+		t.Errorf("ViolationWeight = %g, want 2", got)
+	}
+	if !Holds(q, a, p) {
+		t.Error("ε=2 must tolerate the 2-day startup gap")
+	}
+	// After A's observation ends at 30, Q is gone too, so no violations.
+	a2 := hist(t, 25, v(12, GER, POL))
+	if got := ViolationWeight(q, a2, p); got != 2 {
+		t.Errorf("A ending early while Q unobservable must not add violations; got %g", got)
+	}
+}
+
+func TestDeltaWindowClampedAtEdges(t *testing.T) {
+	// δ-window extending before t=0 or beyond n must not crash and must
+	// not invent values.
+	q := hist(t, 5, v(0, GER))
+	a := hist(t, 5, v(0, ITA), v(3, GER))
+	if DeltaContained(q, a, 0, 2) {
+		t.Error("GER only appears at t=3; δ=2 window of t=0 is [0,2]")
+	}
+	if !DeltaContained(q, a, 1, 2) {
+		t.Error("δ=2 window of t=1 is [0,3] which contains GER")
+	}
+	if !DeltaContained(q, a, 4, 100) {
+		t.Error("huge δ must clamp, not crash")
+	}
+}
+
+func TestViolationWeightMatchesNaive(t *testing.T) {
+	q := hist(t, 30, v(2, GER, POL), v(9, GER, USA), v(20, ITA))
+	a := hist(t, 30, v(0, GER, POL), v(12, USA, ITA), v(25, GER))
+	for _, delta := range []timeline.Time{0, 1, 3, 10} {
+		p := Params{Epsilon: 1e18, Delta: delta, Weight: timeline.Uniform(30)}
+		got := ViolationWeight(q, a, p)
+		want := ViolationWeightNaive(q, a, p)
+		if !approx(got, want) {
+			t.Errorf("δ=%d: ViolationWeight = %g, naive = %g", delta, got, want)
+		}
+	}
+}
+
+// The central correctness property: Algorithm 2 agrees with the
+// timestamp-by-timestamp realization of Definition 3.6 on random
+// histories, for random δ, ε and all weight-function families.
+func TestHoldsMatchesNaiveProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := timeline.Time(10 + r.Intn(40))
+		q := randHistory(r, n)
+		a := randHistory(r, n)
+		var w timeline.WeightFunc
+		switch r.Intn(3) {
+		case 0:
+			w = timeline.Uniform(n)
+		case 1:
+			e, err := timeline.NewExponentialDecay(n, 0.5+r.Float64()*0.49)
+			if err != nil {
+				return false
+			}
+			w = e
+		default:
+			w = timeline.LinearDecay{N: n, W0: 0.1, W1: 2}
+		}
+		p := Params{
+			Epsilon: r.Float64() * w.Sum(timeline.NewInterval(0, n)) * 0.3,
+			Delta:   timeline.Time(r.Intn(6)),
+			Weight:  w,
+		}
+		if got, want := ViolationWeight(q, a, p), ViolationWeightNaive(q, a, p); !approx(got, want) {
+			return false
+		}
+		return Holds(q, a, p) == HoldsNaive(q, a, p)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randHistory(r *rand.Rand, n timeline.Time) *history.History {
+	b := history.NewBuilder(history.Meta{Page: "rand"})
+	t := timeline.Time(r.Intn(int(n) - 5))
+	for {
+		card := 1 + r.Intn(5)
+		ids := make([]values.Value, card)
+		for i := range ids {
+			ids[i] = values.Value(r.Intn(10))
+		}
+		b.Observe(t, values.NewSet(ids...))
+		t += timeline.Time(1 + r.Intn(8))
+		if t >= n-1 {
+			break
+		}
+	}
+	// Last version start is at most n-2, so n is always a valid end;
+	// occasionally end earlier to exercise truncated observation windows.
+	end := n - timeline.Time(r.Intn(2))
+	h, err := b.Build(end)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+func TestOccurrenceWeights(t *testing.T) {
+	// GER during [0,10), POL during [4,10).
+	q := hist(t, 10, v(0, GER), v(4, GER, POL))
+	w := OccurrenceWeights(q, timeline.Uniform(10))
+	if !approx(w[GER], 10) {
+		t.Errorf("w_GER = %g, want 10", w[GER])
+	}
+	if !approx(w[POL], 6) {
+		t.Errorf("w_POL = %g, want 6", w[POL])
+	}
+}
+
+func TestRequiredValues(t *testing.T) {
+	// GER for 10 days, POL for 6, ITA for 2.
+	q := hist(t, 10, v(0, GER), v(4, GER, POL), v(8, GER, POL, ITA))
+	got := RequiredValues(q, 3, timeline.Uniform(10))
+	if !got.Equal(set(GER, POL)) {
+		t.Fatalf("RequiredValues(ε=3) = %v, want {GER,POL}", got)
+	}
+	if got := RequiredValues(q, 0, timeline.Uniform(10)); !got.Equal(set(GER, POL, ITA)) {
+		t.Fatalf("RequiredValues(ε=0) = %v, want all", got)
+	}
+	if got := RequiredValues(q, 100, timeline.Uniform(10)); !got.IsEmpty() {
+		t.Fatalf("RequiredValues(ε=100) = %v, want empty", got)
+	}
+}
+
+// RequiredValues soundness: if Q ⊆_{w,ε,δ} A then R_{ε,w}(Q) ⊆ A[T].
+func TestRequiredValuesSoundProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := timeline.Time(15 + r.Intn(30))
+		q := randHistory(r, n)
+		a := randHistory(r, n)
+		p := Params{
+			Epsilon: r.Float64() * float64(n) * 0.3,
+			Delta:   timeline.Time(r.Intn(5)),
+			Weight:  timeline.Uniform(n),
+		}
+		if !Holds(q, a, p) {
+			return true // vacuous
+		}
+		return RequiredValues(q, p.Epsilon, p.Weight).SubsetOf(a.AllValues())
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	n := timeline.Time(10)
+	if err := DefaultDays(n).Validate(); err != nil {
+		t.Error(err)
+	}
+	bad := []Params{
+		{Epsilon: -1, Delta: 0, Weight: timeline.Uniform(n)},
+		{Epsilon: 0, Delta: -1, Weight: timeline.Uniform(n)},
+		{Epsilon: 0, Delta: 0, Weight: nil},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("%+v: want error", p)
+		}
+	}
+}
+
+func approx(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= 1e-9*(1+maxf(a, b))
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,357 @@
+// Package datagen generates synthetic Wikipedia-table corpora with known
+// ground truth, substituting for the proprietary Wikimedia table-history
+// corpus the paper evaluates on (see DESIGN.md).
+//
+// The generator plants the phenomena the paper's relaxations target:
+//
+//   - genuine inclusion links (derived columns ⊆ reference columns of the
+//     same entity domain) whose updates propagate with temporal delays —
+//     the reason δ exists,
+//   - short-lived erroneous updates that are reverted after a few days —
+//     the reason ε exists,
+//   - churning columns that drift through overlapping vocabularies and
+//     produce coincidental, spurious containments at single snapshots —
+//     the reason static IND discovery has low precision,
+//   - long-lived entity renames that break containment permanently — the
+//     data-quality issue the paper explicitly leaves to future work.
+//
+// Every generated attribute carries an oracle label, so the evaluation
+// harness can measure genuine-IND precision exactly where the paper used
+// 900 manual annotations.
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"tind/internal/history"
+	"tind/internal/timeline"
+)
+
+// Kind classifies a generated attribute.
+type Kind int
+
+const (
+	// Reference columns track the complete entity list of their domain
+	// ("List of X" pages). They are the natural right-hand sides of
+	// genuine INDs.
+	Reference Kind = iota
+	// Derived columns maintain a semantic subset of their domain (e.g.
+	// "games composed by M"), linked to the domain's references and to
+	// their ancestor derived columns. Updates lag behind the reference
+	// by a few days.
+	Derived
+	// SluggishDerived columns are derived columns that change rarely
+	// (4–8 changes), populating the low-change buckets of Table 2.
+	SluggishDerived
+	// Churner columns drift through a mixed vocabulary with frequent
+	// changes. Their containments are never genuine.
+	Churner
+	// RandomStatic columns hold small, rarely changing sets from the
+	// mixed vocabulary. Their containments are never genuine; they are
+	// the main source of spurious static INDs.
+	RandomStatic
+	// Rotating columns cycle through contiguous chunks of (mostly) their
+	// domain pool: over the full history they cover the entire pool, so
+	// the required-values matrix M_T cannot prune them as right-hand
+	// sides, but at any single time they hold only a chunk — exactly the
+	// candidates the time-slice indices exist to eliminate (§4.2.2).
+	// Occasional foreign chunks keep them out of every reference, so
+	// they participate in no genuine inclusions.
+	Rotating
+)
+
+// String names the kind for logs.
+func (k Kind) String() string {
+	switch k {
+	case Reference:
+		return "reference"
+	case Derived:
+		return "derived"
+	case SluggishDerived:
+		return "sluggish"
+	case Churner:
+		return "churner"
+	case RandomStatic:
+		return "static"
+	case Rotating:
+		return "rotating"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Config parameterizes the generator. The zero value is completed with
+// defaults that approximate the paper's corpus statistics at small scale
+// (≈13 changes per attribute, lifespans around a third of the horizon,
+// version cardinalities in the tens).
+type Config struct {
+	Seed       int64
+	Horizon    timeline.Time // observation days; default 2000
+	Attributes int           // target attribute count; default 1000
+
+	// AttrsPerDomain controls how many attributes share an entity domain;
+	// default 25.
+	AttrsPerDomain int
+	// RefsPerDomain is the number of complete reference columns per
+	// domain; default 2.
+	RefsPerDomain int
+	// KindShares splits the non-reference attributes among Derived,
+	// SluggishDerived, Churner, Rotating and RandomStatic (the
+	// remainder). Most real columns are not semantic subsets of
+	// anything, so the defaults are 0.07, 0.06, 0.32, 0.10 — leaving
+	// 0.45 RandomStatic.
+	DerivedShare, SluggishShare, ChurnerShare, RotatingShare float64
+	// StickyShare is the fraction of churner/static columns that stay
+	// anchored to their home domain across all versions. Their
+	// containments in the home references hold temporally and are the
+	// main source of *spurious tINDs*, capping tIND precision the way
+	// the paper's 50% does. Default 0.15.
+	StickyShare float64
+	// SemiStickyShare is the fraction of churner/static columns that
+	// mostly stay at home but take occasional multi-day excursions into
+	// foreign vocabulary. Their containments pass only under generous ε,
+	// producing the precision/recall tradeoff of Figure 15. Default 0.2.
+	SemiStickyShare float64
+
+	// MeanDelay is the mean propagation delay (days) from a domain event
+	// to a column picking it up; default 3.
+	MeanDelay float64
+	// ErrorRate is the expected number of erroneous updates per attribute
+	// per 100 days; default 0.04. Errors insert a foreign value and are
+	// reverted after 1–2 days, so a single error fits the paper's default
+	// ε = 3 days but breaks strict tINDs.
+	ErrorRate float64
+	// RenameRate is the per-entity probability of a permanent rename
+	// (applied in references, kept stale in derived columns); default
+	// 0.004. Affected genuine links are permanently violated — the
+	// data-quality issue §3.3 leaves to future work.
+	RenameRate float64
+	// CommonShare is the fraction of entity names drawn from a global
+	// vocabulary shared across domains, creating coincidental overlaps;
+	// default 0.15.
+	CommonShare float64
+	// DeadShare is the fraction of attributes whose observation ends
+	// before the horizon; default 0.25.
+	DeadShare float64
+}
+
+func (c *Config) fillDefaults() {
+	if c.Horizon == 0 {
+		c.Horizon = 2000
+	}
+	if c.Attributes == 0 {
+		c.Attributes = 1000
+	}
+	if c.AttrsPerDomain == 0 {
+		c.AttrsPerDomain = 25
+	}
+	if c.RefsPerDomain == 0 {
+		c.RefsPerDomain = 2
+	}
+	if c.DerivedShare == 0 {
+		c.DerivedShare = 0.07
+	}
+	if c.SluggishShare == 0 {
+		c.SluggishShare = 0.06
+	}
+	if c.ChurnerShare == 0 {
+		c.ChurnerShare = 0.32
+	}
+	if c.RotatingShare == 0 {
+		c.RotatingShare = 0.10
+	}
+	if c.StickyShare == 0 {
+		c.StickyShare = 0.15
+	}
+	if c.SemiStickyShare == 0 {
+		c.SemiStickyShare = 0.2
+	}
+	if c.MeanDelay == 0 {
+		c.MeanDelay = 3
+	}
+	if c.ErrorRate == 0 {
+		c.ErrorRate = 0.04
+	}
+	if c.RenameRate == 0 {
+		c.RenameRate = 0.004
+	}
+	if c.CommonShare == 0 {
+		c.CommonShare = 0.15
+	}
+	if c.DeadShare == 0 {
+		c.DeadShare = 0.25
+	}
+}
+
+// Corpus is a generated dataset plus its ground truth.
+type Corpus struct {
+	Dataset *history.Dataset
+	Truth   *Truth
+	Config  Config
+}
+
+// domain is one entity universe during generation.
+type domain struct {
+	id       int
+	entities []entity
+}
+
+// entity is one domain member with its announcement day.
+type entity struct {
+	name string
+	born timeline.Time
+	// renamedTo, if non-empty, replaces name in reference columns from
+	// renameAt on (derived columns keep the stale name — the long-lived
+	// inconsistency the paper describes).
+	renamedTo string
+	renameAt  timeline.Time
+}
+
+// attrPlan is the generation plan for one attribute before materializing
+// its version history.
+type attrPlan struct {
+	kind     Kind
+	domainID int
+	parent   int // plan index of the linked ancestor; -1 for none
+	meta     history.Meta
+}
+
+// Generate builds a corpus.
+func Generate(cfg Config) (*Corpus, error) {
+	cfg.fillDefaults()
+	if cfg.Attributes < cfg.RefsPerDomain+1 {
+		return nil, fmt.Errorf("datagen: need at least %d attributes", cfg.RefsPerDomain+1)
+	}
+	if cfg.DerivedShare+cfg.SluggishShare+cfg.ChurnerShare+cfg.RotatingShare > 1 {
+		return nil, fmt.Errorf("datagen: kind shares exceed 1")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := &generator{cfg: cfg, rng: rng, ds: history.NewDataset(cfg.Horizon)}
+	g.buildDomains()
+	g.planAttributes()
+	if err := g.materialize(); err != nil {
+		return nil, err
+	}
+	return &Corpus{Dataset: g.ds, Truth: g.truth, Config: cfg}, nil
+}
+
+type generator struct {
+	cfg     Config
+	rng     *rand.Rand
+	ds      *history.Dataset
+	domains []*domain
+	common  []string // shared cross-domain vocabulary
+	plans   []attrPlan
+	truth   *Truth
+}
+
+// buildDomains creates the entity pools. Entities are announced over the
+// whole horizon so reference columns keep growing, which keeps genuine
+// links "alive" (frequent correlated changes).
+func (g *generator) buildDomains() {
+	nDomains := (g.cfg.Attributes + g.cfg.AttrsPerDomain - 1) / g.cfg.AttrsPerDomain
+	if nDomains == 0 {
+		nDomains = 1
+	}
+	// Shared vocabulary: names that appear in several domains.
+	nCommon := 40 + g.cfg.Attributes/20
+	for i := 0; i < nCommon; i++ {
+		g.common = append(g.common, fmt.Sprintf("Common %d", i))
+	}
+	for d := 0; d < nDomains; d++ {
+		dom := &domain{id: d}
+		// Domain sizes vary widely: references of small domains change
+		// rarely and populate the low-change RHS buckets of Table 2.
+		size := 15 + g.rng.Intn(105)
+		for e := 0; e < size; e++ {
+			var name string
+			if g.rng.Float64() < g.cfg.CommonShare {
+				name = g.common[g.rng.Intn(len(g.common))]
+			} else {
+				name = fmt.Sprintf("D%d Entity %d", d, e)
+			}
+			// A core of entities exists from day 0; the rest appear over
+			// time (the "new game announced" dynamics of Section 3.3).
+			var born timeline.Time
+			if e >= size/3 {
+				born = timeline.Time(g.rng.Intn(int(g.cfg.Horizon)))
+			}
+			ent := entity{name: name, born: born}
+			// Permanent renames: applied in references at some later day.
+			if g.rng.Float64() < g.cfg.RenameRate {
+				ent.renamedTo = name + " (renamed)"
+				at := int(ent.born) + 30 + g.rng.Intn(200)
+				ent.renameAt = timeline.Time(at)
+			}
+			dom.entities = append(dom.entities, ent)
+		}
+		sort.Slice(dom.entities, func(i, j int) bool { return dom.entities[i].born < dom.entities[j].born })
+		g.domains = append(g.domains, dom)
+	}
+}
+
+// planAttributes decides kind, domain, linkage and provenance of every
+// attribute.
+func (g *generator) planAttributes() {
+	perDomain := g.cfg.AttrsPerDomain
+	for i := 0; i < g.cfg.Attributes; i++ {
+		d := i / perDomain
+		if d >= len(g.domains) {
+			d = len(g.domains) - 1
+		}
+		slot := i % perDomain
+		plan := attrPlan{domainID: d, parent: -1}
+		switch {
+		case slot < g.cfg.RefsPerDomain:
+			plan.kind = Reference
+			plan.meta = history.Meta{
+				Page:   fmt.Sprintf("List of D%d entities (%d)", d, slot),
+				Table:  "T1",
+				Column: "Name",
+			}
+		default:
+			r := g.rng.Float64()
+			switch {
+			case r < g.cfg.DerivedShare:
+				plan.kind = Derived
+			case r < g.cfg.DerivedShare+g.cfg.SluggishShare:
+				plan.kind = SluggishDerived
+			case r < g.cfg.DerivedShare+g.cfg.SluggishShare+g.cfg.ChurnerShare:
+				plan.kind = Churner
+			case r < g.cfg.DerivedShare+g.cfg.SluggishShare+g.cfg.ChurnerShare+g.cfg.RotatingShare:
+				plan.kind = Rotating
+			default:
+				plan.kind = RandomStatic
+			}
+			plan.meta = history.Meta{
+				Page:   fmt.Sprintf("D%d %s page %d", d, plan.kind, slot),
+				Table:  "T1",
+				Column: "Entities",
+			}
+			if plan.kind == Derived || plan.kind == SluggishDerived {
+				// Link to a reference or, often, to an earlier derived
+				// attribute of the same domain (chains of genuine INDs;
+				// chains give Table 2 its medium-change RHS buckets).
+				base := (i / perDomain) * perDomain
+				if g.rng.Float64() < 0.5 {
+					for attempt := 0; attempt < 4; attempt++ {
+						cand := base + g.cfg.RefsPerDomain + g.rng.Intn(slot-g.cfg.RefsPerDomain+1)
+						if cand < i && cand < len(g.plans)+1 && cand != i {
+							if k := g.plans[cand].kind; k == Derived || k == SluggishDerived {
+								plan.parent = cand
+								break
+							}
+						}
+					}
+				}
+				if plan.parent == -1 {
+					plan.parent = base + g.rng.Intn(g.cfg.RefsPerDomain)
+				}
+			}
+		}
+		g.plans = append(g.plans, plan)
+	}
+	g.truth = newTruth(g.plans, g.cfg.RefsPerDomain, g.cfg.AttrsPerDomain)
+}

@@ -1,0 +1,467 @@
+package datagen
+
+import (
+	"sort"
+
+	"tind/internal/history"
+	"tind/internal/timeline"
+	"tind/internal/values"
+)
+
+// universalCount is how many shared-vocabulary names are "universal":
+// present in every domain from day 0 (like country names or years in real
+// Wikipedia tables). They are the glue that lets unrelated columns contain
+// each other coincidentally.
+const universalCount = 30
+
+// event mutates an attribute's value set at a given day.
+type event struct {
+	day    timeline.Time
+	add    []string
+	remove []string
+}
+
+// attrSim holds the simulation state of one materialized attribute.
+type attrSim struct {
+	events []event
+	end    timeline.Time
+	// insertDay maps a domain entity index to the day this attribute
+	// picked the entity up; used by children of derived attributes.
+	insertDay map[int]timeline.Time
+	members   []int // entity indices this attribute intends to contain
+}
+
+// universals returns the universal names (a prefix of the common pool).
+func (g *generator) universals() []string {
+	n := universalCount
+	if n > len(g.common) {
+		n = len(g.common)
+	}
+	return g.common[:n]
+}
+
+// bridgedDelay draws a propagation delay guaranteed to be bridged by the
+// paper's default δ = 7: zero on the same day about half the time,
+// otherwise one to six days.
+func (g *generator) bridgedDelay() timeline.Time {
+	if g.rng.Float64() < 0.5 {
+		return 0
+	}
+	return timeline.Time(1 + g.rng.Intn(6))
+}
+
+// geom draws a geometric-ish delay with the given mean (≥ 0 days).
+func (g *generator) geom(mean float64) timeline.Time {
+	if mean <= 0 {
+		return 0
+	}
+	d := 0
+	p := 1 / (mean + 1)
+	for g.rng.Float64() > p {
+		d++
+		if d > 10*int(mean+1) {
+			break
+		}
+	}
+	return timeline.Time(d)
+}
+
+// materialize turns every plan into a version history and registers it
+// with the dataset, in plan order so that AttrIDs line up with the oracle.
+func (g *generator) materialize() error {
+	sims := make([]*attrSim, len(g.plans))
+	for i, plan := range g.plans {
+		var sim *attrSim
+		switch plan.kind {
+		case Reference:
+			sim = g.simReference(plan)
+		case Derived, SluggishDerived:
+			sim = g.simDerived(i, plan, sims[plan.parent])
+		case Churner:
+			sim = g.simChurner(plan, false)
+		case RandomStatic:
+			sim = g.simChurner(plan, true)
+		case Rotating:
+			sim = g.simRotating(plan)
+		}
+		g.addErrors(sim, plan)
+		g.maybeKill(sim, plan.kind)
+		sims[i] = sim
+		h, err := foldEvents(plan.meta, sim.events, sim.end, g.ds.Dict())
+		if err != nil {
+			return err
+		}
+		if _, err := g.ds.Add(h); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// simReference simulates a complete, well-maintained entity list: every
+// entity is added shortly after its announcement; renames are applied.
+func (g *generator) simReference(plan attrPlan) *attrSim {
+	dom := g.domains[plan.domainID]
+	sim := &attrSim{end: g.cfg.Horizon, insertDay: make(map[int]timeline.Time)}
+	for ei, e := range dom.entities {
+		day := e.born
+		if day > 0 {
+			// References are well maintained: the delay always stays
+			// within the default δ, so two references of the same domain
+			// are mutually δ-contained.
+			day += g.bridgedDelay()
+		}
+		if day >= g.cfg.Horizon {
+			continue
+		}
+		sim.insertDay[ei] = day
+		sim.members = append(sim.members, ei)
+		sim.events = append(sim.events, event{day: day, add: []string{e.name}})
+		if e.renamedTo != "" {
+			at := e.renameAt + g.bridgedDelay()
+			if at > day && at < g.cfg.Horizon {
+				sim.events = append(sim.events, event{day: at, add: []string{e.renamedTo}, remove: []string{e.name}})
+			}
+		}
+	}
+	// Universal names are part of every reference from day 0.
+	sim.events = append(sim.events, event{day: 0, add: append([]string(nil), g.universals()...)})
+	return sim
+}
+
+// simDerived simulates a semantic-subset column: it adopts a fraction of
+// its parent's members, each with a propagation delay; occasionally it
+// leads the parent (the temporal-shift scenario of §3.3), and it keeps
+// stale names after renames (the issue the paper leaves open).
+func (g *generator) simDerived(planIdx int, plan attrPlan, parent *attrSim) *attrSim {
+	dom := g.domains[plan.domainID]
+	sim := &attrSim{end: g.cfg.Horizon, insertDay: make(map[int]timeline.Time)}
+	sluggish := plan.kind == SluggishDerived
+
+	// A wide membership spread yields change counts across all of
+	// Table 2's buckets, from near-static subsets to busy ones.
+	theta := 0.06 + g.rng.Float64()*0.54
+	var want int
+	if sluggish {
+		want = 5 + g.rng.Intn(5)
+	}
+	// Candidate members come from the parent's member list, so chains of
+	// derived columns stay semantically nested. A core of early members
+	// exists from the start so no column is ever empty (the paper's
+	// corpus filters require a median cardinality of five anyway).
+	cands := parent.members
+	core := 4 + g.rng.Intn(3)
+	if sluggish {
+		core = 3
+		want -= core
+	}
+	// Scan candidates from a random offset so sibling columns do not all
+	// share an identical core.
+	offset := 0
+	if len(cands) > 0 {
+		offset = g.rng.Intn(len(cands))
+	}
+	for s := 0; s < len(cands) && core > 0; s++ {
+		ei := cands[(offset+s)%len(cands)]
+		day := parent.insertDay[ei]
+		if day > 100 {
+			continue
+		}
+		sim.insertDay[ei] = day
+		sim.members = append(sim.members, ei)
+		sim.events = append(sim.events, event{day: day, add: []string{dom.entities[ei].name}})
+		core--
+	}
+	picked := 0
+	for _, ei := range cands {
+		if _, done := sim.insertDay[ei]; done {
+			continue
+		}
+		if sluggish {
+			if picked >= want {
+				break
+			}
+			if g.rng.Float64() > float64(want)/float64(len(cands)+1) {
+				continue
+			}
+		} else if g.rng.Float64() > theta {
+			continue
+		}
+		picked++
+		parentDay := parent.insertDay[ei]
+		var day timeline.Time
+		if sluggish {
+			// Poorly maintained columns: long delays that often exceed
+			// the default δ, so most sluggish links need a large ε or are
+			// missed by tIND discovery (recall < 1, as in the paper).
+			day = parentDay + g.geom(g.cfg.MeanDelay*3)
+		} else {
+			switch r := g.rng.Float64(); {
+			case r < 0.90:
+				// Normal propagation: bridged by the default δ.
+				day = parentDay + g.bridgedDelay()
+			case r < 0.97:
+				// The derived table learns of the entity first (the
+				// Pokémon scenario of §3.3); still within δ.
+				lead := timeline.Time(1 + g.rng.Intn(6))
+				if parentDay >= lead {
+					day = parentDay - lead
+				}
+			default:
+				// Late update beyond δ: spends ε budget or breaks the
+				// link, producing the relaxation-sensitive tail.
+				day = parentDay + 8 + g.geom(6)
+			}
+		}
+		if day >= g.cfg.Horizon {
+			continue
+		}
+		sim.insertDay[ei] = day
+		sim.members = append(sim.members, ei)
+		sim.events = append(sim.events, event{day: day, add: []string{dom.entities[ei].name}})
+		// Occasional member removal (does not violate any IND).
+		if !sluggish && g.rng.Float64() < 0.15 {
+			span := int(g.cfg.Horizon - day)
+			if span > 40 {
+				rm := day + 30 + timeline.Time(g.rng.Intn(span-30))
+				sim.events = append(sim.events, event{day: rm, remove: []string{dom.entities[ei].name}})
+			}
+		}
+	}
+	return sim
+}
+
+// simChurner simulates a column with no coherent semantic type: each
+// version is drawn fresh from a themed vocabulary (home domain, a random
+// domain, or the universal names). static=true yields few changes and
+// small sets (the RandomStatic kind), otherwise many changes.
+func (g *generator) simChurner(plan attrPlan, static bool) *attrSim {
+	sim := &attrSim{end: g.cfg.Horizon}
+	var nChanges, setLo, setHi int
+	if static {
+		nChanges = 4 + g.rng.Intn(5)
+		setLo, setHi = 5, 9
+	} else {
+		nChanges = 16 + g.rng.Intn(30)
+		setLo, setHi = 6, 15
+	}
+	days := make([]timeline.Time, 0, nChanges+1)
+	days = append(days, 0)
+	for i := 0; i < nChanges; i++ {
+		days = append(days, timeline.Time(g.rng.Intn(int(g.cfg.Horizon))))
+	}
+	sort.Slice(days, func(i, j int) bool { return days[i] < days[j] })
+
+	// Stickiness spectrum: fully sticky columns yield spurious tINDs,
+	// semi-sticky ones yield containments that only pass under generous ε
+	// (one foreign excursion lasts until the next change), drifting ones
+	// only coincide at single snapshots.
+	mode := driftingMode
+	switch r := g.rng.Float64(); {
+	case r < g.cfg.StickyShare:
+		mode = stickyMode
+	case r < g.cfg.StickyShare+g.cfg.SemiStickyShare:
+		mode = semiStickyMode
+	}
+	var prev []string
+	for vi, day := range days {
+		size := setLo + g.rng.Intn(setHi-setLo+1)
+		themeDom := plan.domainID
+		sticky := mode == stickyMode
+		switch mode {
+		case semiStickyMode:
+			sticky = true
+			if g.rng.Float64() < 0.12 && vi > 0 {
+				// Foreign excursion: violated until the next change.
+				themeDom = g.neighborDomain(plan.domainID)
+				sticky = false
+			}
+		case driftingMode:
+			if g.rng.Float64() < 0.55 {
+				themeDom = g.neighborDomain(plan.domainID)
+			}
+		}
+		cur := g.drawThemed(themeDom, day, size, sticky)
+		sim.events = append(sim.events, event{day: day, add: cur, remove: prev})
+		prev = cur
+	}
+	return sim
+}
+
+// churner stickiness modes.
+const (
+	driftingMode = iota
+	semiStickyMode
+	stickyMode
+)
+
+// simRotating simulates a column cycling through contiguous chunks of
+// (mostly) its home domain pool, with occasional foreign chunks mixed in.
+// Over the full history it covers the entire home pool, so the
+// required-values matrix M_T cannot prune it as a right-hand side for
+// same-domain queries — yet at any single time it holds only a chunk, so
+// only the time-slice indices or exact validation eliminate it
+// (Section 4.2.2). The foreign chunks keep it out of every reference, so
+// it creates no inclusion dependencies of its own.
+func (g *generator) simRotating(plan attrPlan) *attrSim {
+	sim := &attrSim{end: g.cfg.Horizon}
+	nChanges := 18 + g.rng.Intn(20)
+	step := int(g.cfg.Horizon) / (nChanges + 1)
+	if step == 0 {
+		step = 1
+	}
+	home := g.domains[plan.domainID]
+	chunk := len(home.entities)/5 + 2
+	pos := g.rng.Intn(len(home.entities))
+	var prev []string
+	for c := 0; c <= nChanges; c++ {
+		day := timeline.Time(c * step)
+		dom := home
+		if g.rng.Float64() < 0.2 {
+			dom = g.domains[g.neighborDomain(plan.domainID)]
+		}
+		// Entities announced by this day.
+		live := sort.Search(len(dom.entities), func(i int) bool { return dom.entities[i].born > day })
+		if live == 0 {
+			continue
+		}
+		cur := make([]string, 0, chunk)
+		for i := 0; i < chunk; i++ {
+			cur = append(cur, dom.entities[(pos+i)%live].name)
+		}
+		if dom == home {
+			pos += chunk / 2 // advance the window, overlapping halves
+		}
+		sim.events = append(sim.events, event{day: day, add: cur, remove: prev})
+		prev = cur
+	}
+	return sim
+}
+
+// neighborDomain picks a domain near the home domain, modelling topically
+// related pages sharing vocabulary.
+func (g *generator) neighborDomain(home int) int {
+	if len(g.domains) == 1 {
+		return home
+	}
+	n := len(g.domains)
+	for {
+		d := home + g.rng.Intn(7) - 3
+		d = ((d % n) + n) % n
+		if d != home {
+			return d
+		}
+	}
+}
+
+// drawThemed draws a fresh value set for a churner version: entities of
+// the theme domain already announced by the day, mixed with universal
+// names. Sticky columns only pick long-established entities so that their
+// sets are (δ-)contained in the theme domain's references across time —
+// the spurious-tIND source.
+func (g *generator) drawThemed(domID int, day timeline.Time, size int, sticky bool) []string {
+	uni := g.universals()
+	dom := g.domains[domID]
+	// Entities already announced by this day (born sorted ascending).
+	live := sort.Search(len(dom.entities), func(i int) bool { return dom.entities[i].born > day })
+	if sticky {
+		// Only entities announced at least 30 days ago: their reference
+		// insertions are certainly complete.
+		live = sort.Search(len(dom.entities), func(i int) bool { return dom.entities[i].born > day-30 })
+	}
+	out := make([]string, 0, size)
+	for i := 0; i < size; i++ {
+		if g.rng.Float64() < 0.25 || live == 0 {
+			out = append(out, uni[g.rng.Intn(len(uni))])
+		} else {
+			e := dom.entities[g.rng.Intn(live)]
+			if sticky && e.renamedTo != "" && day >= e.renameAt {
+				// Sticky columns follow renames so containment survives.
+				out = append(out, e.renamedTo)
+			} else {
+				out = append(out, e.name)
+			}
+		}
+	}
+	return out
+}
+
+// addErrors injects short-lived erroneous updates: a foreign value appears
+// for one to three days before being reverted — the data-quality issue the
+// ε relaxation absorbs.
+func (g *generator) addErrors(sim *attrSim, plan attrPlan) {
+	perDay := g.cfg.ErrorRate / 100
+	// Frequently edited pages attract proportionally more bad edits.
+	if plan.kind == Rotating || plan.kind == Churner {
+		perDay *= 3
+	}
+	expected := perDay * float64(g.cfg.Horizon)
+	n := 0
+	for f := expected; f >= 1 || (f > 0 && g.rng.Float64() < f); f-- {
+		n++
+	}
+	for i := 0; i < n; i++ {
+		day := timeline.Time(g.rng.Intn(int(g.cfg.Horizon)))
+		foreignDom := g.domains[g.rng.Intn(len(g.domains))]
+		val := foreignDom.entities[g.rng.Intn(len(foreignDom.entities))].name + " (err)"
+		dur := timeline.Time(1 + g.rng.Intn(2))
+		sim.events = append(sim.events, event{day: day, add: []string{val}})
+		sim.events = append(sim.events, event{day: day + dur, remove: []string{val}})
+	}
+}
+
+// maybeKill truncates the attribute's observation period, modelling table
+// deletions (the paper's attributes exist for 5.6 of 16 years on average).
+func (g *generator) maybeKill(sim *attrSim, kind Kind) {
+	if g.rng.Float64() >= g.cfg.DeadShare {
+		return
+	}
+	// Keep at least a third of the horizon so filters would retain it.
+	min := int(g.cfg.Horizon) / 3
+	sim.end = timeline.Time(min + g.rng.Intn(int(g.cfg.Horizon)-min))
+}
+
+// foldEvents applies an attribute's events in day order and records one
+// observation per day with activity, yielding the daily-granular history.
+// Days before the observation window clamp to 0; events at or after the
+// attribute's end still mutate state but are never observed.
+func foldEvents(meta history.Meta, evs []event, end timeline.Time, dict *values.Dictionary) (*history.History, error) {
+	sorted := append([]event(nil), evs...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].day < sorted[j].day })
+
+	b := history.NewBuilder(meta)
+	current := make(map[string]int) // multiset: a value may be added twice
+	i := 0
+	for i < len(sorted) {
+		day := sorted[i].day
+		for i < len(sorted) && sorted[i].day == day {
+			for _, v := range sorted[i].remove {
+				if current[v] > 1 {
+					current[v]--
+				} else {
+					delete(current, v)
+				}
+			}
+			for _, v := range sorted[i].add {
+				current[v]++
+			}
+			i++
+		}
+		if day >= end {
+			continue
+		}
+		if day < 0 {
+			day = 0
+		}
+		out := make([]string, 0, len(current))
+		for v := range current {
+			out = append(out, v)
+		}
+		sort.Strings(out)
+		b.Observe(day, dict.InternAll(out))
+	}
+	if b.Len() == 0 {
+		b.Observe(0, nil)
+	}
+	return b.Build(end)
+}

@@ -1,0 +1,99 @@
+package datagen
+
+import (
+	"tind/internal/history"
+)
+
+// Truth is the generator-side oracle: it labels every attribute pair as
+// genuine or spurious, standing in for the paper's 900 manual annotations.
+//
+// The paper's annotation criterion (§5.5): an IND is genuine if it "should
+// hold if the respective tables were complete and both columns have the
+// same semantic type". In generator terms a directed pair A ⊆ B is genuine
+// iff A and B belong to the same entity domain and B's intended contents
+// are a semantic superset of A's:
+//
+//   - B is a reference column of A's domain (references are complete), or
+//   - B is an ancestor of A in the derived-from chain, or
+//   - A and B are both reference columns of the same domain.
+//
+// Churner, RandomStatic and Rotating columns have no coherent semantic
+// type (they mix domains), so no pair involving them is genuine.
+type Truth struct {
+	kinds   []Kind
+	domains []int
+	parents []int
+	refs    int // references per domain
+	perDom  int // attributes per domain
+}
+
+func newTruth(plans []attrPlan, refsPerDomain, attrsPerDomain int) *Truth {
+	t := &Truth{refs: refsPerDomain, perDom: attrsPerDomain}
+	for _, p := range plans {
+		t.kinds = append(t.kinds, p.kind)
+		t.domains = append(t.domains, p.domainID)
+		t.parents = append(t.parents, p.parent)
+	}
+	return t
+}
+
+// Len returns the number of labelled attributes.
+func (t *Truth) Len() int { return len(t.kinds) }
+
+// Kind returns the generated kind of an attribute.
+func (t *Truth) Kind(id history.AttrID) Kind { return t.kinds[id] }
+
+// Domain returns the entity domain of an attribute.
+func (t *Truth) Domain(id history.AttrID) int { return t.domains[id] }
+
+// Parent returns the attribute this one was derived from, or -1.
+func (t *Truth) Parent(id history.AttrID) history.AttrID {
+	return history.AttrID(t.parents[id])
+}
+
+// Genuine reports whether the directed inclusion lhs ⊆ rhs is a genuine
+// IND under the oracle.
+func (t *Truth) Genuine(lhs, rhs history.AttrID) bool {
+	if lhs == rhs {
+		return false
+	}
+	if t.domains[lhs] != t.domains[rhs] {
+		return false
+	}
+	lk, rk := t.kinds[lhs], t.kinds[rhs]
+	if lk == Churner || lk == RandomStatic || rk == Churner || rk == RandomStatic ||
+		lk == Rotating || rk == Rotating {
+		return false
+	}
+	// Both references of the same domain: complete lists of the same
+	// entities, mutually included.
+	if lk == Reference && rk == Reference {
+		return true
+	}
+	// Anything derived is contained in its domain's references.
+	if rk == Reference {
+		return true
+	}
+	// A reference is never fully contained in a (proper) subset column.
+	if lk == Reference {
+		return false
+	}
+	// Derived ⊆ ancestor chains.
+	for p := t.parents[lhs]; p >= 0; p = t.parents[p] {
+		if history.AttrID(p) == rhs {
+			return true
+		}
+	}
+	return false
+}
+
+// GenuineCount counts the genuine pairs among the given discovered pairs.
+func (t *Truth) GenuineCount(pairs [][2]history.AttrID) int {
+	n := 0
+	for _, p := range pairs {
+		if t.Genuine(p[0], p[1]) {
+			n++
+		}
+	}
+	return n
+}

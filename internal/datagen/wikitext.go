@@ -1,0 +1,84 @@
+package datagen
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"tind/internal/history"
+	"tind/internal/timeline"
+	"tind/internal/wiki"
+)
+
+// EmitRevisions renders a corpus as a stream of wikitext page revisions,
+// so the full extraction pipeline (wiki parser → table/column matching →
+// preprocessing) can be exercised end-to-end on data with known ground
+// truth. Each attribute becomes the "Name" column of a two-column
+// wikitable; the companion "No." column is numeric and exists to be
+// removed by the preprocessing's mostly-numeric filter. A third of the
+// cell values are rendered as [[links]], exercising link resolution.
+//
+// One revision is emitted per page per day on which any of its attributes
+// changed; a page whose attributes are all dead emits a final revision
+// without the vanished tables.
+func EmitRevisions(c *Corpus, start time.Time) []wiki.Revision {
+	pages := make(map[string][]*history.History)
+	for _, h := range c.Dataset.Attrs() {
+		pages[h.Meta().Page] = append(pages[h.Meta().Page], h)
+	}
+	names := make([]string, 0, len(pages))
+	for p := range pages {
+		names = append(names, p)
+	}
+	sort.Strings(names)
+
+	var revs []wiki.Revision
+	var revID int64
+	for _, page := range names {
+		attrs := pages[page]
+		// Change days of the page: any attribute's version start or death.
+		daySet := make(map[timeline.Time]bool)
+		for _, h := range attrs {
+			for _, t := range h.ChangeTimes() {
+				daySet[t] = true
+			}
+			if h.ObservedUntil() < c.Dataset.Horizon() {
+				daySet[h.ObservedUntil()] = true
+			}
+		}
+		days := make([]timeline.Time, 0, len(daySet))
+		for d := range daySet {
+			days = append(days, d)
+		}
+		sort.Slice(days, func(i, j int) bool { return days[i] < days[j] })
+
+		for _, day := range days {
+			var b strings.Builder
+			fmt.Fprintf(&b, "Page about %s.\n\n", page)
+			for ti, h := range attrs {
+				vals := h.At(day)
+				if day < h.ObservedFrom() || day >= h.ObservedUntil() {
+					continue // table does not exist (yet / anymore)
+				}
+				fmt.Fprintf(&b, "{| class=\"wikitable\"\n|+ Table %d\n! No. !! Name\n", ti+1)
+				for i, v := range vals {
+					s := c.Dataset.Dict().String(v)
+					if i%3 == 0 {
+						s = "[[" + s + "]]"
+					}
+					fmt.Fprintf(&b, "|-\n| %d || %s\n", i+1, s)
+				}
+				b.WriteString("|}\n\n")
+			}
+			revID++
+			revs = append(revs, wiki.Revision{
+				Page:      page,
+				ID:        revID,
+				Timestamp: start.Add(time.Duration(day)*timeline.Day + 10*time.Hour),
+				Wikitext:  b.String(),
+			})
+		}
+	}
+	return revs
+}

@@ -1,0 +1,120 @@
+package datagen
+
+import (
+	"testing"
+	"time"
+
+	"tind/internal/core"
+	"tind/internal/history"
+	"tind/internal/preprocess"
+	"tind/internal/timeline"
+	"tind/internal/wiki"
+)
+
+// TestEndToEndPipeline drives the whole substrate chain: generate a corpus
+// with ground truth, render it to wikitext revisions, re-extract attribute
+// histories through the parser and matcher, run the preprocessing pipeline
+// and verify that the planted inclusion structure survives the round trip.
+func TestEndToEndPipeline(t *testing.T) {
+	cfg := Config{Seed: 21, Attributes: 40, Horizon: 400, AttrsPerDomain: 20}
+	c, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Date(2006, 3, 1, 0, 0, 0, 0, time.UTC)
+	revs := EmitRevisions(c, start)
+	if len(revs) == 0 {
+		t.Fatal("no revisions emitted")
+	}
+
+	ex := wiki.NewExtractor()
+	for _, r := range revs {
+		if err := ex.Process(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recs := ex.Records()
+	// Two columns per attribute table were rendered (No. + Name).
+	if len(recs) < c.Dataset.Len() {
+		t.Fatalf("extracted %d records for %d attributes", len(recs), c.Dataset.Len())
+	}
+
+	ds, rep, err := preprocess.Run(recs, preprocess.Config{
+		Start: start, End: start.AddDate(0, 0, int(cfg.Horizon)),
+		MinVersions: 2, MinMedianCardinality: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The numeric "No." columns must have been filtered out.
+	if rep.DroppedNumeric < c.Dataset.Len()/2 {
+		t.Fatalf("numeric companion columns not filtered: %+v", rep)
+	}
+	if ds.Len() < c.Dataset.Len()*2/3 {
+		t.Fatalf("too few attributes survived the round trip: %d of %d (%+v)",
+			ds.Len(), c.Dataset.Len(), rep)
+	}
+
+	// Find a genuine derived→reference pair in the original corpus and
+	// verify it still holds as a relaxed tIND after the round trip.
+	var lhsPage, rhsPage string
+	for lhs := history.AttrID(0); int(lhs) < c.Dataset.Len() && lhsPage == ""; lhs++ {
+		if c.Truth.Kind(lhs) != Derived {
+			continue
+		}
+		rhs := c.Truth.Parent(lhs)
+		if rhs < 0 || c.Truth.Kind(rhs) != Reference {
+			continue
+		}
+		p := core.Params{Epsilon: 3, Delta: 7, Weight: timeline.Uniform(c.Dataset.Horizon())}
+		if core.Holds(c.Dataset.Attr(lhs), c.Dataset.Attr(rhs), p) {
+			lhsPage = c.Dataset.Attr(lhs).Meta().Page
+			rhsPage = c.Dataset.Attr(rhs).Meta().Page
+		}
+	}
+	if lhsPage == "" {
+		t.Skip("no valid genuine pair in this corpus seed")
+	}
+	var lh, rh *history.History
+	for _, h := range ds.Attrs() {
+		if h.Meta().Page == lhsPage {
+			lh = h
+		}
+		if h.Meta().Page == rhsPage {
+			rh = h
+		}
+	}
+	if lh == nil || rh == nil {
+		t.Fatalf("round-trip lost the pair's attributes (%q, %q)", lhsPage, rhsPage)
+	}
+	p := core.Params{Epsilon: 3, Delta: 7, Weight: timeline.Uniform(ds.Horizon())}
+	if !core.Holds(lh, rh, p) {
+		t.Errorf("genuine pair %q ⊆ %q no longer holds after the wikitext round trip (violation %.1f)",
+			lhsPage, rhsPage, core.ViolationWeight(lh, rh, p))
+	}
+}
+
+func TestEmitRevisionsShape(t *testing.T) {
+	c, err := Generate(Config{Seed: 2, Attributes: 10, Horizon: 200, AttrsPerDomain: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Date(2006, 3, 1, 0, 0, 0, 0, time.UTC)
+	revs := EmitRevisions(c, start)
+	// Revisions must be chronological per page and parseable.
+	last := make(map[string]time.Time)
+	for _, r := range revs {
+		if r.Timestamp.Before(last[r.Page]) {
+			t.Fatal("revisions out of order within a page")
+		}
+		last[r.Page] = r.Timestamp
+		if len(wiki.ParseTables(r.Wikitext)) == 0 && !r.Timestamp.After(start.AddDate(0, 0, 100)) {
+			// Early revisions should have at least one table unless all
+			// attributes of the page start later.
+			continue
+		}
+	}
+	if len(last) == 0 {
+		t.Fatal("no pages emitted")
+	}
+}

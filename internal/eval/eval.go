@@ -1,0 +1,296 @@
+// Package eval implements the genuineness evaluation of Section 5.5: it
+// samples static INDs from the latest snapshot into change-count buckets
+// (Table 2), labels them against the generator oracle (substituting for
+// the paper's 900 manual annotations) and measures the precision/recall of
+// every tIND variant over the labelled set (Figure 15).
+package eval
+
+import (
+	"math/rand"
+	"sort"
+
+	"tind/internal/bloom"
+	"tind/internal/core"
+	"tind/internal/datagen"
+	"tind/internal/history"
+	"tind/internal/many"
+	"tind/internal/timeline"
+)
+
+// NumBuckets is the number of change-count buckets per side.
+const NumBuckets = 3
+
+// BucketIndex maps a change count to its Table 2 bucket: 0 for [4,8),
+// 1 for [8,16), 2 for [16,∞). Attributes with fewer than 4 changes return
+// -1 (the paper's preprocessing guarantees at least 4).
+func BucketIndex(changes int) int {
+	switch {
+	case changes < 4:
+		return -1
+	case changes < 8:
+		return 0
+	case changes < 16:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// BucketLabel renders a bucket index in the paper's interval notation.
+func BucketLabel(i int) string {
+	switch i {
+	case 0:
+		return "[4,8)"
+	case 1:
+		return "[8,16)"
+	case 2:
+		return "[16,∞)"
+	default:
+		return "?"
+	}
+}
+
+// LabeledPair is one annotated static IND.
+type LabeledPair struct {
+	LHS, RHS history.AttrID
+	Genuine  bool
+	// LBucket and RBucket are the change-count buckets of the two sides.
+	LBucket, RBucket int
+}
+
+// SampleLabeled discovers all static INDs at the snapshot, groups them by
+// the change-count buckets of both sides and samples up to perBucket INDs
+// from each of the nine buckets — the construction of the paper's labelled
+// set ("we manually annotated a sample of 100 INDs per bucket").
+func SampleLabeled(ds *history.Dataset, truth *datagen.Truth, snap timeline.Time,
+	perBucket int, seed int64) ([]LabeledPair, error) {
+	static, err := many.NewStatic(ds, snap, defaultBloom())
+	if err != nil {
+		return nil, err
+	}
+	byBucket := make(map[[2]int][]LabeledPair)
+	for _, p := range static.AllPairs() {
+		lb := BucketIndex(ds.Attr(p.LHS).NumChanges())
+		rb := BucketIndex(ds.Attr(p.RHS).NumChanges())
+		if lb < 0 || rb < 0 {
+			continue
+		}
+		byBucket[[2]int{lb, rb}] = append(byBucket[[2]int{lb, rb}], LabeledPair{
+			LHS: p.LHS, RHS: p.RHS,
+			Genuine: truth.Genuine(p.LHS, p.RHS),
+			LBucket: lb, RBucket: rb,
+		})
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var out []LabeledPair
+	keys := make([][2]int, 0, len(byBucket))
+	for k := range byBucket {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		return keys[i][0] < keys[j][0] || (keys[i][0] == keys[j][0] && keys[i][1] < keys[j][1])
+	})
+	for _, k := range keys {
+		pairs := byBucket[k]
+		rng.Shuffle(len(pairs), func(i, j int) { pairs[i], pairs[j] = pairs[j], pairs[i] })
+		n := perBucket
+		if n > len(pairs) {
+			n = len(pairs)
+		}
+		out = append(out, pairs[:n]...)
+	}
+	return out, nil
+}
+
+// BucketCell is one cell of Table 2.
+type BucketCell struct {
+	Total int
+	TP    int
+}
+
+// TPShare returns the true-positive percentage of the cell (0 when empty).
+func (c BucketCell) TPShare() float64 {
+	if c.Total == 0 {
+		return 0
+	}
+	return 100 * float64(c.TP) / float64(c.Total)
+}
+
+// Table2 aggregates a labelled sample into the paper's 3×3 bucket grid:
+// cell [i][j] covers INDs whose LHS falls in bucket i and RHS in bucket j.
+func Table2(labeled []LabeledPair) [NumBuckets][NumBuckets]BucketCell {
+	var out [NumBuckets][NumBuckets]BucketCell
+	for _, p := range labeled {
+		c := &out[p.LBucket][p.RBucket]
+		c.Total++
+		if p.Genuine {
+			c.TP++
+		}
+	}
+	return out
+}
+
+// PRPoint is one evaluated parametrization: which share of the predicted
+// INDs are genuine (precision) and which share of the genuine INDs were
+// predicted (recall), micro-averaged over the labelled set.
+type PRPoint struct {
+	Variant   string
+	Params    core.Params
+	Precision float64
+	Recall    float64
+	Predicted int
+}
+
+// EvaluateParams validates every labelled pair under the given relaxation
+// and returns its PR point. Variant is a free-form label for grouping.
+func EvaluateParams(ds *history.Dataset, labeled []LabeledPair, variant string, p core.Params) PRPoint {
+	var predicted, tp, genuine int
+	for _, lp := range labeled {
+		if lp.Genuine {
+			genuine++
+		}
+		if core.Holds(ds.Attr(lp.LHS), ds.Attr(lp.RHS), p) {
+			predicted++
+			if lp.Genuine {
+				tp++
+			}
+		}
+	}
+	pt := PRPoint{Variant: variant, Params: p, Predicted: predicted}
+	if predicted > 0 {
+		pt.Precision = float64(tp) / float64(predicted)
+	}
+	if genuine > 0 {
+		pt.Recall = float64(tp) / float64(genuine)
+	}
+	return pt
+}
+
+// StaticBaseline returns the PR point of plain static IND discovery over
+// the labelled set: it predicts everything (the set was sampled from the
+// static INDs), so recall is 1 and precision is the genuine share.
+func StaticBaseline(labeled []LabeledPair) PRPoint {
+	var genuine int
+	for _, lp := range labeled {
+		if lp.Genuine {
+			genuine++
+		}
+	}
+	pt := PRPoint{Variant: "static", Predicted: len(labeled), Recall: 1}
+	if len(labeled) > 0 {
+		pt.Precision = float64(genuine) / float64(len(labeled))
+	}
+	return pt
+}
+
+// Grid is the parameter grid of the Figure 15 evaluation.
+type Grid struct {
+	// EpsilonDays are violation budgets in days (uniform weighting).
+	EpsilonDays []float64
+	// Deltas are shift tolerances in days.
+	Deltas []timeline.Time
+	// Alphas are exponential-decay bases for the weighted variant. For a
+	// decay base a, ε is re-expressed in "recent-day equivalents": the
+	// grid value e becomes the summed weight of the most recent e days.
+	Alphas []float64
+}
+
+// DefaultGrid mirrors the parameter ranges of the paper's experiments
+// (ε up to 39 days, δ up to 365 days).
+func DefaultGrid() Grid {
+	return Grid{
+		EpsilonDays: []float64{0, 1, 3, 7, 15, 39},
+		Deltas:      []timeline.Time{0, 1, 7, 31, 365},
+		Alphas:      []float64{0.999, 0.9995, 0.9999},
+	}
+}
+
+// GridSearch evaluates the four tIND variants of Figure 15 over the grid:
+// strict, ε-relaxed (δ=0, uniform), (ε,δ)-relaxed (uniform) and the full
+// (w,ε,δ)-relaxed form with exponential decay. Points are labelled by
+// variant for per-variant frontier extraction.
+func GridSearch(ds *history.Dataset, labeled []LabeledPair, g Grid) []PRPoint {
+	n := ds.Horizon()
+	uniform := timeline.Uniform(n)
+	var out []PRPoint
+
+	out = append(out, EvaluateParams(ds, labeled, "strict", core.Strict(n)))
+	for _, e := range g.EpsilonDays {
+		out = append(out, EvaluateParams(ds, labeled, "eps",
+			core.Params{Epsilon: e, Delta: 0, Weight: uniform}))
+	}
+	for _, e := range g.EpsilonDays {
+		for _, d := range g.Deltas {
+			out = append(out, EvaluateParams(ds, labeled, "eps-delta",
+				core.Params{Epsilon: e, Delta: d, Weight: uniform}))
+		}
+	}
+	for _, a := range g.Alphas {
+		w, err := timeline.NewExponentialDecay(n, a)
+		if err != nil {
+			continue
+		}
+		for _, e := range g.EpsilonDays {
+			// Re-express ε as the summed weight of the most recent e days,
+			// so the absolute threshold is comparable across bases.
+			eps := w.Sum(timeline.NewInterval(n-timeline.Time(e), n))
+			for _, d := range g.Deltas {
+				out = append(out, EvaluateParams(ds, labeled, "w-eps-delta",
+					core.Params{Epsilon: eps, Delta: d, Weight: w}))
+			}
+		}
+	}
+	return out
+}
+
+// ParetoFront filters points of one variant to the precision/recall
+// frontier, sorted by increasing recall — the curve plotted in Figure 15.
+func ParetoFront(points []PRPoint, variant string) []PRPoint {
+	var v []PRPoint
+	for _, p := range points {
+		if p.Variant == variant {
+			v = append(v, p)
+		}
+	}
+	sort.Slice(v, func(i, j int) bool {
+		if v[i].Recall != v[j].Recall {
+			return v[i].Recall > v[j].Recall
+		}
+		return v[i].Precision > v[j].Precision
+	})
+	var front []PRPoint
+	best := -1.0
+	for _, p := range v {
+		if p.Precision > best {
+			front = append(front, p)
+			best = p.Precision
+		}
+	}
+	// Reverse to increasing recall.
+	for i, j := 0, len(front)-1; i < j; i, j = i+1, j-1 {
+		front[i], front[j] = front[j], front[i]
+	}
+	return front
+}
+
+// MaxRecallAtPrecision returns the highest recall any point of the variant
+// achieves at or above the given precision — the paper's model-selection
+// criterion ("highest recall for a fixed precision of 50%").
+func MaxRecallAtPrecision(points []PRPoint, variant string, minPrecision float64) (PRPoint, bool) {
+	var best PRPoint
+	found := false
+	for _, p := range points {
+		if p.Variant != variant || p.Precision < minPrecision {
+			continue
+		}
+		if !found || p.Recall > best.Recall {
+			best = p
+			found = true
+		}
+	}
+	return best, found
+}
+
+// defaultBloom is the filter shape used for the internal static-IND
+// discovery pass that assembles the labelled sample.
+func defaultBloom() bloom.Params { return bloom.Params{M: 1024, K: 2} }

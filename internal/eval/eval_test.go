@@ -1,0 +1,186 @@
+package eval
+
+import (
+	"testing"
+
+	"tind/internal/core"
+	"tind/internal/datagen"
+	"tind/internal/timeline"
+)
+
+func corpus(t testing.TB, seed int64, attrs int) *datagen.Corpus {
+	t.Helper()
+	c, err := datagen.Generate(datagen.Config{Seed: seed, Attributes: attrs, Horizon: 800, AttrsPerDomain: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestBucketIndex(t *testing.T) {
+	cases := []struct{ changes, want int }{
+		{0, -1}, {3, -1}, {4, 0}, {7, 0}, {8, 1}, {15, 1}, {16, 2}, {1000, 2},
+	}
+	for _, c := range cases {
+		if got := BucketIndex(c.changes); got != c.want {
+			t.Errorf("BucketIndex(%d) = %d, want %d", c.changes, got, c.want)
+		}
+	}
+	for i := 0; i < NumBuckets; i++ {
+		if BucketLabel(i) == "?" {
+			t.Errorf("bucket %d unlabeled", i)
+		}
+	}
+	if BucketLabel(-1) != "?" {
+		t.Error("invalid bucket must render as ?")
+	}
+}
+
+func TestSampleLabeled(t *testing.T) {
+	c := corpus(t, 5, 150)
+	labeled, err := SampleLabeled(c.Dataset, c.Truth, c.Dataset.Horizon()-1, 20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(labeled) == 0 {
+		t.Fatal("no labelled pairs sampled")
+	}
+	perBucket := make(map[[2]int]int)
+	for _, lp := range labeled {
+		if lp.LBucket < 0 || lp.LBucket >= NumBuckets || lp.RBucket < 0 || lp.RBucket >= NumBuckets {
+			t.Fatalf("bucket out of range: %+v", lp)
+		}
+		perBucket[[2]int{lp.LBucket, lp.RBucket}]++
+		// Every sampled pair must be a real static IND.
+		snap := c.Dataset.Horizon() - 1
+		if !core.StaticIND(c.Dataset.Attr(lp.LHS), c.Dataset.Attr(lp.RHS), snap) {
+			t.Fatalf("sampled pair is not a static IND: %+v", lp)
+		}
+		if lp.Genuine != c.Truth.Genuine(lp.LHS, lp.RHS) {
+			t.Fatal("label does not match oracle")
+		}
+	}
+	for k, n := range perBucket {
+		if n > 20 {
+			t.Fatalf("bucket %v oversampled: %d", k, n)
+		}
+	}
+}
+
+func TestSampleLabeledDeterministic(t *testing.T) {
+	c := corpus(t, 5, 100)
+	a, err := SampleLabeled(c.Dataset, c.Truth, c.Dataset.Horizon()-1, 10, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SampleLabeled(c.Dataset, c.Truth, c.Dataset.Horizon()-1, 10, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatal("same seed must give same sample size")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must give identical samples")
+		}
+	}
+}
+
+func TestTable2Aggregation(t *testing.T) {
+	labeled := []LabeledPair{
+		{LBucket: 0, RBucket: 0, Genuine: true},
+		{LBucket: 0, RBucket: 0, Genuine: false},
+		{LBucket: 2, RBucket: 1, Genuine: true},
+	}
+	tbl := Table2(labeled)
+	if tbl[0][0].Total != 2 || tbl[0][0].TP != 1 {
+		t.Fatalf("cell[0][0] = %+v", tbl[0][0])
+	}
+	if got := tbl[0][0].TPShare(); got != 50 {
+		t.Fatalf("TPShare = %g", got)
+	}
+	if tbl[2][1].Total != 1 || tbl[2][1].TP != 1 {
+		t.Fatalf("cell[2][1] = %+v", tbl[2][1])
+	}
+	if tbl[1][1].TPShare() != 0 {
+		t.Fatal("empty cell TPShare must be 0")
+	}
+}
+
+func TestEvaluateParamsAndBaseline(t *testing.T) {
+	c := corpus(t, 9, 150)
+	ds := c.Dataset
+	labeled, err := SampleLabeled(ds, c.Truth, ds.Horizon()-1, 30, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := StaticBaseline(labeled)
+	if base.Recall != 1 {
+		t.Fatal("static baseline recall must be 1 over its own sample")
+	}
+	relaxed := EvaluateParams(ds, labeled, "eps-delta",
+		core.Params{Epsilon: 3, Delta: 7, Weight: timeline.Uniform(ds.Horizon())})
+	if relaxed.Predicted == 0 {
+		t.Fatal("relaxed variant predicted nothing")
+	}
+	if relaxed.Precision <= base.Precision {
+		t.Errorf("relaxed precision %.3f must beat static %.3f", relaxed.Precision, base.Precision)
+	}
+	strict := EvaluateParams(ds, labeled, "strict", core.Strict(ds.Horizon()))
+	if strict.Recall >= relaxed.Recall {
+		t.Errorf("strict recall %.3f must be below relaxed %.3f", strict.Recall, relaxed.Recall)
+	}
+}
+
+func TestGridSearchAndFrontier(t *testing.T) {
+	c := corpus(t, 11, 120)
+	ds := c.Dataset
+	labeled, err := SampleLabeled(ds, c.Truth, ds.Horizon()-1, 15, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid := Grid{
+		EpsilonDays: []float64{0, 3, 15},
+		Deltas:      []timeline.Time{0, 7},
+		Alphas:      []float64{0.999},
+	}
+	points := GridSearch(ds, labeled, grid)
+	wantPoints := 1 + 3 + 3*2 + 1*3*2
+	if len(points) != wantPoints {
+		t.Fatalf("grid produced %d points, want %d", len(points), wantPoints)
+	}
+	for _, variant := range []string{"eps", "eps-delta", "w-eps-delta"} {
+		front := ParetoFront(points, variant)
+		if len(front) == 0 {
+			t.Fatalf("empty frontier for %s", variant)
+		}
+		for i := 1; i < len(front); i++ {
+			if front[i].Recall < front[i-1].Recall || front[i].Precision > front[i-1].Precision {
+				t.Fatalf("%s frontier not monotone: %+v", variant, front)
+			}
+		}
+	}
+}
+
+func TestMaxRecallAtPrecision(t *testing.T) {
+	points := []PRPoint{
+		{Variant: "x", Precision: 0.6, Recall: 0.2},
+		{Variant: "x", Precision: 0.55, Recall: 0.5},
+		{Variant: "x", Precision: 0.3, Recall: 0.9},
+		{Variant: "y", Precision: 0.9, Recall: 0.95},
+	}
+	best, ok := MaxRecallAtPrecision(points, "x", 0.5)
+	if !ok || best.Recall != 0.5 {
+		t.Fatalf("best = %+v ok=%v", best, ok)
+	}
+	if _, ok := MaxRecallAtPrecision(points, "x", 0.95); ok {
+		t.Fatal("no point reaches 0.95 precision")
+	}
+}
+
+func TestParetoFrontEmptyVariant(t *testing.T) {
+	if ParetoFront(nil, "none") != nil {
+		t.Fatal("empty input must give empty frontier")
+	}
+}

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"io"
+
+	"tind/internal/core"
+	"tind/internal/index"
+	"tind/internal/stats"
+)
+
+// Ablation isolates the contribution of the index's two pruning stages
+// (DESIGN.md's design-choice ablation): required-values matrix M_T only,
+// time slices only, both (the paper's design), and neither (exhaustive
+// validation). All four configurations return identical, exact results;
+// they differ in how many candidates reach validation and in query time.
+func Ablation(cfg Config, w io.Writer) error {
+	cfg.fillDefaults()
+	header(w, "ablation", "pruning-stage ablation (mean per query)")
+	c, err := corpus(cfg)
+	if err != nil {
+		return err
+	}
+	ds := c.Dataset
+	p := core.DefaultDays(ds.Horizon())
+	queries := sampleQueries(ds, cfg.Queries, cfg.Seed)
+
+	configs := []struct {
+		name      string
+		slices    int
+		disableMT bool
+	}{
+		{"M_T + slices (paper)", 16, false},
+		{"M_T only", 0, false},
+		{"slices only", 16, true},
+		{"no pruning", 0, true},
+	}
+	tbl := newTable(w, "configuration", "initial cand", "after slices", "validated", "mean ms")
+	for _, conf := range configs {
+		opt := searchOptions(ds.Horizon(), cfg.Seed)
+		opt.Slices = conf.slices
+		opt.DisableRequiredValues = conf.disableMT
+		idx, err := index.Build(ds, opt)
+		if err != nil {
+			return err
+		}
+		var initial, after, validated float64
+		lat := &stats.Sample{}
+		for _, q := range queries {
+			res, err := idx.Search(q, p)
+			if err != nil {
+				return err
+			}
+			initial += float64(res.Stats.InitialCandidates)
+			after += float64(res.Stats.AfterSlices)
+			validated += float64(res.Stats.Validated)
+			lat.AddDuration(res.Stats.Elapsed)
+		}
+		n := float64(len(queries))
+		tbl.row(conf.name, initial/n, after/n, validated/n, lat.Mean())
+	}
+	tbl.flush()
+	return nil
+}

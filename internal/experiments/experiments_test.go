@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tiny is a configuration small enough for the full experiment suite to
+// run in CI time.
+func tiny() Config {
+	return Config{Attrs: 200, Horizon: 400, Queries: 40, Seed: 1, Workers: 4}
+}
+
+func TestRegistry(t *testing.T) {
+	all := All()
+	if len(all) != 12 {
+		t.Fatalf("registry has %d experiments, want 12", len(all))
+	}
+	ids := map[string]bool{}
+	for _, e := range all {
+		if e.ID == "" || e.Title == "" || e.Run == nil {
+			t.Fatalf("incomplete experiment %+v", e)
+		}
+		if ids[e.ID] {
+			t.Fatalf("duplicate id %s", e.ID)
+		}
+		ids[e.ID] = true
+		if got, ok := Get(e.ID); !ok || got.ID != e.ID {
+			t.Fatalf("Get(%s) failed", e.ID)
+		}
+	}
+	if _, ok := Get("nope"); ok {
+		t.Fatal("Get must miss unknown ids")
+	}
+}
+
+// TestAllExperimentsRun smoke-tests every experiment end to end at tiny
+// scale and sanity-checks the emitted reports.
+func TestAllExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment suite skipped in -short mode")
+	}
+	expect := map[string][]string{
+		"fig7":     {"k-MANY", "search (r)", "OOM"},
+		"fig8":     {"tINDs found"},
+		"fig9":     {"mean ms"},
+		"fig10":    {"index ε"},
+		"fig11":    {"index δ"},
+		"fig12":    {"reverse", "8192"},
+		"fig13":    {"weighted-random", "16"},
+		"fig14":    {"weighted-random"},
+		"fig15":    {"strict tINDs", "eps-delta frontier", "w-eps-delta frontier"},
+		"table2":   {"[4,8) ⊆ [4,8)", "[16,∞) ⊆ [16,∞)", "overall static precision"},
+		"allpairs": {"static INDs that are invalid tINDs", "tINDs not discovered statically"},
+		"ablation": {"M_T + slices (paper)", "no pruning"},
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := e.Run(tiny(), &buf); err != nil {
+				t.Fatalf("%s failed: %v", e.ID, err)
+			}
+			out := buf.String()
+			if len(out) < 40 {
+				t.Fatalf("%s produced no meaningful output:\n%s", e.ID, out)
+			}
+			for _, want := range expect[e.ID] {
+				if !strings.Contains(out, want) {
+					t.Errorf("%s output missing %q:\n%s", e.ID, want, out)
+				}
+			}
+		})
+	}
+}
+
+func TestCorpusCached(t *testing.T) {
+	cfg := tiny()
+	a, err := corpus(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := corpus(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("same config must return the cached corpus")
+	}
+	cfg.Seed++
+	c, err := corpus(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c == a {
+		t.Fatal("different seed must generate a fresh corpus")
+	}
+}
+
+func TestKmanyMemoryBudgetShape(t *testing.T) {
+	full := 1000
+	budget := kmanyMemoryBudget(full)
+	perAttr := int64(16*4096/64*8 + 8)
+	if budget >= perAttr*int64(full) {
+		t.Fatal("full size must exceed the budget")
+	}
+	if budget <= perAttr*int64(full)/2 {
+		t.Fatal("half size must fit the budget")
+	}
+}

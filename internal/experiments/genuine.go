@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"tind/internal/eval"
+)
+
+// labeledSample assembles the §5.5 labelled IND set for the experiment
+// corpus: static INDs of the latest snapshot, bucket-sampled at up to 100
+// per change-count bucket and labelled by the generator oracle.
+func labeledSample(cfg Config) ([]eval.LabeledPair, error) {
+	c, err := corpus(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return eval.SampleLabeled(c.Dataset, c.Truth, c.Dataset.Horizon()-1, 100, cfg.Seed+5)
+}
+
+// Table2 reproduces Table 2: the share of genuine INDs (TP%) among static
+// INDs, bucketed by the number of changes of the left- and right-hand
+// sides.
+func Table2(cfg Config, w io.Writer) error {
+	cfg.fillDefaults()
+	header(w, "table2", "TP share of labelled static INDs per change bucket")
+	labeled, err := labeledSample(cfg)
+	if err != nil {
+		return err
+	}
+	grid := eval.Table2(labeled)
+	tbl := newTable(w, "bucket (LHS ⊆ RHS)", "labelled", "TP", "TP %")
+	for i := 0; i < eval.NumBuckets; i++ {
+		for j := 0; j < eval.NumBuckets; j++ {
+			c := grid[i][j]
+			tbl.row(
+				fmt.Sprintf("%s ⊆ %s", eval.BucketLabel(i), eval.BucketLabel(j)),
+				c.Total, c.TP, c.TPShare(),
+			)
+		}
+	}
+	tbl.flush()
+	var total, tp int
+	for _, lp := range labeled {
+		total++
+		if lp.Genuine {
+			tp++
+		}
+	}
+	fmt.Fprintf(w, "overall static precision over the labelled set: %.1f%% (%d of %d)\n",
+		pct(tp, total), tp, total)
+	return nil
+}
+
+// Fig15 reproduces Figure 15: micro-averaged precision/recall of every
+// tIND variant over the labelled set, via a grid search over ε, δ and the
+// decay base α, plus the static and strict baselines.
+func Fig15(cfg Config, w io.Writer) error {
+	cfg.fillDefaults()
+	header(w, "fig15", "precision/recall of tIND variants over the labelled set")
+	c, err := corpus(cfg)
+	if err != nil {
+		return err
+	}
+	labeled, err := labeledSample(cfg)
+	if err != nil {
+		return err
+	}
+	ds := c.Dataset
+
+	base := eval.StaticBaseline(labeled)
+	fmt.Fprintf(w, "static INDs (latest snapshot): precision %.3f at recall %.3f\n",
+		base.Precision, base.Recall)
+
+	points := eval.GridSearch(ds, labeled, eval.DefaultGrid())
+	for _, p := range points {
+		if p.Variant == "strict" {
+			fmt.Fprintf(w, "strict tINDs: precision %.3f at recall %.3f (%d predicted)\n",
+				p.Precision, p.Recall, p.Predicted)
+		}
+	}
+
+	for _, variant := range []string{"eps", "eps-delta", "w-eps-delta"} {
+		fmt.Fprintf(w, "\n%s frontier (recall → precision):\n", variant)
+		tbl := newTable(w, "recall", "precision", "ε", "δ", "w")
+		for _, p := range eval.ParetoFront(points, variant) {
+			tbl.row(fmt.Sprintf("%.3f", p.Recall), fmt.Sprintf("%.3f", p.Precision),
+				fmt.Sprintf("%.3g", p.Params.Epsilon), int(p.Params.Delta),
+				fmt.Sprint(p.Params.Weight))
+		}
+		tbl.flush()
+		if best, ok := eval.MaxRecallAtPrecision(points, variant, 0.5); ok {
+			fmt.Fprintf(w, "best recall at precision ≥ 50%%: %.3f (ε=%.3g δ=%d w=%v)\n",
+				best.Recall, best.Params.Epsilon, best.Params.Delta, best.Params.Weight)
+		} else {
+			fmt.Fprintf(w, "no parametrization reaches 50%% precision\n")
+		}
+	}
+	return nil
+}

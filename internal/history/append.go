@@ -1,0 +1,60 @@
+package history
+
+import (
+	"fmt"
+
+	"tind/internal/timeline"
+	"tind/internal/values"
+)
+
+// This file implements append-only evolution of histories and datasets:
+// new observation days arrive at the end of the timeline, as on a live
+// wiki. The tIND index supports incremental refresh on top of these
+// appends (index.Refresh), in the spirit of the incremental IND
+// maintenance of Shaabani et al. discussed in the paper's related work.
+//
+// Appends must not run concurrently with readers of the same history;
+// callers serialize updates against queries.
+
+// Append records that the attribute changed to vals at timestamp start,
+// extending its observation window to newEnd. The previous last version
+// implicitly stays valid until start. start must lie at or after the
+// current observation end (time only moves forward) and before newEnd.
+func (h *History) Append(start timeline.Time, vals values.Set, newEnd timeline.Time) error {
+	if start < h.end {
+		return fmt.Errorf("history %s: append at %d before current end %d", h.meta, start, h.end)
+	}
+	if newEnd <= start {
+		return fmt.Errorf("history %s: new end %d not after appended start %d", h.meta, newEnd, start)
+	}
+	if h.versions[len(h.versions)-1].Values.Equal(vals) {
+		// No-op change: just extend the window.
+		h.end = newEnd
+		return nil
+	}
+	h.versions = append(h.versions, Version{Start: start, Values: vals})
+	h.end = newEnd
+	h.all = h.all.Union(vals)
+	return nil
+}
+
+// ExtendObservation prolongs the observation window without a change: the
+// last version stays valid until newEnd.
+func (h *History) ExtendObservation(newEnd timeline.Time) error {
+	if newEnd < h.end {
+		return fmt.Errorf("history %s: cannot shrink observation end %d to %d", h.meta, h.end, newEnd)
+	}
+	h.end = newEnd
+	return nil
+}
+
+// ExtendHorizon grows the dataset's observation period. Attribute
+// histories keep their individual ends; extend them explicitly where the
+// attribute is known to persist.
+func (d *Dataset) ExtendHorizon(newHorizon timeline.Time) error {
+	if newHorizon < d.horizon {
+		return fmt.Errorf("history: cannot shrink horizon %d to %d", d.horizon, newHorizon)
+	}
+	d.horizon = newHorizon
+	return nil
+}

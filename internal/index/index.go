@@ -1,0 +1,272 @@
+package index
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tind/internal/bitmatrix"
+	"tind/internal/bloom"
+	"tind/internal/core"
+	"tind/internal/history"
+	"tind/internal/timeline"
+)
+
+// Options configures index construction.
+type Options struct {
+	// Bloom is the shape of all Bloom filters/matrices. The paper's best
+	// settings are m=4096 for search and m=512 for reverse search
+	// (Section 5.4); m=1024..2048 is a good compromise when one index
+	// serves both directions.
+	Bloom bloom.Params
+	// Slices is k, the number of time-slice indices. Best settings per
+	// the paper: 16 for search, 2 for reverse.
+	Slices int
+	// Strategy selects slice intervals (Random or WeightedRandom).
+	Strategy SliceStrategy
+	// Params are the relaxation parameters the index is optimized for.
+	// Delta is a hard upper bound for query deltas (Section 4.4); Epsilon
+	// and Weight determine slice lengths, and — for reverse search — the
+	// required-values matrix M_R, whose ε is a hard upper bound for
+	// reverse query epsilons.
+	Params core.Params
+	// Reverse additionally builds the structures for reverse tIND search
+	// (M_R and per-slice minimum violation weights).
+	Reverse bool
+	// ReverseSlices caps how many slice indices reverse queries consult.
+	// The paper finds that more than 2 slices slow reverse search down
+	// (Figure 14). 0 means 2.
+	ReverseSlices int
+	// Seed drives the random slice selection.
+	Seed int64
+	// DisableRequiredValues skips the M_T pruning step during search.
+	// Searches remain exact (slice pruning and validation still run);
+	// the option exists for the ablation experiment that isolates the
+	// contribution of each pruning stage.
+	DisableRequiredValues bool
+	// ValidationWorkers bounds the goroutines used to validate candidates
+	// of a single query. 0 means GOMAXPROCS. All-pairs discovery sets it
+	// to 1 and parallelizes across queries instead (Section 4.2.2).
+	ValidationWorkers int
+}
+
+// DefaultOptions returns the paper's best configuration for forward tIND
+// search on a dataset with the given horizon.
+func DefaultOptions(n timeline.Time) Options {
+	return Options{
+		Bloom:    bloom.Params{M: 4096, K: 2},
+		Slices:   16,
+		Strategy: Random,
+		Params:   core.DefaultDays(n),
+	}
+}
+
+// DefaultReverseOptions returns the paper's best configuration for reverse
+// tIND search: m=512, k=2, weighted-random slices.
+func DefaultReverseOptions(n timeline.Time) Options {
+	return Options{
+		Bloom:         bloom.Params{M: 512, K: 2},
+		Slices:        2,
+		Strategy:      WeightedRandom,
+		Params:        core.DefaultDays(n),
+		Reverse:       true,
+		ReverseSlices: 2,
+	}
+}
+
+// timeSlice is one indexed interval I with its Bloom matrix over A[I^δ].
+type timeSlice struct {
+	iv     timeline.Interval // the indexed interval I
+	matrix *bitmatrix.Matrix // columns: Bloom(A[I^δ])
+	// minVio[a] is, for reverse search, the minimum violation weight
+	// attributable to a detected violation of attribute a in this slice:
+	// the smallest summed weight among the validity sub-intervals of a's
+	// versions within I^δ (Section 4.5, Figure 6). Built only for
+	// reverse-enabled indices.
+	minVio []float64
+}
+
+// Index is the chained index structure of Section 4.2: M_T followed by the
+// time-slice matrices, optionally extended for reverse search. It is
+// immutable after Build and safe for concurrent queries.
+type Index struct {
+	ds           *history.Dataset
+	opt          Options
+	mT           *bitmatrix.Matrix // columns: Bloom(A[T])
+	slices       []timeSlice
+	mR           *bitmatrix.Matrix // columns: Bloom(R_{ε,w}(A)); reverse only
+	buildElapsed time.Duration
+	// dirty marks attributes whose histories changed after Build
+	// (index.Refresh): their slice-matrix entries are stale, so slice
+	// pruning must never eliminate them. They still pass through M_T
+	// pruning and exact validation, keeping results exact.
+	dirty *bitmatrix.Vec
+}
+
+// BuildStats reports what Build produced.
+type BuildStats struct {
+	Attributes  int
+	Slices      int
+	SliceSpans  []timeline.Interval
+	MemoryBytes int64
+	Elapsed     time.Duration
+}
+
+// Build constructs the index over a dataset.
+func Build(ds *history.Dataset, opt Options) (*Index, error) {
+	start := time.Now()
+	if err := opt.Bloom.Validate(); err != nil {
+		return nil, err
+	}
+	if opt.Params.Weight == nil {
+		opt.Params = core.DefaultDays(ds.Horizon())
+	}
+	if err := opt.Params.Validate(); err != nil {
+		return nil, err
+	}
+	if opt.Params.Weight.Horizon() != ds.Horizon() {
+		return nil, fmt.Errorf("index: weight horizon %d does not match dataset horizon %d",
+			opt.Params.Weight.Horizon(), ds.Horizon())
+	}
+	if opt.ReverseSlices == 0 {
+		opt.ReverseSlices = 2
+	}
+
+	idx := &Index{ds: ds, opt: opt}
+	n := ds.Len()
+
+	// Filter construction (value-set unions + hashing) dominates build
+	// time and is embarrassingly parallel per attribute; writing the
+	// columns into the shared row vectors happens serially afterwards
+	// (adjacent columns share words, so concurrent SetColumn would race).
+	fillMatrix := func(filter func(h *history.History) *bloom.Filter) *bitmatrix.Matrix {
+		m := bitmatrix.NewMatrix(opt.Bloom, n)
+		filters := parallelFilters(ds, filter)
+		for i, f := range filters {
+			m.SetColumn(i, f)
+		}
+		return m
+	}
+
+	// M_T over the full value sets. Constructible without knowing any of
+	// the three query parameters (Section 4.2.1).
+	idx.mT = fillMatrix(func(h *history.History) *bloom.Filter {
+		return bloom.FromSet(opt.Bloom, h.AllValues())
+	})
+
+	// Time-slice matrices over A[I^δ], built with the maximum δ queries
+	// may use (Section 4.4). Only reverse-capable indices need the
+	// stronger δ-expanded disjointness of the slice intervals (§4.5).
+	rng := rand.New(rand.NewSource(opt.Seed))
+	disjointDelta := timeline.Time(0)
+	if opt.Reverse {
+		disjointDelta = opt.Params.Delta
+	}
+	ivs := selectSlices(ds, opt.Params.Weight, opt.Params.Epsilon, disjointDelta,
+		opt.Slices, opt.Strategy, rng)
+	for _, iv := range ivs {
+		expanded := iv.Expand(opt.Params.Delta)
+		ts := timeSlice{iv: iv, matrix: fillMatrix(func(h *history.History) *bloom.Filter {
+			return bloom.FromSet(opt.Bloom, h.Union(expanded))
+		})}
+		if opt.Reverse {
+			ts.minVio = minViolationWeights(ds, expanded, opt.Params.Weight)
+		}
+		idx.slices = append(idx.slices, ts)
+	}
+
+	// M_R over required values, for reverse search (Section 4.5). Its ε
+	// and w must be the maximum/assumed query parameters.
+	if opt.Reverse {
+		idx.mR = fillMatrix(func(h *history.History) *bloom.Filter {
+			req := core.RequiredValues(h, opt.Params.Epsilon, opt.Params.Weight)
+			return bloom.FromSet(opt.Bloom, req)
+		})
+	}
+	idx.buildElapsed = time.Since(start)
+	return idx, nil
+}
+
+// parallelFilters computes one Bloom filter per attribute concurrently.
+func parallelFilters(ds *history.Dataset, filter func(h *history.History) *bloom.Filter) []*bloom.Filter {
+	n := ds.Len()
+	out := make([]*bloom.Filter, n)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i, h := range ds.Attrs() {
+			out[i] = filter(h)
+		}
+		return out
+	}
+	var next int64 = -1
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n {
+					return
+				}
+				out[i] = filter(ds.Attr(history.AttrID(i)))
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// minViolationWeights computes, per attribute, the minimum violation
+// weight a reverse query may safely account for a violation detected in
+// the expanded slice interval: the Bloom filter cannot reveal which
+// version of A violated, so only the cheapest version sub-interval within
+// I^δ is guaranteed (Section 4.5).
+func minViolationWeights(ds *history.Dataset, expanded timeline.Interval, w timeline.WeightFunc) []float64 {
+	out := make([]float64, ds.Len())
+	for i, h := range ds.Attrs() {
+		min := -1.0
+		for v := 0; v < h.NumVersions(); v++ {
+			overlap := h.Validity(v).Intersect(expanded)
+			if overlap.IsEmpty() {
+				continue
+			}
+			ws := w.Sum(overlap)
+			if min < 0 || ws < min {
+				min = ws
+			}
+		}
+		if min < 0 {
+			min = 0 // attribute unobservable in the slice: nothing provable
+		}
+		out[i] = min
+	}
+	return out
+}
+
+// Stats summarizes the built index.
+func (x *Index) Stats() BuildStats {
+	s := BuildStats{Attributes: x.ds.Len(), Slices: len(x.slices)}
+	s.MemoryBytes = x.mT.MemoryBytes()
+	for _, ts := range x.slices {
+		s.SliceSpans = append(s.SliceSpans, ts.iv)
+		s.MemoryBytes += ts.matrix.MemoryBytes()
+	}
+	if x.mR != nil {
+		s.MemoryBytes += x.mR.MemoryBytes()
+	}
+	s.Elapsed = x.buildElapsed
+	return s
+}
+
+// Dataset returns the indexed dataset.
+func (x *Index) Dataset() *history.Dataset { return x.ds }
+
+// Options returns the options the index was built with.
+func (x *Index) Options() Options { return x.opt }

@@ -1,0 +1,107 @@
+package index
+
+import (
+	"testing"
+
+	"tind/internal/bloom"
+	"tind/internal/core"
+	"tind/internal/history"
+	"tind/internal/timeline"
+	"tind/internal/values"
+)
+
+// TestSlicePruningBeatsRequiredValues constructs the adversarial case the
+// time-slice indices exist for (Section 4.2.2): right-hand sides whose
+// full history covers all of the query's values — so M_T cannot prune
+// them — but which never hold the values at the right time. The slice
+// phase must eliminate them before validation.
+func TestSlicePruningBeatsRequiredValues(t *testing.T) {
+	const horizon = timeline.Time(300)
+	ds := history.NewDataset(horizon)
+
+	// Query: constant {0..9} for the whole period.
+	qb := history.NewBuilder(history.Meta{Page: "query"})
+	qvals := make([]values.Value, 10)
+	for i := range qvals {
+		qvals[i] = values.Value(i)
+	}
+	qb.Observe(0, values.NewSet(qvals...))
+	q, err := qb.Build(horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ds.Add(q); err != nil {
+		t.Fatal(err)
+	}
+
+	// One genuine superset.
+	gb := history.NewBuilder(history.Meta{Page: "genuine"})
+	all := make([]values.Value, 20)
+	for i := range all {
+		all[i] = values.Value(i)
+	}
+	gb.Observe(0, values.NewSet(all...))
+	gh, err := gb.Build(horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds.Add(gh)
+
+	// Many rotating decoys: each holds one of the query's values at a
+	// time, rotating every 10 days — full coverage of {0..9} over the
+	// history, never containment at any timestamp.
+	for d := 0; d < 40; d++ {
+		rb := history.NewBuilder(history.Meta{Page: "rotator", Column: string(rune('a' + d%26))})
+		for c := 0; c < 30; c++ {
+			rb.Observe(timeline.Time(c*10), values.NewSet(values.Value((c+d)%10)))
+		}
+		rh, err := rb.Build(horizon)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ds.Add(rh)
+	}
+
+	p := core.Params{Epsilon: 3, Delta: 7, Weight: timeline.Uniform(horizon)}
+	withSlices, err := Build(ds, Options{
+		Bloom: bloom.Params{M: 1024, K: 2}, Slices: 8, Params: p, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := withSlices.Search(q, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.IDs) != 1 || res.IDs[0] != gh.ID() {
+		t.Fatalf("results = %v, want only the genuine superset", res.IDs)
+	}
+	// M_T keeps all 40 decoys (they cover the query's values over time);
+	// the slices must prune the bulk of them.
+	if res.Stats.InitialCandidates < 41 {
+		t.Fatalf("decoys unexpectedly pruned by M_T: initial=%d", res.Stats.InitialCandidates)
+	}
+	if res.Stats.AfterSlices > res.Stats.InitialCandidates/2 {
+		t.Fatalf("slice pruning ineffective: %d → %d",
+			res.Stats.InitialCandidates, res.Stats.AfterSlices)
+	}
+
+	// Without slices the same query must validate everything M_T keeps.
+	noSlices, err := Build(ds, Options{
+		Bloom: bloom.Params{M: 1024, K: 2}, Slices: 0, Params: p, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := noSlices.Search(q, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.IDs) != 1 || res2.IDs[0] != gh.ID() {
+		t.Fatalf("sliceless results = %v", res2.IDs)
+	}
+	if res2.Stats.Validated <= res.Stats.Validated {
+		t.Fatalf("slices must reduce validation load: %d (with) vs %d (without)",
+			res.Stats.Validated, res2.Stats.Validated)
+	}
+}

@@ -1,0 +1,70 @@
+package index
+
+import (
+	"fmt"
+
+	"tind/internal/bitmatrix"
+	"tind/internal/bloom"
+	"tind/internal/core"
+	"tind/internal/history"
+	"tind/internal/timeline"
+)
+
+// Refresh incorporates appended history data (history.Append /
+// ExtendObservation on attributes of the indexed dataset) into the index
+// without a rebuild — incremental maintenance in the spirit of the
+// related work by Shaabani et al., adapted to the temporal index:
+//
+//   - M_T columns gain the bits of each changed attribute's new values;
+//     bits are only ever added, which keeps superset pruning sound.
+//   - The time-slice matrices are stale for changed attributes (an
+//     extension can back-fill days a slice covers, e.g. when a dead
+//     attribute resumes), so refreshed attributes are marked dirty and
+//     permanently exempted from slice pruning. M_T pruning and exact
+//     validation still apply to them, so results stay exact; rebuild
+//     periodically to regain full pruning.
+//   - The reverse required-values matrix M_R gains the bits of each
+//     changed attribute's refreshed required-value set. Under a constant
+//     index weighting, required values only grow with appended time, so
+//     the stale bits remain a subset of the fresh set and reverse pruning
+//     stays sound.
+//
+// The constant-weighting argument above is why Refresh requires the index
+// to have been built with a timeline.Constant weight function; rebuild
+// for decaying weights (whose per-day weights shift with the horizon).
+//
+// newHorizon must match the dataset's (already extended) horizon. Refresh
+// must not run concurrently with queries.
+func (x *Index) Refresh(changed []history.AttrID, newHorizon timeline.Time) error {
+	c, ok := x.opt.Params.Weight.(timeline.Constant)
+	if !ok {
+		return fmt.Errorf("index: Refresh requires a constant index weighting (have %v); rebuild instead",
+			x.opt.Params.Weight)
+	}
+	if newHorizon < c.N {
+		return fmt.Errorf("index: horizon cannot shrink (%d to %d)", c.N, newHorizon)
+	}
+	if got := x.ds.Horizon(); got != newHorizon {
+		return fmt.Errorf("index: dataset horizon %d does not match newHorizon %d", got, newHorizon)
+	}
+	x.opt.Params.Weight = timeline.Constant{N: newHorizon, C: c.C}
+	if x.dirty == nil {
+		x.dirty = bitmatrix.NewVec(x.ds.Len())
+	}
+
+	for _, id := range changed {
+		if id < 0 || int(id) >= x.ds.Len() {
+			return fmt.Errorf("index: changed attribute %d out of range", id)
+		}
+		x.dirty.Set(int(id))
+		h := x.ds.Attr(id)
+		// Adding the full current value set is idempotent: existing bits
+		// stay set, new values contribute their bits.
+		x.mT.SetColumn(int(id), bloom.FromSet(x.opt.Bloom, h.AllValues()))
+		if x.mR != nil {
+			req := core.RequiredValues(h, x.opt.Params.Epsilon, x.opt.Params.Weight)
+			x.mR.SetColumn(int(id), bloom.FromSet(x.opt.Bloom, req))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,230 @@
+package index
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tind/internal/bloom"
+	"tind/internal/core"
+	"tind/internal/history"
+	"tind/internal/timeline"
+	"tind/internal/values"
+)
+
+// TestRefreshMatchesRebuild: after random appends, a refreshed index must
+// answer every query exactly like brute force (and thus like a rebuilt
+// index).
+func TestRefreshMatchesRebuild(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		horizon := timeline.Time(40 + r.Intn(30))
+		ds := randDataset(r, 6+r.Intn(12), horizon)
+		idxParams := core.Params{Epsilon: 2, Delta: 3, Weight: timeline.Uniform(horizon)}
+		idx, err := Build(ds, Options{
+			Bloom:   bloom.Params{M: 128, K: 2},
+			Slices:  3,
+			Params:  idxParams,
+			Reverse: true,
+			Seed:    seed,
+		})
+		if err != nil {
+			return false
+		}
+		// Append 10–25 new days of data to a random subset of attributes.
+		newHorizon := horizon + timeline.Time(10+r.Intn(15))
+		if err := ds.ExtendHorizon(newHorizon); err != nil {
+			return false
+		}
+		var changed []history.AttrID
+		for _, h := range ds.Attrs() {
+			switch r.Intn(3) {
+			case 0: // a real change with new values
+				ids := make([]values.Value, 1+r.Intn(4))
+				for i := range ids {
+					ids[i] = values.Value(r.Intn(25))
+				}
+				at := h.ObservedUntil() + timeline.Time(r.Intn(3))
+				if err := h.Append(at, values.NewSet(ids...), newHorizon); err != nil {
+					return false
+				}
+				changed = append(changed, h.ID())
+			case 1: // persists unchanged
+				if err := h.ExtendObservation(newHorizon); err != nil {
+					return false
+				}
+				changed = append(changed, h.ID())
+			default: // dies at its old end
+			}
+		}
+		if err := idx.Refresh(changed, newHorizon); err != nil {
+			return false
+		}
+
+		qp := core.Params{Epsilon: 2, Delta: 2, Weight: timeline.Uniform(newHorizon)}
+		for trial := 0; trial < 4; trial++ {
+			q := ds.Attr(history.AttrID(r.Intn(ds.Len())))
+			res, err := idx.Search(q, qp)
+			if err != nil {
+				return false
+			}
+			if !idsEqual(res.IDs, bruteSearch(ds, q, qp)) {
+				return false
+			}
+			rres, err := idx.Reverse(q, qp)
+			if err != nil {
+				return false
+			}
+			if !idsEqual(rres.IDs, bruteReverse(ds, q, qp)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRefreshValidation(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	ds := randDataset(r, 5, 50)
+	w, _ := timeline.NewExponentialDecay(50, 0.99)
+	decayIdx, err := Build(ds, Options{
+		Bloom:  bloom.Params{M: 128, K: 2},
+		Params: core.Params{Epsilon: 1, Delta: 2, Weight: w},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := decayIdx.Refresh(nil, 50); err == nil {
+		t.Error("Refresh under decay weighting must be rejected")
+	}
+
+	idx, err := Build(ds, Options{
+		Bloom:  bloom.Params{M: 128, K: 2},
+		Params: core.DefaultDays(50),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.Refresh(nil, 40); err == nil {
+		t.Error("shrinking horizon must be rejected")
+	}
+	if err := idx.Refresh(nil, 60); err == nil {
+		t.Error("horizon mismatch with dataset must be rejected")
+	}
+	if err := idx.Refresh([]history.AttrID{99}, 50); err == nil {
+		t.Error("out-of-range attribute must be rejected")
+	}
+	if err := idx.Refresh(nil, 50); err != nil {
+		t.Errorf("no-op refresh must succeed: %v", err)
+	}
+}
+
+func TestHistoryAppendSemantics(t *testing.T) {
+	ds := history.NewDataset(100)
+	h, err := history.New(history.Meta{Page: "p"},
+		[]history.Version{{Start: 0, Values: values.NewSet(1)}}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds.Add(h)
+
+	if err := h.Append(5, values.NewSet(2), 20); err == nil {
+		t.Error("append before current end must fail")
+	}
+	if err := h.Append(12, values.NewSet(2), 12); err == nil {
+		t.Error("append with end ≤ start must fail")
+	}
+	if err := h.Append(12, values.NewSet(2), 20); err != nil {
+		t.Fatal(err)
+	}
+	if h.NumVersions() != 2 || h.ObservedUntil() != 20 {
+		t.Fatalf("after append: versions=%d end=%d", h.NumVersions(), h.ObservedUntil())
+	}
+	// The old version persisted through the gap [10, 12).
+	if !h.At(11).Equal(values.NewSet(1)) {
+		t.Fatalf("At(11) = %v", h.At(11))
+	}
+	if !h.At(12).Equal(values.NewSet(2)) {
+		t.Fatalf("At(12) = %v", h.At(12))
+	}
+	if !h.AllValues().Equal(values.NewSet(1, 2)) {
+		t.Fatal("AllValues must include appended values")
+	}
+	// No-op append just extends.
+	if err := h.Append(25, values.NewSet(2), 30); err != nil {
+		t.Fatal(err)
+	}
+	if h.NumVersions() != 2 || h.ObservedUntil() != 30 {
+		t.Fatal("no-op append must only extend the window")
+	}
+	if err := h.ExtendObservation(25); err == nil {
+		t.Error("shrinking via ExtendObservation must fail")
+	}
+}
+
+// TestRefreshResurrectedAttribute covers the staleness hazard the dirty
+// mask exists for: an attribute that died mid-history resumes after an
+// append, back-filling days the slice matrices indexed as empty. Without
+// the slice-pruning exemption the stale slices would wrongly eliminate it.
+func TestRefreshResurrectedAttribute(t *testing.T) {
+	ds := history.NewDataset(60)
+	mk := func(page string, vals values.Set, end timeline.Time) *history.History {
+		h, err := history.New(history.Meta{Page: page},
+			[]history.Version{{Start: 0, Values: vals}}, end)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ds.Add(h); err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+	q := mk("query", values.NewSet(1, 2), 60)
+	a := mk("dead-then-alive", values.NewSet(1, 2, 3), 20)
+
+	idx, err := Build(ds, Options{
+		Bloom:  bloom.Params{M: 256, K: 2},
+		Slices: 10, // dense coverage so some slice falls into [20, 60)
+		Params: core.Params{Epsilon: 3, Delta: 2, Weight: timeline.Uniform(60)},
+		Seed:   7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := core.Params{Epsilon: 3, Delta: 2, Weight: timeline.Uniform(60)}
+	res, err := idx.Search(q, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.IDs) != 0 {
+		t.Fatalf("before resurrection Q ⊄ dead A (40 violated days): %v", res.IDs)
+	}
+
+	// A resumes: its values persist through the formerly dead period.
+	if err := ds.ExtendHorizon(90); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.ExtendObservation(90); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.ExtendObservation(90); err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.Refresh([]history.AttrID{q.ID(), a.ID()}, 90); err != nil {
+		t.Fatal(err)
+	}
+	p90 := core.Params{Epsilon: 3, Delta: 2, Weight: timeline.Uniform(90)}
+	res, err = idx.Search(q, p90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := bruteSearch(ds, q, p90); !idsEqual(res.IDs, want) {
+		t.Fatalf("after resurrection: got %v, want %v (stale slices must not prune dirty attributes)", res.IDs, want)
+	}
+	if len(res.IDs) != 1 || res.IDs[0] != a.ID() {
+		t.Fatalf("resurrected attribute must be found: %v", res.IDs)
+	}
+}

@@ -1,0 +1,364 @@
+package index
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"tind/internal/bitmatrix"
+	"tind/internal/bloom"
+	"tind/internal/core"
+	"tind/internal/history"
+	"tind/internal/timeline"
+)
+
+// QueryStats records how a single query was answered, feeding the
+// runtime-distribution experiments.
+type QueryStats struct {
+	InitialCandidates int           // after M_T (or full set when M_T unusable)
+	AfterSlices       int           // after time-slice pruning
+	AfterSubsetCheck  int           // after exact subset validation (line 16)
+	Validated         int           // candidates passed to Algorithm 2
+	Results           int           // valid tINDs
+	SlicesUsed        int           // slice indices consulted
+	Elapsed           time.Duration // total query time
+}
+
+// Result is the answer to a tIND (or reverse tIND) search.
+type Result struct {
+	IDs   []history.AttrID // attributes satisfying the dependency, ascending
+	Stats QueryStats
+}
+
+// Search returns all A ∈ D with Q ⊆_{w,ε,δ} A (Definition 3.7),
+// implementing Algorithm 1. The query parameters may deviate from the
+// index parameters: results stay exact for any ε and w, and for any
+// δ ≤ the index δ. A larger query δ disables slice pruning (Section 4.4)
+// but still returns exact results via M_T and validation.
+func (x *Index) Search(q *history.History, p core.Params) (Result, error) {
+	start := time.Now()
+	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+	var st QueryStats
+
+	// Line 2: prune via required values against M_T.
+	req := core.RequiredValues(q, p.Epsilon, p.Weight)
+	var cand *bitmatrix.Vec
+	if x.opt.DisableRequiredValues {
+		cand = bitmatrix.NewVecFull(x.ds.Len())
+	} else {
+		qf := bloom.FromSet(x.opt.Bloom, req)
+		cand = x.mT.Supersets(qf, nil)
+	}
+	x.excludeSelf(q, cand)
+	st.InitialCandidates = cand.Count()
+
+	// Lines 4-15: time-slice pruning with violation tracking. Only sound
+	// when the query δ does not exceed the index δ.
+	if p.Delta <= x.opt.Params.Delta && st.InitialCandidates > 0 {
+		vio := make(map[int]float64)
+		for _, ts := range x.slices {
+			st.SlicesUsed++
+			x.pruneSlice(q, p, ts, cand, vio)
+			if cand.Count() == 0 {
+				break
+			}
+		}
+	}
+	st.AfterSlices = cand.Count()
+
+	// Line 16: discard Bloom false positives by checking the required
+	// values against the actual full value sets.
+	cand.ForEach(func(c int) bool {
+		if !req.SubsetOf(x.ds.Attr(history.AttrID(c)).AllValues()) {
+			cand.Clear(c)
+		}
+		return true
+	})
+	st.AfterSubsetCheck = cand.Count()
+
+	// Lines 17-19: exact validation (Algorithm 2), in parallel.
+	ids := x.validate(cand, &st, func(c history.AttrID) bool {
+		return core.Holds(q, x.ds.Attr(c), p)
+	})
+	st.Results = len(ids)
+	st.Elapsed = time.Since(start)
+	return Result{IDs: ids, Stats: st}, nil
+}
+
+// pruneSlice applies one time-slice index to the candidate set: for every
+// distinct version of Q within the slice interval, candidates whose
+// indexed window set misses the version accumulate the version's weight as
+// a partial violation and are pruned once the budget is exceeded.
+func (x *Index) pruneSlice(q *history.History, p core.Params, ts timeSlice,
+	cand *bitmatrix.Vec, vio map[int]float64) {
+	// Distinct versions of Q within the interval: version boundaries
+	// intersected with I, plus I's own boundaries (line 6).
+	bounds := q.ChangeTimes()
+	cuts := []timeline.Time{ts.iv.Start}
+	for _, b := range bounds {
+		if b > ts.iv.Start && b < ts.iv.End {
+			cuts = append(cuts, b)
+		}
+	}
+	cuts = append(cuts, ts.iv.End)
+	// Q's observation end caps the last sub-interval.
+	for j := 0; j+1 < len(cuts); j++ {
+		sub := timeline.NewInterval(cuts[j], cuts[j+1])
+		qv := q.At(sub.Start)
+		if qv.IsEmpty() {
+			continue
+		}
+		sub = sub.Intersect(timeline.NewInterval(sub.Start, q.ObservedUntil()))
+		if sub.IsEmpty() {
+			continue
+		}
+		cI := ts.matrix.Supersets(bloom.FromSet(x.opt.Bloom, qv), cand)
+		// PV = C ∧ ¬C_I (line 10): candidates violated in this
+		// sub-interval. Dirty candidates have stale slice entries and are
+		// exempt (validation handles them).
+		pv := cand.Clone()
+		pv.AndNot(cI)
+		if x.dirty != nil {
+			pv.AndNot(x.dirty)
+		}
+		if pv.Count() == 0 {
+			continue
+		}
+		wSub := p.Weight.Sum(sub)
+		pv.ForEach(func(c int) bool {
+			vio[c] += wSub
+			if vio[c] > p.Epsilon {
+				cand.Clear(c)
+			}
+			return true
+		})
+	}
+}
+
+// Reverse returns all A ∈ D with A ⊆_{w,ε,δ} Q (Definition 3.8). The index
+// must have been built with Reverse enabled. Results are exact for any
+// query ε ≤ index ε and δ ≤ index δ under the index weight function; a
+// larger ε disables M_R pruning, a larger δ disables slice pruning — both
+// fall back to exhaustive validation and remain exact.
+func (x *Index) Reverse(q *history.History, p core.Params) (Result, error) {
+	start := time.Now()
+	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+	var st QueryStats
+
+	// Candidates: attributes whose required values are contained in Q[T].
+	var cand *bitmatrix.Vec
+	if x.mR != nil && p.Epsilon <= x.opt.Params.Epsilon {
+		qf := bloom.FromSet(x.opt.Bloom, q.AllValues())
+		cand = x.mR.Subsets(qf, nil)
+	} else {
+		cand = bitmatrix.NewVecFull(x.ds.Len())
+	}
+	x.excludeSelf(q, cand)
+	st.InitialCandidates = cand.Count()
+
+	// Slice pruning: a candidate's window set not contained in Q's doubly
+	// expanded window is provably violated by at least its cheapest
+	// version in the slice (Section 4.5). The paper caps the number of
+	// slices used for reverse search (more hurt, Figure 14).
+	if p.Delta <= x.opt.Params.Delta && st.InitialCandidates > 0 &&
+		sameWeight(p.Weight, x.opt.Params.Weight) {
+		vio := make(map[int]float64)
+		used := 0
+		for _, ts := range x.slices {
+			if ts.minVio == nil {
+				continue // index not built for reverse
+			}
+			if used >= x.opt.ReverseSlices {
+				break
+			}
+			used++
+			st.SlicesUsed++
+			qWin := q.Union(ts.iv.Expand(2 * x.opt.Params.Delta))
+			violators := ts.matrix.Violators(bloom.FromSet(x.opt.Bloom, qWin), cand)
+			if x.dirty != nil {
+				violators.AndNot(x.dirty)
+			}
+			violators.ForEach(func(c int) bool {
+				vio[c] += ts.minVio[c]
+				if vio[c] > p.Epsilon {
+					cand.Clear(c)
+				}
+				return true
+			})
+			if cand.Count() == 0 {
+				break
+			}
+		}
+	}
+	st.AfterSlices = cand.Count()
+
+	// Exact subset pre-check mirroring line 16: the candidate's required
+	// values under the *query* parameters must truly appear in Q's full
+	// history — a necessary condition of A ⊆ Q for any parameters.
+	qAll := q.AllValues()
+	cand.ForEach(func(c int) bool {
+		req := core.RequiredValues(x.ds.Attr(history.AttrID(c)), p.Epsilon, p.Weight)
+		if !req.SubsetOf(qAll) {
+			cand.Clear(c)
+		}
+		return true
+	})
+	st.AfterSubsetCheck = cand.Count()
+
+	ids := x.validate(cand, &st, func(c history.AttrID) bool {
+		return core.Holds(x.ds.Attr(c), q, p)
+	})
+	st.Results = len(ids)
+	st.Elapsed = time.Since(start)
+	return Result{IDs: ids, Stats: st}, nil
+}
+
+// sameWeight reports whether the query weight function is the one the
+// index was built with. The per-slice minimum violation weights of reverse
+// search are precomputed under the index weight function, so slice pruning
+// is only sound when the query uses the same one. Comparison uses == on
+// the interface and tolerates non-comparable custom implementations by
+// treating them as different.
+func sameWeight(a, b timeline.WeightFunc) (eq bool) {
+	defer func() {
+		if recover() != nil {
+			eq = false
+		}
+	}()
+	return a == b
+}
+
+// excludeSelf removes the query's own column from the candidate set: every
+// tIND variant is reflexive (Section 3.4), so Q ⊆ Q carries no information.
+func (x *Index) excludeSelf(q *history.History, cand *bitmatrix.Vec) {
+	id := int(q.ID())
+	if id >= 0 && id < x.ds.Len() && x.ds.Attr(q.ID()) == q {
+		cand.Clear(id)
+	}
+}
+
+// validate runs the exact check over all remaining candidates, in parallel
+// when the index allows it, and returns the ids that pass in ascending
+// order.
+func (x *Index) validate(cand *bitmatrix.Vec, st *QueryStats, check func(history.AttrID) bool) []history.AttrID {
+	todo := cand.Ones()
+	st.Validated = len(todo)
+	workers := x.opt.ValidationWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(todo) {
+		workers = len(todo)
+	}
+	if workers <= 1 {
+		var ids []history.AttrID
+		for _, c := range todo {
+			if check(history.AttrID(c)) {
+				ids = append(ids, history.AttrID(c))
+			}
+		}
+		return ids
+	}
+	var (
+		mu  sync.Mutex
+		ids []history.AttrID
+		wg  sync.WaitGroup
+		pos int
+	)
+	var posMu sync.Mutex
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				posMu.Lock()
+				i := pos
+				pos++
+				posMu.Unlock()
+				if i >= len(todo) {
+					return
+				}
+				c := history.AttrID(todo[i])
+				if check(c) {
+					mu.Lock()
+					ids = append(ids, c)
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Pair is a discovered temporal inclusion dependency LHS ⊆_{w,ε,δ} RHS.
+type Pair struct {
+	LHS, RHS history.AttrID
+}
+
+// AllPairs discovers the complete set of tINDs in the dataset by querying
+// every attribute against the index (Section 3.5). Queries run in
+// parallel; per-query validation is sequential, the superior split per
+// Section 4.2.2. workers ≤ 0 means GOMAXPROCS.
+func (x *Index) AllPairs(p core.Params, workers int) ([]Pair, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	seq := *x
+	seq.opt.ValidationWorkers = 1
+
+	n := x.ds.Len()
+	results := make([][]history.AttrID, n)
+	var (
+		wg   sync.WaitGroup
+		next int
+		mu   sync.Mutex
+		err  error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				stop := err != nil
+				mu.Unlock()
+				if i >= n || stop {
+					return
+				}
+				res, e := seq.Search(x.ds.Attr(history.AttrID(i)), p)
+				if e != nil {
+					mu.Lock()
+					if err == nil {
+						err = e
+					}
+					mu.Unlock()
+					return
+				}
+				results[i] = res.IDs
+			}
+		}()
+	}
+	wg.Wait()
+	if err != nil {
+		return nil, err
+	}
+	var pairs []Pair
+	for lhs, rhss := range results {
+		for _, rhs := range rhss {
+			pairs = append(pairs, Pair{LHS: history.AttrID(lhs), RHS: rhs})
+		}
+	}
+	return pairs, nil
+}

@@ -1,0 +1,207 @@
+// Package index implements the paper's tIND search index (Section 4): a
+// required-values Bloom matrix M_T over the full histories, k time-slice
+// Bloom matrices over δ-expanded intervals, the candidate-pruning search of
+// Algorithm 1, reverse tIND search (Section 4.5) and a parallel all-pairs
+// driver.
+package index
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"tind/internal/history"
+	"tind/internal/timeline"
+)
+
+// SliceStrategy selects the time intervals the slice indices are built on
+// (Section 4.4.2).
+type SliceStrategy int
+
+const (
+	// Random draws interval start times uniformly. The paper's best
+	// setting for tIND search at larger k.
+	Random SliceStrategy = iota
+	// WeightedRandom draws start times proportionally to the pruning
+	// power estimate p(I) = Σ_A |A[I]| / |I|. The paper's best setting
+	// for small k and for reverse search.
+	WeightedRandom
+)
+
+// String names the strategy for experiment logs.
+func (s SliceStrategy) String() string {
+	switch s {
+	case Random:
+		return "random"
+	case WeightedRandom:
+		return "weighted-random"
+	default:
+		return fmt.Sprintf("SliceStrategy(%d)", int(s))
+	}
+}
+
+// sliceLength returns the standard slice length at start s: the smallest L
+// with w([s, s+L)) ≥ ε + 1, realizing the paper's recommendation
+// w(I) = ε + 1 (Section 4.4.1). Under decaying weights, early intervals
+// come out longer than recent ones, exactly as §4.4.2 describes. Returns 0
+// if no such interval fits the horizon.
+func sliceLength(w timeline.WeightFunc, epsilon float64, s timeline.Time) timeline.Time {
+	n := w.Horizon()
+	target := epsilon + 1
+	if s < 0 || s >= n {
+		return 0
+	}
+	// Binary search for the minimal end with enough summed weight.
+	lo, hi := s+1, n
+	if w.Sum(timeline.NewInterval(s, hi)) < target {
+		return 0
+	}
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if w.Sum(timeline.NewInterval(s, mid)) >= target {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo - s
+}
+
+// selectSlices chooses up to k disjoint index intervals. For forward-only
+// indices plain disjointness of the I_j suffices (Section 4.2.2); pass a
+// positive delta to additionally enforce disjointness of the δ-expanded
+// intervals I_j^δ, which Section 4.5 requires for the slices to be usable
+// in reverse search. The returned intervals are sorted by start time.
+func selectSlices(ds *history.Dataset, w timeline.WeightFunc, epsilon float64, delta timeline.Time,
+	k int, strategy SliceStrategy, rng *rand.Rand) []timeline.Interval {
+	n := ds.Horizon()
+	if k <= 0 || n <= 0 {
+		return nil
+	}
+
+	// Candidate start times and their selection weights.
+	starts, weights := candidateStarts(ds, w, epsilon, strategy)
+	if len(starts) == 0 {
+		return nil
+	}
+
+	var chosen []timeline.Interval
+	taken := make([]timeline.Interval, 0, k) // δ-expanded occupancy
+	overlapsTaken := func(iv timeline.Interval) bool {
+		e := iv.Expand(delta)
+		for _, t := range taken {
+			if e.Overlaps(t) {
+				return true
+			}
+		}
+		return false
+	}
+
+	remaining := indices(len(starts))
+	remWeights := append([]float64(nil), weights...)
+	for len(chosen) < k && len(remaining) > 0 {
+		var pick int
+		if strategy == WeightedRandom {
+			pick = weightedPick(remWeights, rng)
+		} else {
+			pick = rng.Intn(len(remaining))
+		}
+		s := starts[remaining[pick]]
+		// Remove the candidate regardless of acceptance.
+		remaining[pick] = remaining[len(remaining)-1]
+		remaining = remaining[:len(remaining)-1]
+		if len(remWeights) > 0 { // only populated for WeightedRandom
+			remWeights[pick] = remWeights[len(remWeights)-1]
+			remWeights = remWeights[:len(remWeights)-1]
+		}
+
+		l := sliceLength(w, epsilon, s)
+		if l == 0 {
+			continue
+		}
+		iv := timeline.NewInterval(s, s+l)
+		if iv.End > n || overlapsTaken(iv) {
+			continue
+		}
+		chosen = append(chosen, iv)
+		taken = append(taken, iv.Expand(delta))
+	}
+	sort.Slice(chosen, func(i, j int) bool { return chosen[i].Start < chosen[j].Start })
+	return chosen
+}
+
+// candidateStarts enumerates potential slice start times. For the weighted
+// strategy it estimates the pruning power p(I) of the slice starting at
+// each candidate (Section 4.4.2); the corpus is subsampled when large, as
+// the paper permits ("it is always possible to sample from T at a lower
+// granularity").
+func candidateStarts(ds *history.Dataset, w timeline.WeightFunc, epsilon float64,
+	strategy SliceStrategy) (starts []timeline.Time, weights []float64) {
+	n := ds.Horizon()
+	// Cap the number of candidate start positions.
+	const maxCandidates = 512
+	step := timeline.Time(1)
+	if int(n) > maxCandidates {
+		step = n / maxCandidates
+	}
+	for s := timeline.Time(0); s < n; s += step {
+		starts = append(starts, s)
+	}
+	if strategy != WeightedRandom {
+		return starts, nil
+	}
+	// Pruning power over a bounded attribute sample.
+	attrs := ds.Attrs()
+	const maxAttrs = 2000
+	strideA := 1
+	if len(attrs) > maxAttrs {
+		strideA = len(attrs) / maxAttrs
+	}
+	weights = make([]float64, len(starts))
+	for i, s := range starts {
+		l := sliceLength(w, epsilon, s)
+		if l == 0 {
+			weights[i] = 0
+			continue
+		}
+		iv := timeline.NewInterval(s, s+l)
+		if iv.End > n {
+			weights[i] = 0
+			continue
+		}
+		distinct := 0
+		for a := 0; a < len(attrs); a += strideA {
+			distinct += attrs[a].DistinctValuesIn(iv)
+		}
+		weights[i] = float64(distinct) / float64(iv.Len())
+	}
+	return starts, weights
+}
+
+// weightedPick draws an index proportionally to weights; it falls back to
+// uniform when all weights are zero.
+func weightedPick(weights []float64, rng *rand.Rand) int {
+	var total float64
+	for _, w := range weights {
+		total += w
+	}
+	if total <= 0 {
+		return rng.Intn(len(weights))
+	}
+	x := rng.Float64() * total
+	for i, w := range weights {
+		x -= w
+		if x < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+func indices(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

@@ -1,0 +1,206 @@
+package many
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tind/internal/bloom"
+	"tind/internal/core"
+	"tind/internal/history"
+	"tind/internal/timeline"
+	"tind/internal/values"
+)
+
+func randDataset(r *rand.Rand, nAttrs int, horizon timeline.Time) *history.Dataset {
+	ds := history.NewDataset(horizon)
+	for i := 0; i < nAttrs; i++ {
+		b := history.NewBuilder(history.Meta{Page: "p"})
+		t := timeline.Time(r.Intn(int(horizon) / 2))
+		rangeSize := 4 + r.Intn(12)
+		for {
+			card := 1 + r.Intn(rangeSize)
+			ids := make([]values.Value, card)
+			for j := range ids {
+				ids[j] = values.Value(r.Intn(rangeSize))
+			}
+			b.Observe(t, values.NewSet(ids...))
+			t += timeline.Time(1 + r.Intn(int(horizon)/4))
+			if t >= horizon-1 {
+				break
+			}
+		}
+		h, err := b.Build(horizon)
+		if err != nil {
+			panic(err)
+		}
+		ds.Add(h)
+	}
+	return ds
+}
+
+func TestStaticMatchesBruteForce(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		horizon := timeline.Time(30 + r.Intn(50))
+		ds := randDataset(r, 5+r.Intn(20), horizon)
+		snap := timeline.Time(r.Intn(int(horizon)))
+		s, err := NewStatic(ds, snap, bloom.Params{M: 128, K: 2})
+		if err != nil {
+			return false
+		}
+		for trial := 0; trial < 3; trial++ {
+			q := ds.Attr(history.AttrID(r.Intn(ds.Len())))
+			got := s.Search(q)
+			var want []history.AttrID
+			for _, a := range ds.Attrs() {
+				if a != q && core.StaticIND(q, a, snap) {
+					want = append(want, a.ID())
+				}
+			}
+			if len(got) != len(want) {
+				return false
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStaticAllPairsSkipsEmptyLHS(t *testing.T) {
+	ds := history.NewDataset(20)
+	mk := func(start timeline.Time, vals ...values.Value) *history.History {
+		h, err := history.New(history.Meta{Page: "p"},
+			[]history.Version{{Start: start, Values: values.NewSet(vals...)}}, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+	ds.Add(mk(0, 1, 2))
+	ds.Add(mk(0, 1, 2, 3))
+	ds.Add(mk(15, 1)) // unobservable at t=5
+	s, err := NewStatic(ds, 5, bloom.Params{M: 128, K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := s.AllPairs()
+	// Only 0 ⊆ 1 expected: attr 2 is unobservable at the snapshot and
+	// must not appear as LHS; 1 ⊄ 0.
+	if len(pairs) != 1 || pairs[0] != (Pair{LHS: 0, RHS: 1}) {
+		t.Fatalf("pairs = %v", pairs)
+	}
+}
+
+func TestStaticValidation(t *testing.T) {
+	ds := history.NewDataset(10)
+	if _, err := NewStatic(ds, 50, bloom.Params{M: 64, K: 1}); err == nil {
+		t.Error("snapshot outside horizon must fail")
+	}
+	if _, err := NewStatic(ds, 5, bloom.Params{M: 63, K: 1}); err == nil {
+		t.Error("bad bloom params must fail")
+	}
+}
+
+func TestKManyMatchesBruteForce(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		horizon := timeline.Time(30 + r.Intn(50))
+		ds := randDataset(r, 5+r.Intn(15), horizon)
+		delta := timeline.Time(r.Intn(5))
+		km, err := NewKMany(ds, 1+r.Intn(8), delta, bloom.Params{M: 128, K: 2}, seed)
+		if err != nil {
+			return false
+		}
+		p := core.Params{
+			Epsilon: float64(r.Intn(5)),
+			Delta:   timeline.Time(r.Intn(int(delta) + 1)),
+			Weight:  timeline.Uniform(horizon),
+		}
+		for trial := 0; trial < 3; trial++ {
+			q := ds.Attr(history.AttrID(r.Intn(ds.Len())))
+			res, err := km.Search(q, p)
+			if err != nil {
+				return false
+			}
+			var want []history.AttrID
+			for _, a := range ds.Attrs() {
+				if a != q && core.Holds(q, a, p) {
+					want = append(want, a.ID())
+				}
+			}
+			if len(res.IDs) != len(want) {
+				return false
+			}
+			for i := range want {
+				if res.IDs[i] != want[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKManyOutOfMemory(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	ds := randDataset(r, 10, 40)
+	km, err := NewKMany(ds, 2, 2, bloom.Params{M: 64, K: 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	km.MemoryBudget = 1 // absurdly small
+	_, err = km.Search(ds.Attr(0), core.DefaultDays(40))
+	if !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("want ErrOutOfMemory, got %v", err)
+	}
+	km.MemoryBudget = 0 // unlimited
+	if _, err := km.Search(ds.Attr(0), core.DefaultDays(40)); err != nil {
+		t.Fatalf("unlimited budget must succeed: %v", err)
+	}
+}
+
+func TestKManyValidation(t *testing.T) {
+	ds := history.NewDataset(10)
+	if _, err := NewKMany(ds, 0, 0, bloom.Params{M: 64, K: 1}, 1); err == nil {
+		t.Error("k=0 must fail")
+	}
+	if _, err := NewKMany(history.NewDataset(0), 2, 0, bloom.Params{M: 64, K: 1}, 1); err == nil {
+		t.Error("empty horizon must fail")
+	}
+	if _, err := NewKMany(ds, 2, 0, bloom.Params{M: 0, K: 1}, 1); err == nil {
+		t.Error("bad bloom params must fail")
+	}
+}
+
+func TestKManySnapshotsDistinctSorted(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	ds := randDataset(r, 5, 50)
+	km, err := NewKMany(ds, 10, 3, bloom.Params{M: 64, K: 1}, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss := km.Snapshots()
+	if len(ss) != 10 {
+		t.Fatalf("want 10 snapshots, got %d", len(ss))
+	}
+	for i := 1; i < len(ss); i++ {
+		if ss[i] <= ss[i-1] {
+			t.Fatal("snapshots must be distinct and sorted")
+		}
+	}
+	if km.MemoryBytes() <= 0 {
+		t.Fatal("index memory must be positive")
+	}
+}

@@ -1,0 +1,151 @@
+// Package opendata ingests corpora of timestamped CSV snapshots — the
+// open-government-data setting the paper names as future work ("whether
+// the approaches ... are also applicable to ... open-government data").
+// Portals like data.gov publish datasets as periodically refreshed CSV
+// files; each dated snapshot of a file contributes one observation per
+// column.
+//
+// The expected layout is one directory per snapshot date containing any
+// number of CSV files:
+//
+//	2016-03-01/parks.csv
+//	2016-03-01/schools.csv
+//	2016-04-01/parks.csv
+//	...
+//
+// Each CSV column (identified by file name + header) becomes an attribute
+// whose value set at the snapshot date is the column's distinct cells.
+// The resulting observations feed the same preprocessing pipeline as the
+// Wikipedia extraction (daily aggregation is a no-op for date-granular
+// snapshots; the null/numeric/size filters apply unchanged).
+package opendata
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"io/fs"
+	"path"
+	"sort"
+	"time"
+
+	"tind/internal/wiki"
+)
+
+// DateLayout is the expected snapshot directory name format.
+const DateLayout = "2006-01-02"
+
+// LoadSnapshots walks a snapshot-per-directory corpus and returns one
+// AttributeRecord per (file, column). Directories whose names do not
+// parse as dates are skipped; files that fail to parse as CSV are
+// reported.
+func LoadSnapshots(fsys fs.FS) ([]*wiki.AttributeRecord, error) {
+	entries, err := fs.ReadDir(fsys, ".")
+	if err != nil {
+		return nil, err
+	}
+	type snapshot struct {
+		date time.Time
+		dir  string
+	}
+	var snaps []snapshot
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		d, err := time.Parse(DateLayout, e.Name())
+		if err != nil {
+			continue // not a snapshot directory
+		}
+		snaps = append(snaps, snapshot{date: d, dir: e.Name()})
+	}
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i].date.Before(snaps[j].date) })
+	if len(snaps) == 0 {
+		return nil, fmt.Errorf("opendata: no snapshot directories (want %s-named dirs)", DateLayout)
+	}
+
+	records := make(map[string]*wiki.AttributeRecord)
+	// present tracks which attributes appear in the current snapshot so
+	// vanished files/columns can be marked deleted.
+	for _, snap := range snaps {
+		files, err := fs.ReadDir(fsys, snap.dir)
+		if err != nil {
+			return nil, err
+		}
+		present := make(map[string]bool)
+		for _, f := range files {
+			if f.IsDir() || path.Ext(f.Name()) != ".csv" {
+				continue
+			}
+			if err := loadCSV(fsys, snap.dir, f.Name(), snap.date, records, present); err != nil {
+				return nil, fmt.Errorf("opendata: %s/%s: %w", snap.dir, f.Name(), err)
+			}
+		}
+		for key, rec := range records {
+			if !present[key] && rec.DeletedAt.IsZero() && len(rec.Observations) > 0 {
+				rec.DeletedAt = snap.date
+			}
+			if present[key] {
+				rec.DeletedAt = time.Time{} // re-appeared
+			}
+		}
+	}
+
+	out := make([]*wiki.AttributeRecord, 0, len(records))
+	for _, rec := range records {
+		out = append(out, rec)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out, nil
+}
+
+// loadCSV reads one snapshot file and records one observation per column.
+func loadCSV(fsys fs.FS, dir, name string, date time.Time,
+	records map[string]*wiki.AttributeRecord, present map[string]bool) error {
+	f, err := fsys.Open(path.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r := csv.NewReader(f)
+	r.FieldsPerRecord = -1 // ragged rows tolerated
+	header, err := r.Read()
+	if err == io.EOF {
+		return nil // empty file: no columns this snapshot
+	}
+	if err != nil {
+		return err
+	}
+	columns := make([][]string, len(header))
+	for {
+		row, err := r.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		for i := 0; i < len(columns) && i < len(row); i++ {
+			columns[i] = append(columns[i], row[i])
+		}
+	}
+	for i, h := range header {
+		key := name + "/" + h
+		rec := records[key]
+		if rec == nil {
+			rec = &wiki.AttributeRecord{
+				Page:     name,
+				TableID:  "T1",
+				ColumnID: fmt.Sprintf("C%d", i+1),
+				Header:   h,
+			}
+			records[key] = rec
+		}
+		rec.Observations = append(rec.Observations, wiki.Observation{
+			Time:   date,
+			Values: columns[i],
+		})
+		present[key] = true
+	}
+	return nil
+}

@@ -1,0 +1,130 @@
+package opendata
+
+import (
+	"testing"
+	"testing/fstest"
+	"time"
+
+	"tind/internal/core"
+	"tind/internal/history"
+	"tind/internal/preprocess"
+	"tind/internal/timeline"
+)
+
+func corpusFS() fstest.MapFS {
+	return fstest.MapFS{
+		"2016-01-01/parks.csv": {Data: []byte(
+			"Name,District,Area\nCentral,North,12\nRiverside,South,8\nHilltop,North,5\nMeadow,East,7\nGrove,West,9\n")},
+		"2016-01-01/districts.csv": {Data: []byte(
+			"District\nNorth\nSouth\nEast\nWest\nCenter\n")},
+		"2016-02-01/parks.csv": {Data: []byte(
+			"Name,District,Area\nCentral,North,12\nRiverside,South,8\nHilltop,North,5\nMeadow,East,7\nGrove,West,9\nLakeside,Center,4\n")},
+		"2016-02-01/districts.csv": {Data: []byte(
+			"District\nNorth\nSouth\nEast\nWest\nCenter\n")},
+		"2016-03-01/parks.csv": {Data: []byte(
+			"Name,District,Area\nCentral,North,12\nHilltop,North,5\nMeadow,East,7\nGrove,West,9\nLakeside,Center,4\n")},
+		// districts.csv vanishes in March.
+		"notes.txt":      {Data: []byte("not a snapshot")},
+		"README/x.csv":   {Data: []byte("Whatever\n")}, // non-date directory
+		"2016-03-01/doc": {Data: []byte("not a csv")},
+	}
+}
+
+func TestLoadSnapshots(t *testing.T) {
+	recs, err := LoadSnapshots(corpusFS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := make(map[string]int)
+	for i, r := range recs {
+		byKey[r.Key()] = i
+	}
+	name, ok := byKey["parks.csv/T1/C1"]
+	if !ok {
+		t.Fatalf("missing parks Name column; got %v", byKey)
+	}
+	rec := recs[name]
+	if rec.Header != "Name" || len(rec.Observations) != 3 {
+		t.Fatalf("parks Name record: %+v", rec)
+	}
+	if rec.Observations[0].Values[0] != "Central" {
+		t.Fatalf("first snapshot values: %v", rec.Observations[0].Values)
+	}
+	if !rec.DeletedAt.IsZero() {
+		t.Fatal("parks.csv persists; must not be deleted")
+	}
+	di, ok := byKey["districts.csv/T1/C1"]
+	if !ok {
+		t.Fatal("missing districts column")
+	}
+	drec := recs[di]
+	if drec.DeletedAt.IsZero() {
+		t.Fatal("districts.csv vanished in March; must be marked deleted")
+	}
+	if got := drec.DeletedAt.Format(DateLayout); got != "2016-03-01" {
+		t.Fatalf("DeletedAt = %s", got)
+	}
+}
+
+func TestLoadSnapshotsNoDirs(t *testing.T) {
+	if _, err := LoadSnapshots(fstest.MapFS{"x.txt": {Data: []byte("hi")}}); err == nil {
+		t.Fatal("corpus without snapshot directories must fail")
+	}
+}
+
+func TestLoadSnapshotsRaggedAndEmpty(t *testing.T) {
+	fsys := fstest.MapFS{
+		"2016-01-01/ragged.csv": {Data: []byte("A,B\n1\n2,3,4\n")},
+		"2016-01-01/empty.csv":  {Data: []byte("")},
+	}
+	recs, err := LoadSnapshots(fsys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 { // columns A and B; empty.csv contributes nothing
+		t.Fatalf("records = %d", len(recs))
+	}
+}
+
+// TestEndToEndOpenData drives snapshots → preprocessing → tIND check: the
+// parks District column is genuinely contained in the districts list
+// until the list vanishes.
+func TestEndToEndOpenData(t *testing.T) {
+	recs, err := LoadSnapshots(corpusFS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Date(2016, 1, 1, 0, 0, 0, 0, time.UTC)
+	ds, rep, err := preprocess.Run(recs, preprocess.Config{
+		Start: start, End: start.AddDate(0, 0, 90),
+		MinVersions: 1, MinMedianCardinality: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DroppedNumeric != 1 { // the Area column
+		t.Fatalf("report: %+v", rep)
+	}
+	var district, districts *history.History
+	for _, h := range ds.Attrs() {
+		switch {
+		case h.Meta().Page == "parks.csv" && h.Meta().Column == "C2":
+			district = h
+		case h.Meta().Page == "districts.csv":
+			districts = h
+		}
+	}
+	if district == nil || districts == nil {
+		t.Fatal("columns lost in ingestion")
+	}
+	// The districts list dies at day 60 (2016-03-01); ε must absorb the
+	// remaining observed days of the parks column or the tIND fails.
+	p := core.Params{Epsilon: 31, Delta: 7, Weight: timeline.Uniform(ds.Horizon())}
+	if !core.Holds(district, districts, p) {
+		t.Fatalf("district ⊆ districts must hold with ε covering the deletion tail (violation %.0f)",
+			core.ViolationWeight(district, districts, p))
+	}
+	if core.Holds(district, districts, core.Strict(ds.Horizon())) {
+		t.Fatal("strict must fail after the districts list vanishes")
+	}
+}

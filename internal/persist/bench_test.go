@@ -1,0 +1,50 @@
+package persist
+
+import (
+	"bytes"
+	"testing"
+
+	"tind/internal/datagen"
+)
+
+func benchDataset(b *testing.B) *bytes.Buffer {
+	b.Helper()
+	c, err := datagen.Generate(datagen.Config{Seed: 9, Attributes: 500, Horizon: 1000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(c.Dataset, &buf); err != nil {
+		b.Fatal(err)
+	}
+	return &buf
+}
+
+func BenchmarkWrite(b *testing.B) {
+	c, err := datagen.Generate(datagen.Config{Seed: 9, Attributes: 500, Horizon: 1000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := Write(c.Dataset, &buf); err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(buf.Len()))
+	}
+}
+
+func BenchmarkRead(b *testing.B) {
+	buf := benchDataset(b)
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Read(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,39 @@
+package persist
+
+import (
+	"bytes"
+	"testing"
+
+	"tind/internal/datagen"
+)
+
+// FuzzRead asserts the binary reader never panics or over-allocates on
+// arbitrary input: it either parses a valid dataset or returns an error.
+func FuzzRead(f *testing.F) {
+	c, err := datagen.Generate(datagen.Config{Seed: 3, Attributes: 20, Horizon: 120, AttrsPerDomain: 10})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(c.Dataset, &buf); err != nil {
+		f.Fatal(err)
+	}
+	good := buf.Bytes()
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add([]byte("TIND"))
+	f.Add(append([]byte("TIND"), 1, 0, 0, 0))
+	f.Add(good[:len(good)/3])
+	// A few targeted mutations as seeds.
+	for _, pos := range []int{5, 10, len(good) / 2, len(good) - 2} {
+		m := append([]byte(nil), good...)
+		m[pos] ^= 0xff
+		f.Add(m)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ds, err := Read(bytes.NewReader(data))
+		if err == nil && ds == nil {
+			t.Fatal("nil dataset without error")
+		}
+	})
+}

@@ -1,0 +1,223 @@
+// Package persist stores datasets in a compact binary format, so that an
+// extracted corpus (hours of revision parsing for a full Wikipedia dump)
+// is loaded back in seconds.
+//
+// Format (all integers unsigned varints unless noted):
+//
+//	magic "TIND" | format version | horizon
+//	dictionary: count, then length-prefixed strings in id order
+//	attributes: count, then per attribute:
+//	    page, table, column (length-prefixed strings)
+//	    observation end
+//	    version count, then per version:
+//	        start-day delta (vs previous version's start)
+//	        value count, then value-id deltas (ids are sorted)
+//
+// Delta coding keeps real corpora small: version starts are ascending and
+// value ids within a set are sorted.
+package persist
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"tind/internal/history"
+	"tind/internal/timeline"
+	"tind/internal/values"
+)
+
+const (
+	magic         = "TIND"
+	formatVersion = 1
+	// maxString guards against corrupt length prefixes.
+	maxString = 1 << 20
+)
+
+// writer bundles the buffered output with a reusable varint buffer so the
+// hot encoding path allocates nothing per value.
+type writer struct {
+	*bufio.Writer
+	scratch [binary.MaxVarintLen64]byte
+}
+
+// Write serializes the dataset.
+func Write(ds *history.Dataset, w io.Writer) error {
+	bw := &writer{Writer: bufio.NewWriter(w)}
+	if _, err := bw.WriteString(magic); err != nil {
+		return err
+	}
+	writeUvarint(bw, formatVersion)
+	writeUvarint(bw, uint64(ds.Horizon()))
+
+	dict := ds.Dict()
+	writeUvarint(bw, uint64(dict.Len()))
+	for id := 0; id < dict.Len(); id++ {
+		writeString(bw, dict.String(values.Value(id)))
+	}
+
+	writeUvarint(bw, uint64(ds.Len()))
+	for _, h := range ds.Attrs() {
+		meta := h.Meta()
+		writeString(bw, meta.Page)
+		writeString(bw, meta.Table)
+		writeString(bw, meta.Column)
+		writeUvarint(bw, uint64(h.ObservedUntil()))
+		writeUvarint(bw, uint64(h.NumVersions()))
+		prevStart := timeline.Time(0)
+		for i := 0; i < h.NumVersions(); i++ {
+			v := h.Version(i)
+			writeUvarint(bw, uint64(v.Start-prevStart))
+			prevStart = v.Start
+			writeUvarint(bw, uint64(v.Values.Len()))
+			prev := values.Value(0)
+			for _, id := range v.Values {
+				writeUvarint(bw, uint64(id-prev))
+				prev = id
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Read deserializes a dataset written by Write.
+func Read(r io.Reader) (*history.Dataset, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("persist: reading magic: %w", err)
+	}
+	if string(head) != magic {
+		return nil, fmt.Errorf("persist: not a tind dataset (magic %q)", head)
+	}
+	ver, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if ver != formatVersion {
+		return nil, fmt.Errorf("persist: unsupported format version %d", ver)
+	}
+	horizon, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	ds := history.NewDataset(timeline.Time(horizon))
+
+	nDict, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	dict := ds.Dict()
+	for i := uint64(0); i < nDict; i++ {
+		s, err := readString(br)
+		if err != nil {
+			return nil, fmt.Errorf("persist: dictionary entry %d: %w", i, err)
+		}
+		if got := dict.Intern(s); got != values.Value(i) {
+			return nil, fmt.Errorf("persist: duplicate dictionary entry %q", s)
+		}
+	}
+
+	nAttrs, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	for a := uint64(0); a < nAttrs; a++ {
+		h, err := readAttribute(br, timeline.Time(horizon), nDict)
+		if err != nil {
+			return nil, fmt.Errorf("persist: attribute %d: %w", a, err)
+		}
+		if _, err := ds.Add(h); err != nil {
+			return nil, fmt.Errorf("persist: attribute %d: %w", a, err)
+		}
+	}
+	return ds, nil
+}
+
+func readAttribute(br *bufio.Reader, horizon timeline.Time, nDict uint64) (*history.History, error) {
+	var meta history.Meta
+	var err error
+	if meta.Page, err = readString(br); err != nil {
+		return nil, err
+	}
+	if meta.Table, err = readString(br); err != nil {
+		return nil, err
+	}
+	if meta.Column, err = readString(br); err != nil {
+		return nil, err
+	}
+	end, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	nVersions, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if nVersions == 0 {
+		return nil, fmt.Errorf("no versions")
+	}
+	if nVersions > uint64(horizon)+1 {
+		return nil, fmt.Errorf("version count %d exceeds horizon", nVersions)
+	}
+	versions := make([]history.Version, 0, nVersions)
+	start := timeline.Time(0)
+	for v := uint64(0); v < nVersions; v++ {
+		d, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		start += timeline.Time(d)
+		nVals, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		if nVals > nDict {
+			return nil, fmt.Errorf("value count %d exceeds dictionary", nVals)
+		}
+		ids := make(values.Set, 0, nVals)
+		id := values.Value(0)
+		for k := uint64(0); k < nVals; k++ {
+			d, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, err
+			}
+			id += values.Value(d)
+			if uint64(id) >= nDict {
+				return nil, fmt.Errorf("value id %d out of dictionary range", id)
+			}
+			if k > 0 && d == 0 {
+				return nil, fmt.Errorf("duplicate value id %d", id)
+			}
+			ids = append(ids, id)
+		}
+		versions = append(versions, history.Version{Start: start, Values: ids})
+	}
+	return history.New(meta, versions, timeline.Time(end))
+}
+
+func writeUvarint(w *writer, v uint64) {
+	n := binary.PutUvarint(w.scratch[:], v)
+	w.Write(w.scratch[:n])
+}
+
+func writeString(w *writer, s string) {
+	writeUvarint(w, uint64(len(s)))
+	w.WriteString(s)
+}
+
+func readString(br *bufio.Reader) (string, error) {
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return "", err
+	}
+	if n > maxString {
+		return "", fmt.Errorf("string length %d exceeds limit", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}

@@ -1,0 +1,151 @@
+package persist
+
+import (
+	"bytes"
+	"testing"
+
+	"tind/internal/datagen"
+	"tind/internal/history"
+	"tind/internal/values"
+)
+
+func roundTrip(t *testing.T, ds *history.Dataset) *history.Dataset {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Write(ds, &buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func assertEqualDatasets(t *testing.T, a, b *history.Dataset) {
+	t.Helper()
+	if a.Horizon() != b.Horizon() || a.Len() != b.Len() {
+		t.Fatalf("shape mismatch: %d/%d vs %d/%d", a.Horizon(), a.Len(), b.Horizon(), b.Len())
+	}
+	if a.Dict().Len() != b.Dict().Len() {
+		t.Fatalf("dictionary size mismatch: %d vs %d", a.Dict().Len(), b.Dict().Len())
+	}
+	for id := 0; id < a.Dict().Len(); id++ {
+		if a.Dict().String(values.Value(id)) != b.Dict().String(values.Value(id)) {
+			t.Fatalf("dictionary entry %d differs", id)
+		}
+	}
+	for i := 0; i < a.Len(); i++ {
+		ha, hb := a.Attr(history.AttrID(i)), b.Attr(history.AttrID(i))
+		if ha.Meta() != hb.Meta() {
+			t.Fatalf("attr %d meta differs: %v vs %v", i, ha.Meta(), hb.Meta())
+		}
+		if ha.ObservedUntil() != hb.ObservedUntil() || ha.NumVersions() != hb.NumVersions() {
+			t.Fatalf("attr %d shape differs", i)
+		}
+		for v := 0; v < ha.NumVersions(); v++ {
+			va, vb := ha.Version(v), hb.Version(v)
+			if va.Start != vb.Start || !va.Values.Equal(vb.Values) {
+				t.Fatalf("attr %d version %d differs", i, v)
+			}
+		}
+	}
+}
+
+func TestRoundTripGeneratedCorpus(t *testing.T) {
+	c, err := datagen.Generate(datagen.Config{Seed: 5, Attributes: 150, Horizon: 600, AttrsPerDomain: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := roundTrip(t, c.Dataset)
+	assertEqualDatasets(t, c.Dataset, got)
+}
+
+func TestRoundTripEmptyDataset(t *testing.T) {
+	ds := history.NewDataset(100)
+	got := roundTrip(t, ds)
+	assertEqualDatasets(t, ds, got)
+}
+
+func TestRoundTripEmptyValueSets(t *testing.T) {
+	ds := history.NewDataset(50)
+	h, err := history.New(history.Meta{Page: "p", Table: "t", Column: "c"},
+		[]history.Version{
+			{Start: 0, Values: nil},
+			{Start: 10, Values: ds.Dict().InternAll([]string{"x"})},
+			{Start: 20, Values: nil},
+		}, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds.Add(h)
+	got := roundTrip(t, ds)
+	assertEqualDatasets(t, ds, got)
+}
+
+func TestRoundTripUnicodeStrings(t *testing.T) {
+	ds := history.NewDataset(10)
+	h, err := history.New(history.Meta{Page: "Pokémon (ポケモン)", Table: "T1", Column: "名前"},
+		[]history.Version{{Start: 0, Values: ds.Dict().InternAll([]string{"Pikachu ⚡", ""})}}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds.Add(h)
+	got := roundTrip(t, ds)
+	assertEqualDatasets(t, ds, got)
+}
+
+func TestReadRejectsCorruptInput(t *testing.T) {
+	c, err := datagen.Generate(datagen.Config{Seed: 1, Attributes: 30, Horizon: 200, AttrsPerDomain: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(c.Dataset, &buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	cases := map[string][]byte{
+		"empty":          {},
+		"bad magic":      append([]byte("NOPE"), good[4:]...),
+		"bad version":    append([]byte(magic), 99),
+		"truncated":      good[:len(good)/2],
+		"truncated tail": good[:len(good)-3],
+	}
+	for name, data := range cases {
+		if _, err := Read(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: Read must fail", name)
+		}
+	}
+}
+
+func TestReadRejectsGarbageAfterHeader(t *testing.T) {
+	// Magic + version + absurd sizes must not allocate unbounded memory.
+	data := append([]byte(magic), 1 /* version */, 100 /* horizon */, 200, 200, 200, 200, 200, 1)
+	if _, err := Read(bytes.NewReader(data)); err == nil {
+		t.Fatal("garbage sizes must fail")
+	}
+}
+
+func TestCompactness(t *testing.T) {
+	c, err := datagen.Generate(datagen.Config{Seed: 2, Attributes: 200, Horizon: 800, AttrsPerDomain: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(c.Dataset, &buf); err != nil {
+		t.Fatal(err)
+	}
+	// Rough sanity: the delta-coded format should spend only a few bytes
+	// per value occurrence.
+	var occurrences int
+	for _, h := range c.Dataset.Attrs() {
+		for v := 0; v < h.NumVersions(); v++ {
+			occurrences += h.Version(v).Values.Len()
+		}
+	}
+	if perOcc := float64(buf.Len()) / float64(occurrences); perOcc > 8 {
+		t.Fatalf("format too fat: %.1f bytes per value occurrence", perOcc)
+	}
+}

@@ -1,0 +1,273 @@
+// Package preprocess implements the paper's dataset preparation pipeline
+// (Section 5.1):
+//
+//  1. aggregate each attribute's revision-level observations to daily
+//     snapshots, keeping per day the version that was valid longest (this
+//     suppresses most vandalism, which is typically reverted within hours),
+//  2. unify commonly used null symbols,
+//  3. filter out mostly-numeric attributes,
+//  4. require at least five versions (four changes), and
+//  5. require a median value-set cardinality of at least five.
+package preprocess
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"tind/internal/history"
+	"tind/internal/timeline"
+	"tind/internal/values"
+	"tind/internal/wiki"
+)
+
+// Config controls the pipeline. The zero value is completed with the
+// paper's defaults by Run.
+type Config struct {
+	// Start and End delimit the observation period (wall clock). The
+	// paper uses early 2001 through late 2017.
+	Start, End time.Time
+	// NullSymbols are dropped from value sets (case-insensitive). Nil
+	// means DefaultNullSymbols.
+	NullSymbols []string
+	// NumericThreshold drops attributes whose share of numeric values is
+	// at least this. 0 means 0.7; set above 1 to disable.
+	NumericThreshold float64
+	// MinVersions keeps only attributes with at least this many versions
+	// after daily aggregation. 0 means 5; 1 effectively disables.
+	MinVersions int
+	// MinMedianCardinality keeps only attributes whose median version
+	// cardinality reaches this. 0 means 5; 1 effectively disables.
+	MinMedianCardinality int
+}
+
+// DefaultNullSymbols are the unified null representations (§5.1).
+var DefaultNullSymbols = []string{
+	"", "-", "—", "–", "n/a", "na", "none", "null", "unknown", "?", "tba", "tbd", "…", "...",
+}
+
+// Report counts what the pipeline did.
+type Report struct {
+	Input              int // attribute records in
+	DroppedEmpty       int // no usable versions within the window
+	DroppedNumeric     int // mostly-numeric attributes
+	DroppedVersions    int // fewer than MinVersions versions
+	DroppedCardinality int // median cardinality below threshold
+	Kept               int // attributes in the output dataset
+}
+
+func (c *Config) fillDefaults() {
+	if c.NullSymbols == nil {
+		c.NullSymbols = DefaultNullSymbols
+	}
+	if c.NumericThreshold == 0 {
+		c.NumericThreshold = 0.7
+	}
+	if c.MinVersions == 0 {
+		c.MinVersions = 5
+	}
+	if c.MinMedianCardinality == 0 {
+		c.MinMedianCardinality = 5
+	}
+}
+
+// Run executes the pipeline over extracted attribute records and returns
+// the dataset ready for indexing.
+func Run(recs []*wiki.AttributeRecord, cfg Config) (*history.Dataset, Report, error) {
+	cfg.fillDefaults()
+	if !cfg.End.After(cfg.Start) {
+		return nil, Report{}, fmt.Errorf("preprocess: End must be after Start")
+	}
+	horizon := timeline.Time(cfg.End.Sub(cfg.Start) / timeline.Day)
+	if horizon <= 0 {
+		return nil, Report{}, fmt.Errorf("preprocess: window shorter than one day")
+	}
+	nulls := make(map[string]bool, len(cfg.NullSymbols))
+	for _, s := range cfg.NullSymbols {
+		nulls[strings.ToLower(s)] = true
+	}
+
+	ds := history.NewDataset(horizon)
+	rep := Report{Input: len(recs)}
+	for _, rec := range recs {
+		h, ok := buildHistory(rec, cfg, horizon, nulls, ds.Dict())
+		if !ok {
+			rep.DroppedEmpty++
+			continue
+		}
+		if mostlyNumeric(h, ds.Dict(), cfg.NumericThreshold) {
+			rep.DroppedNumeric++
+			continue
+		}
+		if h.NumVersions() < cfg.MinVersions {
+			rep.DroppedVersions++
+			continue
+		}
+		if h.MedianCardinality() < cfg.MinMedianCardinality {
+			rep.DroppedCardinality++
+			continue
+		}
+		if _, err := ds.Add(h); err != nil {
+			return nil, rep, err
+		}
+		rep.Kept++
+	}
+	return ds, rep, nil
+}
+
+// buildHistory aggregates one record to daily snapshots and builds its
+// history. ok is false when nothing usable remains in the window.
+func buildHistory(rec *wiki.AttributeRecord, cfg Config, horizon timeline.Time,
+	nulls map[string]bool, dict *values.Dictionary) (*history.History, bool) {
+	days := dailyVersions(rec, cfg.Start, cfg.End)
+	if len(days) == 0 {
+		return nil, false
+	}
+	b := history.NewBuilder(history.Meta{Page: rec.Page, Table: rec.TableID, Column: rec.ColumnID})
+	for _, dv := range days {
+		set := internClean(dv.vals, nulls, dict)
+		b.Observe(dv.day, set)
+	}
+	end := horizon
+	if !rec.DeletedAt.IsZero() {
+		end = dayIndex(rec.DeletedAt, cfg.Start)
+		if end > horizon {
+			end = horizon
+		}
+	}
+	if end <= days[0].day {
+		return nil, false
+	}
+	h, err := b.Build(end)
+	if err != nil {
+		return nil, false
+	}
+	return h, true
+}
+
+// internClean drops null symbols and interns the remaining values.
+func internClean(vals []string, nulls map[string]bool, dict *values.Dictionary) values.Set {
+	ids := make([]values.Value, 0, len(vals))
+	for _, v := range vals {
+		v = strings.TrimSpace(v)
+		if nulls[strings.ToLower(v)] {
+			continue
+		}
+		ids = append(ids, dict.Intern(v))
+	}
+	return values.NewSet(ids...)
+}
+
+func dayIndex(t time.Time, start time.Time) timeline.Time {
+	return timeline.Time(t.Sub(start) / timeline.Day)
+}
+
+type dayVersion struct {
+	day  timeline.Time
+	vals []string
+}
+
+// dailyVersions reduces revision-level observations to one version per day
+// with at least one observation: the version valid for the longest share
+// of that day (§5.1). Days without observations inherit the previous
+// version implicitly via the history model.
+func dailyVersions(rec *wiki.AttributeRecord, start, end time.Time) []dayVersion {
+	obs := rec.Observations
+	var out []dayVersion
+	for i := 0; i < len(obs); {
+		if !obs[i].Time.Before(end) {
+			break
+		}
+		if obs[i].Time.Before(start) {
+			// Observation predates the window: it only matters as the
+			// carried-in state for the first in-window day.
+			if i+1 < len(obs) && obs[i+1].Time.Before(start) {
+				i++
+				continue
+			}
+		}
+		day := dayIndex(obs[i].Time, start)
+		if day < 0 {
+			day = 0
+		}
+		dayStart := start.Add(time.Duration(day) * timeline.Day)
+		dayEnd := dayStart.Add(timeline.Day)
+		// Collect all observations landing on this day.
+		j := i
+		for j < len(obs) && obs[j].Time.Before(dayEnd) {
+			j++
+		}
+		// Segments within the day: carried-in version (if any) from
+		// dayStart to the first observation, then each observation until
+		// the next one or dayEnd.
+		type segment struct {
+			vals []string
+			dur  time.Duration
+		}
+		var segs []segment
+		first := i
+		if obs[i].Time.After(dayStart) && i > 0 {
+			segs = append(segs, segment{vals: obs[i-1].Values, dur: obs[i].Time.Sub(dayStart)})
+		}
+		for k := first; k < j; k++ {
+			segEnd := dayEnd
+			if k+1 < j {
+				segEnd = obs[k+1].Time
+			}
+			segStart := obs[k].Time
+			if segStart.Before(dayStart) {
+				segStart = dayStart
+			}
+			segs = append(segs, segment{vals: obs[k].Values, dur: segEnd.Sub(segStart)})
+		}
+		best := 0
+		for k := 1; k < len(segs); k++ {
+			if segs[k].dur > segs[best].dur {
+				best = k
+			}
+		}
+		out = append(out, dayVersion{day: day, vals: segs[best].vals})
+		// The state at the end of the day carries into the next day. When
+		// it lost the in-day vote (e.g. an update late in the afternoon),
+		// it must still become the next day's version; emitting it at
+		// day+1 is a no-op otherwise and collapses in the builder.
+		if endState := obs[j-1].Values; day+1 < timeline.Time(end.Sub(start)/timeline.Day) {
+			out = append(out, dayVersion{day: day + 1, vals: endState})
+		}
+		i = j
+	}
+	return out
+}
+
+// mostlyNumeric reports whether at least threshold of the attribute's
+// distinct values parse as numbers (§5.1 filters such attributes out).
+func mostlyNumeric(h *history.History, dict *values.Dictionary, threshold float64) bool {
+	all := h.AllValues()
+	if all.Len() == 0 {
+		return false
+	}
+	numeric := 0
+	for _, v := range all {
+		if isNumeric(dict.String(v)) {
+			numeric++
+		}
+	}
+	return float64(numeric)/float64(all.Len()) >= threshold
+}
+
+// isNumeric recognizes plain numbers, thousands separators, percentages
+// and currency-prefixed amounts.
+func isNumeric(s string) bool {
+	s = strings.TrimSpace(s)
+	s = strings.TrimPrefix(s, "$")
+	s = strings.TrimPrefix(s, "€")
+	s = strings.TrimPrefix(s, "£")
+	s = strings.TrimSuffix(s, "%")
+	s = strings.ReplaceAll(s, ",", "")
+	if s == "" {
+		return false
+	}
+	_, err := strconv.ParseFloat(s, 64)
+	return err == nil
+}

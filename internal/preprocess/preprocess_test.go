@@ -1,0 +1,275 @@
+package preprocess
+
+import (
+	"testing"
+	"time"
+
+	"tind/internal/timeline"
+	"tind/internal/wiki"
+)
+
+var t0 = time.Date(2005, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func at(day int, hour int) time.Time {
+	return t0.AddDate(0, 0, day).Add(time.Duration(hour) * time.Hour)
+}
+
+func rec(page, tbl, col string, obs ...wiki.Observation) *wiki.AttributeRecord {
+	return &wiki.AttributeRecord{Page: page, TableID: tbl, ColumnID: col, Header: col, Observations: obs}
+}
+
+func obs(t time.Time, vals ...string) wiki.Observation {
+	return wiki.Observation{Time: t, Values: vals}
+}
+
+// lenient disables every filter so aggregation behavior can be tested in
+// isolation.
+func lenient(days int) Config {
+	return Config{
+		Start: t0, End: t0.AddDate(0, 0, days),
+		NumericThreshold: 2, MinVersions: 1, MinMedianCardinality: 1,
+	}
+}
+
+func TestDailyAggregationLongestValidWins(t *testing.T) {
+	// Day 2 sees three states: carried-in "a" (6h), vandalism "x" (1h),
+	// then "b" (17h). "b" must win the day.
+	r := rec("P", "T1", "C1",
+		obs(at(0, 10), "a"),
+		obs(at(2, 6), "x"),
+		obs(at(2, 7), "b"),
+	)
+	ds, rep, err := Run([]*wiki.AttributeRecord{r}, lenient(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Kept != 1 {
+		t.Fatalf("report: %+v", rep)
+	}
+	h := ds.Attr(0)
+	if got := ds.Dict().Strings(h.At(2)); len(got) != 1 || got[0] != "b" {
+		t.Fatalf("day 2 = %v, want [b]", got)
+	}
+	if got := ds.Dict().Strings(h.At(1)); len(got) != 1 || got[0] != "a" {
+		t.Fatalf("day 1 = %v, want [a] (carried forward)", got)
+	}
+}
+
+func TestDailyAggregationVandalismSuppressed(t *testing.T) {
+	// An edit reverted within the same day never becomes a version.
+	r := rec("P", "T1", "C1",
+		obs(at(0, 0), "good"),
+		obs(at(3, 12), "VANDAL"),
+		obs(at(3, 13), "good"),
+	)
+	ds, _, err := Run([]*wiki.AttributeRecord{r}, lenient(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := ds.Attr(0)
+	if h.NumVersions() != 1 {
+		t.Fatalf("versions = %d, want 1 (vandalism collapsed)", h.NumVersions())
+	}
+}
+
+func TestCarriedInStateBeforeWindow(t *testing.T) {
+	// Observations before Start establish the day-0 state.
+	r := rec("P", "T1", "C1",
+		obs(t0.AddDate(0, 0, -30), "old"),
+		obs(t0.AddDate(0, 0, -10), "current"),
+		obs(at(5, 0), "new"),
+	)
+	ds, _, err := Run([]*wiki.AttributeRecord{r}, lenient(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := ds.Attr(0)
+	if h.ObservedFrom() != 0 {
+		t.Fatalf("ObservedFrom = %d, want 0", h.ObservedFrom())
+	}
+	if got := ds.Dict().Strings(h.At(0)); len(got) != 1 || got[0] != "current" {
+		t.Fatalf("day 0 = %v, want [current]", got)
+	}
+	if got := ds.Dict().Strings(h.At(5)); len(got) != 1 || got[0] != "new" {
+		t.Fatalf("day 5 = %v, want [new]", got)
+	}
+}
+
+func TestDeletionEndsObservation(t *testing.T) {
+	r := rec("P", "T1", "C1", obs(at(0, 0), "a"), obs(at(2, 0), "b"))
+	r.DeletedAt = at(6, 12)
+	ds, _, err := Run([]*wiki.AttributeRecord{r}, lenient(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := ds.Attr(0)
+	if h.ObservedUntil() != 6 {
+		t.Fatalf("ObservedUntil = %d, want 6", h.ObservedUntil())
+	}
+	if !h.At(10).IsEmpty() {
+		t.Fatal("values must not persist past deletion")
+	}
+}
+
+func TestDeletedBeforeWindowDropped(t *testing.T) {
+	r := rec("P", "T1", "C1", obs(t0.AddDate(0, 0, -5), "a"))
+	r.DeletedAt = t0.AddDate(0, 0, -1)
+	_, rep, err := Run([]*wiki.AttributeRecord{r}, lenient(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DroppedEmpty != 1 || rep.Kept != 0 {
+		t.Fatalf("report: %+v", rep)
+	}
+}
+
+func TestNullUnification(t *testing.T) {
+	r := rec("P", "T1", "C1",
+		obs(at(0, 0), "a", "-", "N/A", "", "b", "unknown"),
+	)
+	ds, _, err := Run([]*wiki.AttributeRecord{r}, lenient(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := ds.Attr(0)
+	if h.AllValues().Len() != 2 {
+		t.Fatalf("null symbols must be dropped; got %v", ds.Dict().Strings(h.AllValues()))
+	}
+}
+
+func TestNumericFilter(t *testing.T) {
+	numeric := rec("P", "T1", "C1",
+		obs(at(0, 0), "1", "2", "3,000", "42%", "$5"),
+		obs(at(1, 0), "7", "8"),
+	)
+	mixed := rec("P", "T1", "C2",
+		obs(at(0, 0), "Alice", "Bob", "3"),
+	)
+	cfg := lenient(10)
+	cfg.NumericThreshold = 0.7
+	_, rep, err := Run([]*wiki.AttributeRecord{numeric, mixed}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DroppedNumeric != 1 || rep.Kept != 1 {
+		t.Fatalf("report: %+v", rep)
+	}
+}
+
+func TestMinVersionsFilter(t *testing.T) {
+	few := rec("P", "T1", "C1",
+		obs(at(0, 0), "a", "b", "c", "d", "e"),
+		obs(at(1, 0), "a", "b", "c", "d", "f"),
+	)
+	cfg := lenient(30)
+	cfg.MinVersions = 5
+	_, rep, err := Run([]*wiki.AttributeRecord{few}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DroppedVersions != 1 {
+		t.Fatalf("report: %+v", rep)
+	}
+}
+
+func TestMedianCardinalityFilter(t *testing.T) {
+	small := rec("P", "T1", "C1",
+		obs(at(0, 0), "a"),
+		obs(at(1, 0), "b"),
+		obs(at(2, 0), "c"),
+		obs(at(3, 0), "d"),
+		obs(at(4, 0), "e"),
+	)
+	cfg := lenient(30)
+	cfg.MinMedianCardinality = 5
+	_, rep, err := Run([]*wiki.AttributeRecord{small}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DroppedCardinality != 1 {
+		t.Fatalf("report: %+v", rep)
+	}
+}
+
+func TestPaperDefaults(t *testing.T) {
+	// The paper's thresholds: ≥5 versions, median cardinality ≥5,
+	// numeric share < 0.7.
+	mk := func(col string, base []string, nVersions int) *wiki.AttributeRecord {
+		r := rec("P", "T1", col)
+		for i := 0; i < nVersions; i++ {
+			vals := append(append([]string{}, base...), "extra"+string(rune('a'+i)))
+			r.Observations = append(r.Observations, obs(at(i*2, 0), vals...))
+		}
+		return r
+	}
+	good := mk("C1", []string{"v1", "v2", "v3", "v4", "v5"}, 6)
+	short := mk("C2", []string{"v1", "v2", "v3", "v4", "v5"}, 2)
+	ds, rep, err := Run([]*wiki.AttributeRecord{good, short},
+		Config{Start: t0, End: t0.AddDate(0, 0, 60)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Kept != 1 || ds.Len() != 1 {
+		t.Fatalf("report: %+v", rep)
+	}
+	if ds.Horizon() != 60 {
+		t.Fatalf("horizon = %d", ds.Horizon())
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, _, err := Run(nil, Config{Start: t0, End: t0}); err == nil {
+		t.Fatal("empty window must fail")
+	}
+	if _, _, err := Run(nil, Config{Start: t0, End: t0.Add(2 * time.Hour)}); err == nil {
+		t.Fatal("sub-day window must fail")
+	}
+}
+
+func TestIsNumeric(t *testing.T) {
+	numeric := []string{"1", "-3.5", "1,234,567", "42%", "$100", "€9.99", "0"}
+	for _, s := range numeric {
+		if !isNumeric(s) {
+			t.Errorf("isNumeric(%q) = false", s)
+		}
+	}
+	text := []string{"abc", "", "1a", "12 monkeys", "$", "%"}
+	for _, s := range text {
+		if isNumeric(s) {
+			t.Errorf("isNumeric(%q) = true", s)
+		}
+	}
+}
+
+func TestObservationExactlyAtDayBoundary(t *testing.T) {
+	r := rec("P", "T1", "C1",
+		obs(at(0, 0), "a"),
+		obs(at(1, 0), "b"), // exactly midnight
+	)
+	ds, _, err := Run([]*wiki.AttributeRecord{r}, lenient(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := ds.Attr(0)
+	if got := ds.Dict().Strings(h.At(1)); len(got) != 1 || got[0] != "b" {
+		t.Fatalf("day 1 = %v, want [b]", got)
+	}
+	if h.ObservedUntil() != timeline.Time(5) {
+		t.Fatalf("end = %d", h.ObservedUntil())
+	}
+}
+
+func TestObservationAfterWindowIgnored(t *testing.T) {
+	r := rec("P", "T1", "C1",
+		obs(at(0, 0), "a", "b"),
+		obs(at(50, 0), "zz"),
+	)
+	ds, _, err := Run([]*wiki.AttributeRecord{r}, lenient(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := ds.Attr(0)
+	if h.NumVersions() != 1 {
+		t.Fatalf("versions = %d; post-window observation must be ignored", h.NumVersions())
+	}
+}

@@ -1,0 +1,118 @@
+// Package stats provides the summary statistics the experiment harness
+// reports: percentiles, boxplot summaries and duration collectors for
+// query-runtime distributions.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Sample is a collection of float64 observations.
+type Sample struct {
+	xs     []float64
+	sorted bool
+}
+
+// Add appends an observation.
+func (s *Sample) Add(x float64) {
+	s.xs = append(s.xs, x)
+	s.sorted = false
+}
+
+// AddDuration appends a duration in milliseconds.
+func (s *Sample) AddDuration(d time.Duration) {
+	s.Add(float64(d) / float64(time.Millisecond))
+}
+
+// Len returns the number of observations.
+func (s *Sample) Len() int { return len(s.xs) }
+
+func (s *Sample) ensureSorted() {
+	if !s.sorted {
+		sort.Float64s(s.xs)
+		s.sorted = true
+	}
+}
+
+// Mean returns the arithmetic mean (0 for an empty sample).
+func (s *Sample) Mean() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range s.xs {
+		sum += x
+	}
+	return sum / float64(len(s.xs))
+}
+
+// Percentile returns the p-th percentile (p in [0,100]) using linear
+// interpolation between order statistics; 0 for an empty sample.
+func (s *Sample) Percentile(p float64) float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	s.ensureSorted()
+	if p <= 0 {
+		return s.xs[0]
+	}
+	if p >= 100 {
+		return s.xs[len(s.xs)-1]
+	}
+	rank := p / 100 * float64(len(s.xs)-1)
+	lo := int(math.Floor(rank))
+	frac := rank - float64(lo)
+	if lo+1 >= len(s.xs) {
+		return s.xs[lo]
+	}
+	return s.xs[lo]*(1-frac) + s.xs[lo+1]*frac
+}
+
+// Median returns the 50th percentile.
+func (s *Sample) Median() float64 { return s.Percentile(50) }
+
+// Min and Max return the extremes (0 for empty samples).
+func (s *Sample) Min() float64 { return s.Percentile(0) }
+
+// Max returns the largest observation.
+func (s *Sample) Max() float64 { return s.Percentile(100) }
+
+// ShareBelow returns the fraction of observations strictly below x — used
+// for statements like "86.3% of all queries are answered in under 100
+// milliseconds".
+func (s *Sample) ShareBelow(x float64) float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	s.ensureSorted()
+	i := sort.SearchFloat64s(s.xs, x)
+	return float64(i) / float64(len(s.xs))
+}
+
+// Box is a five-number boxplot summary plus the mean, matching the
+// figures' boxplot presentation.
+type Box struct {
+	Min, P25, Median, P75, Max, Mean float64
+}
+
+// Box computes the summary.
+func (s *Sample) Box() Box {
+	return Box{
+		Min:    s.Min(),
+		P25:    s.Percentile(25),
+		Median: s.Median(),
+		P75:    s.Percentile(75),
+		Max:    s.Max(),
+		Mean:   s.Mean(),
+	}
+}
+
+// String renders the box in one line (milliseconds scale assumed by the
+// harness but not enforced).
+func (b Box) String() string {
+	return fmt.Sprintf("min=%.2f p25=%.2f med=%.2f p75=%.2f max=%.2f mean=%.2f",
+		b.Min, b.P25, b.Median, b.P75, b.Max, b.Mean)
+}

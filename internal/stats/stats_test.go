@@ -1,0 +1,100 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func sampleOf(xs ...float64) *Sample {
+	s := &Sample{}
+	for _, x := range xs {
+		s.Add(x)
+	}
+	return s
+}
+
+func TestEmptySample(t *testing.T) {
+	s := &Sample{}
+	if s.Mean() != 0 || s.Median() != 0 || s.Min() != 0 || s.Max() != 0 || s.ShareBelow(5) != 0 {
+		t.Fatal("empty sample statistics must be zero")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if got := sampleOf(1, 2, 3, 4).Mean(); got != 2.5 {
+		t.Fatalf("Mean = %g", got)
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	s := sampleOf(10, 20, 30, 40, 50)
+	cases := []struct{ p, want float64 }{
+		{0, 10}, {100, 50}, {50, 30}, {25, 20}, {75, 40}, {-5, 10}, {110, 50},
+		{12.5, 15}, // interpolated
+	}
+	for _, c := range cases {
+		if got := s.Percentile(c.p); got != c.want {
+			t.Errorf("Percentile(%g) = %g, want %g", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPercentileUnsortedInput(t *testing.T) {
+	s := sampleOf(50, 10, 40, 20, 30)
+	if s.Median() != 30 {
+		t.Fatalf("Median = %g", s.Median())
+	}
+	s.Add(60) // invalidates sort
+	if s.Max() != 60 {
+		t.Fatalf("Max after Add = %g", s.Max())
+	}
+}
+
+func TestShareBelow(t *testing.T) {
+	s := sampleOf(1, 2, 3, 4, 5, 6, 7, 8, 9, 10)
+	if got := s.ShareBelow(5); got != 0.4 {
+		t.Fatalf("ShareBelow(5) = %g", got)
+	}
+	if got := s.ShareBelow(100); got != 1 {
+		t.Fatalf("ShareBelow(100) = %g", got)
+	}
+	if got := s.ShareBelow(0); got != 0 {
+		t.Fatalf("ShareBelow(0) = %g", got)
+	}
+}
+
+func TestAddDuration(t *testing.T) {
+	s := &Sample{}
+	s.AddDuration(250 * time.Millisecond)
+	if s.Mean() != 250 {
+		t.Fatalf("AddDuration: %g ms", s.Mean())
+	}
+}
+
+func TestBox(t *testing.T) {
+	s := sampleOf(1, 2, 3, 4, 100)
+	b := s.Box()
+	if b.Min != 1 || b.Max != 100 || b.Median != 3 || b.Mean != 22 {
+		t.Fatalf("Box = %+v", b)
+	}
+	if b.String() == "" {
+		t.Fatal("Box must render")
+	}
+}
+
+func TestPercentileMonotone(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	s := &Sample{}
+	for i := 0; i < 500; i++ {
+		s.Add(r.Float64() * 1000)
+	}
+	prev := s.Percentile(0)
+	for p := 1.0; p <= 100; p++ {
+		cur := s.Percentile(p)
+		if cur < prev {
+			t.Fatalf("percentile not monotone at %g: %g < %g", p, cur, prev)
+		}
+		prev = cur
+	}
+}

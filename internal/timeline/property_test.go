@@ -1,0 +1,57 @@
+package timeline
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Interval sums must be additive: Sum([a,c)) = Sum([a,b)) + Sum([b,c)),
+// for every weight-function family — the invariant Algorithms 1 and 2
+// rely on when they split violation intervals at arbitrary boundaries.
+func TestSumAdditivityProperty(t *testing.T) {
+	families := []func(r *rand.Rand, n Time) WeightFunc{
+		func(r *rand.Rand, n Time) WeightFunc { return Uniform(n) },
+		func(r *rand.Rand, n Time) WeightFunc { return Relative(n) },
+		func(r *rand.Rand, n Time) WeightFunc {
+			e, err := NewExponentialDecay(n, 0.5+r.Float64()*0.49)
+			if err != nil {
+				panic(err)
+			}
+			return e
+		},
+		func(r *rand.Rand, n Time) WeightFunc {
+			return LinearDecay{N: n, W0: r.Float64(), W1: r.Float64() * 3}
+		},
+		func(r *rand.Rand, n Time) WeightFunc {
+			ws := make([]float64, n)
+			for i := range ws {
+				ws[i] = r.Float64()
+			}
+			p, err := NewPrefixSum(ws)
+			if err != nil {
+				panic(err)
+			}
+			return p
+		},
+	}
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := Time(5 + r.Intn(100))
+		w := families[r.Intn(len(families))](r, n)
+		// Random split points, possibly outside the horizon.
+		a := Time(r.Intn(int(n)+10) - 5)
+		b := a + Time(r.Intn(int(n)))
+		c := b + Time(r.Intn(int(n)))
+		total := w.Sum(NewInterval(a, c))
+		split := w.Sum(NewInterval(a, b)) + w.Sum(NewInterval(b, c))
+		diff := total - split
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff <= 1e-9*(1+total)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 600}); err != nil {
+		t.Fatal(err)
+	}
+}

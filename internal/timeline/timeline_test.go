@@ -1,0 +1,235 @@
+package timeline
+
+import (
+	"testing"
+	"time"
+)
+
+func TestIntervalLen(t *testing.T) {
+	cases := []struct {
+		in   Interval
+		want int
+	}{
+		{NewInterval(0, 0), 0},
+		{NewInterval(0, 1), 1},
+		{NewInterval(5, 3), 0},
+		{NewInterval(-2, 2), 4},
+		{Closed(3, 3), 1},
+		{Closed(3, 7), 5},
+	}
+	for _, c := range cases {
+		if got := c.in.Len(); got != c.want {
+			t.Errorf("Len(%v) = %d, want %d", c.in, got, c.want)
+		}
+		if got := c.in.IsEmpty(); got != (c.want == 0) {
+			t.Errorf("IsEmpty(%v) = %v, want %v", c.in, got, c.want == 0)
+		}
+	}
+}
+
+func TestIntervalContains(t *testing.T) {
+	i := NewInterval(2, 5)
+	for _, tt := range []struct {
+		t    Time
+		want bool
+	}{{1, false}, {2, true}, {4, true}, {5, false}} {
+		if got := i.Contains(tt.t); got != tt.want {
+			t.Errorf("Contains(%d) = %v, want %v", tt.t, got, tt.want)
+		}
+	}
+}
+
+func TestIntervalIntersect(t *testing.T) {
+	a := NewInterval(2, 8)
+	cases := []struct {
+		b    Interval
+		want Interval
+	}{
+		{NewInterval(0, 3), NewInterval(2, 3)},
+		{NewInterval(5, 12), NewInterval(5, 8)},
+		{NewInterval(8, 12), NewInterval(8, 8)},
+		{NewInterval(3, 5), NewInterval(3, 5)},
+		{NewInterval(-5, 100), a},
+	}
+	for _, c := range cases {
+		got := a.Intersect(c.b)
+		if got.IsEmpty() != c.want.IsEmpty() || (!got.IsEmpty() && got != c.want) {
+			t.Errorf("Intersect(%v, %v) = %v, want %v", a, c.b, got, c.want)
+		}
+		if got.Overlaps(c.b) != !got.IsEmpty() && !c.b.IsEmpty() {
+			t.Errorf("Overlaps inconsistent with Intersect for %v", c.b)
+		}
+	}
+}
+
+func TestIntervalExpandClamp(t *testing.T) {
+	i := NewInterval(3, 5)
+	e := i.Expand(2)
+	if e != (Interval{Start: 1, End: 7}) {
+		t.Fatalf("Expand = %v", e)
+	}
+	if got := NewInterval(-4, 100).Clamp(10); got != (Interval{Start: 0, End: 10}) {
+		t.Fatalf("Clamp = %v", got)
+	}
+	if !NewInterval(5, 5).Expand(3).IsEmpty() {
+		t.Fatal("expanding an empty interval must stay empty")
+	}
+}
+
+func TestWindow(t *testing.T) {
+	w := Window(10, 3)
+	if w.Start != 7 || w.End != 14 {
+		t.Fatalf("Window(10,3) = %v, want [7,13]", w)
+	}
+	if Window(0, 0).Len() != 1 {
+		t.Fatal("Window with δ=0 must contain exactly the timestamp")
+	}
+}
+
+func TestWallRoundTrip(t *testing.T) {
+	for _, d := range []Time{0, 1, 365, 6000} {
+		if got := FromWall(d.Wall()); got != d {
+			t.Errorf("FromWall(Wall(%d)) = %d", d, got)
+		}
+	}
+	if got := FromWall(Epoch.Add(36 * time.Hour)); got != 1 {
+		t.Errorf("mid-day truncation: got %d, want 1", got)
+	}
+}
+
+// sumNaive computes an interval sum by summing per-timestamp weights,
+// serving as the oracle for every WeightFunc's closed-form Sum.
+func sumNaive(w WeightFunc, i Interval) float64 {
+	i = i.Clamp(w.Horizon())
+	var s float64
+	for t := i.Start; t < i.End; t++ {
+		s += w.Weight(t)
+	}
+	return s
+}
+
+func approxEq(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	scale := 1.0
+	if a > scale {
+		scale = a
+	}
+	return d <= 1e-9*scale
+}
+
+func checkSums(t *testing.T, w WeightFunc) {
+	t.Helper()
+	n := w.Horizon()
+	intervals := []Interval{
+		{0, 0}, {0, 1}, {0, n}, {n - 1, n}, {3, 17}, {-5, 4}, {n - 3, n + 10}, {7, 7},
+	}
+	for _, i := range intervals {
+		got, want := w.Sum(i), sumNaive(w, i)
+		if !approxEq(got, want) {
+			t.Errorf("%v: Sum(%v) = %g, want %g", w, i, got, want)
+		}
+	}
+}
+
+func TestConstantSum(t *testing.T) {
+	checkSums(t, Uniform(100))
+	checkSums(t, Relative(100))
+	if got := Uniform(100).Sum(Closed(0, 99)); got != 100 {
+		t.Fatalf("total uniform weight = %g, want 100", got)
+	}
+	if got := Relative(100).Sum(Closed(0, 99)); !approxEq(got, 1) {
+		t.Fatalf("total relative weight = %g, want 1", got)
+	}
+	if Relative(0).Sum(NewInterval(0, 10)) != 0 {
+		t.Fatal("Relative(0) must be identically zero")
+	}
+}
+
+func TestExponentialDecaySum(t *testing.T) {
+	for _, a := range []float64{0.5, 0.9, 0.999} {
+		e, err := NewExponentialDecay(100, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkSums(t, e)
+	}
+}
+
+func TestExponentialDecayValidation(t *testing.T) {
+	for _, a := range []float64{0, 1, -0.5, 1.5} {
+		if _, err := NewExponentialDecay(10, a); err == nil {
+			t.Errorf("base %g: want error", a)
+		}
+	}
+	if _, err := NewExponentialDecay(-1, 0.5); err == nil {
+		t.Error("negative horizon: want error")
+	}
+}
+
+func TestExponentialDecayMonotone(t *testing.T) {
+	e, _ := NewExponentialDecay(50, 0.9)
+	for tt := Time(1); tt < 50; tt++ {
+		if e.Weight(tt) <= e.Weight(tt-1) {
+			t.Fatalf("weight must increase toward the present: w(%d)=%g w(%d)=%g",
+				tt-1, e.Weight(tt-1), tt, e.Weight(tt))
+		}
+	}
+}
+
+func TestLinearDecaySum(t *testing.T) {
+	checkSums(t, LinearDecay{N: 100, W0: 0.1, W1: 2})
+	checkSums(t, LinearDecay{N: 100, W0: 1, W1: 1})
+	checkSums(t, LinearDecay{N: 1, W0: 3, W1: 9})
+}
+
+func TestPrefixSum(t *testing.T) {
+	weights := make([]float64, 100)
+	for i := range weights {
+		weights[i] = float64(i%7) * 0.25
+	}
+	p, err := NewPrefixSum(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSums(t, p)
+	// Disregarded period: zero weights are allowed.
+	if p2, err := NewPrefixSum([]float64{1, 0, 0, 1}); err != nil || p2.Sum(NewInterval(1, 3)) != 0 {
+		t.Fatalf("zero-weight period: err=%v", err)
+	}
+	if _, err := NewPrefixSum([]float64{1, -1}); err == nil {
+		t.Fatal("negative weight must be rejected")
+	}
+}
+
+func TestWeightOutsideHorizon(t *testing.T) {
+	fns := []WeightFunc{
+		Uniform(10),
+		LinearDecay{N: 10, W0: 1, W1: 2},
+		mustExp(10, 0.9),
+		mustPrefix([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}),
+	}
+	for _, f := range fns {
+		if f.Weight(-1) != 0 || f.Weight(10) != 0 {
+			t.Errorf("%v: weight outside horizon must be 0", f)
+		}
+	}
+}
+
+func mustExp(n Time, a float64) WeightFunc {
+	e, err := NewExponentialDecay(n, a)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+func mustPrefix(w []float64) WeightFunc {
+	p, err := NewPrefixSum(w)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -1,0 +1,200 @@
+package timeline
+
+import (
+	"fmt"
+	"math"
+)
+
+// WeightFunc assigns an importance weight to every timestamp of the
+// observation period (Definition 3.6). Implementations must provide
+// efficient interval sums — Algorithms 1 and 2 only ever consume weights
+// through Sum, so an O(1) Sum keeps validation linear in the number of
+// change points rather than the number of timestamps.
+//
+// Weights must be non-negative. Sum must equal the sum of Weight(t) over
+// all t in the intersection of the interval with [0, Horizon()).
+type WeightFunc interface {
+	// Weight returns w(t) for a single timestamp, 0 outside [0, Horizon()).
+	Weight(t Time) float64
+	// Sum returns the summed weight of all timestamps in the interval,
+	// clamped to the observation period.
+	Sum(i Interval) float64
+	// Horizon returns n, the number of timestamps in the observation
+	// period the function is defined over.
+	Horizon() Time
+}
+
+// Constant weights every timestamp equally. With C = 1 the summed violation
+// weight of an interval is its length in days, so ε is expressed in days —
+// the paper's default setting ("ε = 3 days, w(t) = 1").
+type Constant struct {
+	N Time    // observation period length
+	C float64 // per-timestamp weight
+}
+
+// Uniform returns the paper's default constant weight function w(t) = 1
+// over n timestamps.
+func Uniform(n Time) Constant { return Constant{N: n, C: 1} }
+
+// Relative returns the constant weight function w(t) = 1/n used to express
+// the relative ε of plain ε-relaxed and (ε,δ)-relaxed tINDs (Definitions
+// 3.3 and 3.5) as a weighted tIND.
+func Relative(n Time) Constant {
+	if n <= 0 {
+		return Constant{N: n, C: 0}
+	}
+	return Constant{N: n, C: 1 / float64(n)}
+}
+
+// Weight implements WeightFunc.
+func (c Constant) Weight(t Time) float64 {
+	if t < 0 || t >= c.N {
+		return 0
+	}
+	return c.C
+}
+
+// Sum implements WeightFunc in O(1).
+func (c Constant) Sum(i Interval) float64 {
+	return c.C * float64(i.Clamp(c.N).Len())
+}
+
+// Horizon implements WeightFunc.
+func (c Constant) Horizon() Time { return c.N }
+
+// String describes the function for experiment logs.
+func (c Constant) String() string { return fmt.Sprintf("constant(%g)", c.C) }
+
+// ExponentialDecay implements the paper's recommended decay weighting
+// (Equation 4): w(t) = a^(n−t) with a ∈ (0, 1), so recent timestamps carry
+// more weight. Interval sums use the closed form of the geometric series
+// (Equation 5) and cost O(1).
+type ExponentialDecay struct {
+	N Time    // observation period length
+	A float64 // decay base in (0, 1); values ≥ 1 degenerate to constant 1
+}
+
+// NewExponentialDecay validates the base and constructs the weight function.
+func NewExponentialDecay(n Time, a float64) (ExponentialDecay, error) {
+	if !(a > 0 && a < 1) {
+		return ExponentialDecay{}, fmt.Errorf("timeline: exponential decay base must be in (0,1), got %g", a)
+	}
+	if n < 0 {
+		return ExponentialDecay{}, fmt.Errorf("timeline: negative horizon %d", n)
+	}
+	return ExponentialDecay{N: n, A: a}, nil
+}
+
+// Weight implements WeightFunc.
+func (e ExponentialDecay) Weight(t Time) float64 {
+	if t < 0 || t >= e.N {
+		return 0
+	}
+	return math.Pow(e.A, float64(e.N-t))
+}
+
+// Sum implements WeightFunc in O(1) via the geometric closed form:
+//
+//	Σ_{t=i..j} a^(n−t) = a^(n−j) · (1 − a^(j−i+1)) / (1 − a)
+func (e ExponentialDecay) Sum(i Interval) float64 {
+	i = i.Clamp(e.N)
+	if i.IsEmpty() {
+		return 0
+	}
+	lo, hi := float64(i.Start), float64(i.End-1) // closed [lo, hi]
+	return math.Pow(e.A, float64(e.N)-hi) * (1 - math.Pow(e.A, hi-lo+1)) / (1 - e.A)
+}
+
+// Horizon implements WeightFunc.
+func (e ExponentialDecay) Horizon() Time { return e.N }
+
+// String describes the function for experiment logs.
+func (e ExponentialDecay) String() string { return fmt.Sprintf("expdecay(%g)", e.A) }
+
+// LinearDecay assigns weight growing linearly from W0 at t = 0 to W1 at
+// t = n−1 (set W0 < W1 to favor recent data). Interval sums use the
+// arithmetic-series closed form and cost O(1).
+type LinearDecay struct {
+	N      Time
+	W0, W1 float64
+}
+
+// Weight implements WeightFunc.
+func (l LinearDecay) Weight(t Time) float64 {
+	if t < 0 || t >= l.N {
+		return 0
+	}
+	if l.N == 1 {
+		return l.W0
+	}
+	frac := float64(t) / float64(l.N-1)
+	return l.W0 + (l.W1-l.W0)*frac
+}
+
+// Sum implements WeightFunc in O(1).
+func (l LinearDecay) Sum(i Interval) float64 {
+	i = i.Clamp(l.N)
+	if i.IsEmpty() {
+		return 0
+	}
+	// Arithmetic series: count × mean of first and last weight.
+	first := l.Weight(i.Start)
+	last := l.Weight(i.End - 1)
+	return float64(i.Len()) * (first + last) / 2
+}
+
+// Horizon implements WeightFunc.
+func (l LinearDecay) Horizon() Time { return l.N }
+
+// String describes the function for experiment logs.
+func (l LinearDecay) String() string {
+	return fmt.Sprintf("linear(%g→%g)", l.W0, l.W1)
+}
+
+// PrefixSum wraps an arbitrary per-timestamp weight table, answering
+// interval sums in O(1) after O(n) preprocessing. It supports the paper's
+// "custom function that might disregard certain time periods entirely".
+type PrefixSum struct {
+	weights []float64
+	prefix  []float64 // prefix[i] = Σ weights[0..i)
+}
+
+// NewPrefixSum builds the prefix table over explicit per-timestamp weights.
+// Negative weights are rejected: violation weights must accumulate
+// monotonically for pruning to be sound.
+func NewPrefixSum(weights []float64) (*PrefixSum, error) {
+	p := &PrefixSum{
+		weights: append([]float64(nil), weights...),
+		prefix:  make([]float64, len(weights)+1),
+	}
+	for i, w := range weights {
+		if w < 0 || math.IsNaN(w) {
+			return nil, fmt.Errorf("timeline: weight at t=%d is %g; weights must be non-negative", i, w)
+		}
+		p.prefix[i+1] = p.prefix[i] + w
+	}
+	return p, nil
+}
+
+// Weight implements WeightFunc.
+func (p *PrefixSum) Weight(t Time) float64 {
+	if t < 0 || int(t) >= len(p.weights) {
+		return 0
+	}
+	return p.weights[t]
+}
+
+// Sum implements WeightFunc in O(1).
+func (p *PrefixSum) Sum(i Interval) float64 {
+	i = i.Clamp(Time(len(p.weights)))
+	if i.IsEmpty() {
+		return 0
+	}
+	return p.prefix[i.End] - p.prefix[i.Start]
+}
+
+// Horizon implements WeightFunc.
+func (p *PrefixSum) Horizon() Time { return Time(len(p.weights)) }
+
+// String describes the function for experiment logs.
+func (p *PrefixSum) String() string { return fmt.Sprintf("custom(n=%d)", len(p.weights)) }

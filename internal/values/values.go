@@ -1,0 +1,274 @@
+// Package values provides string interning and sorted value sets.
+//
+// Attribute versions in Wikipedia table histories are sets of cell values.
+// The corpus holds tens of millions of cell-value occurrences but far fewer
+// distinct strings, so all packages operate on interned uint32 ids and only
+// the dictionary ever touches the raw strings. Sets are kept as sorted id
+// slices: subset tests, unions and intersections are linear merges, and a
+// sorted representation makes sets directly hashable into Bloom filters.
+package values
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Value is an interned identifier for a distinct cell value string.
+type Value uint32
+
+// Dictionary maps strings to dense Value ids and back. It is safe for
+// concurrent use; interning is optimized for the read-mostly case after
+// corpus loading.
+type Dictionary struct {
+	mu      sync.RWMutex
+	byStr   map[string]Value
+	strings []string
+}
+
+// NewDictionary returns an empty dictionary.
+func NewDictionary() *Dictionary {
+	return &Dictionary{byStr: make(map[string]Value)}
+}
+
+// Intern returns the id for s, assigning the next dense id on first sight.
+func (d *Dictionary) Intern(s string) Value {
+	d.mu.RLock()
+	v, ok := d.byStr[s]
+	d.mu.RUnlock()
+	if ok {
+		return v
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if v, ok := d.byStr[s]; ok {
+		return v
+	}
+	v = Value(len(d.strings))
+	d.byStr[s] = v
+	d.strings = append(d.strings, s)
+	return v
+}
+
+// Lookup returns the id for s without interning.
+func (d *Dictionary) Lookup(s string) (Value, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	v, ok := d.byStr[s]
+	return v, ok
+}
+
+// String returns the string for an id. It panics on ids that were never
+// assigned, which always indicates a bug (ids only come from Intern).
+func (d *Dictionary) String(v Value) string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if int(v) >= len(d.strings) {
+		panic(fmt.Sprintf("values: id %d out of range (dictionary has %d entries)", v, len(d.strings)))
+	}
+	return d.strings[v]
+}
+
+// Len returns the number of distinct interned strings.
+func (d *Dictionary) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.strings)
+}
+
+// InternAll interns a batch of strings and returns the resulting Set.
+func (d *Dictionary) InternAll(ss []string) Set {
+	ids := make([]Value, 0, len(ss))
+	for _, s := range ss {
+		ids = append(ids, d.Intern(s))
+	}
+	return NewSet(ids...)
+}
+
+// Strings resolves a set back to its strings, in set (id) order.
+func (d *Dictionary) Strings(s Set) []string {
+	out := make([]string, len(s))
+	for i, v := range s {
+		out[i] = d.String(v)
+	}
+	return out
+}
+
+// Set is an immutable sorted slice of distinct Values. The zero value is the
+// empty set. Callers must not mutate a Set after construction; all package
+// operations return fresh slices.
+type Set []Value
+
+// NewSet sorts and deduplicates the given ids into a Set.
+func NewSet(ids ...Value) Set {
+	if len(ids) == 0 {
+		return nil
+	}
+	s := append(Set(nil), ids...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	out := s[:1]
+	for _, v := range s[1:] {
+		if v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Len returns the cardinality of the set.
+func (s Set) Len() int { return len(s) }
+
+// IsEmpty reports whether the set has no elements.
+func (s Set) IsEmpty() bool { return len(s) == 0 }
+
+// Contains reports whether v is in the set (binary search).
+func (s Set) Contains(v Value) bool {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= v })
+	return i < len(s) && s[i] == v
+}
+
+// SubsetOf reports whether every element of s is in t, by linear merge.
+func (s Set) SubsetOf(t Set) bool {
+	if len(s) > len(t) {
+		return false
+	}
+	j := 0
+	for _, v := range s {
+		for j < len(t) && t[j] < v {
+			j++
+		}
+		if j >= len(t) || t[j] != v {
+			return false
+		}
+		j++
+	}
+	return true
+}
+
+// Equal reports whether the two sets contain the same elements.
+func (s Set) Equal(t Set) bool {
+	if len(s) != len(t) {
+		return false
+	}
+	for i := range s {
+		if s[i] != t[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Union returns the union of the two sets as a new Set.
+func (s Set) Union(t Set) Set {
+	if len(s) == 0 {
+		return append(Set(nil), t...)
+	}
+	if len(t) == 0 {
+		return append(Set(nil), s...)
+	}
+	out := make(Set, 0, len(s)+len(t))
+	i, j := 0, 0
+	for i < len(s) && j < len(t) {
+		switch {
+		case s[i] < t[j]:
+			out = append(out, s[i])
+			i++
+		case s[i] > t[j]:
+			out = append(out, t[j])
+			j++
+		default:
+			out = append(out, s[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, s[i:]...)
+	out = append(out, t[j:]...)
+	return out
+}
+
+// Intersect returns the intersection of the two sets as a new Set.
+func (s Set) Intersect(t Set) Set {
+	var out Set
+	i, j := 0, 0
+	for i < len(s) && j < len(t) {
+		switch {
+		case s[i] < t[j]:
+			i++
+		case s[i] > t[j]:
+			j++
+		default:
+			out = append(out, s[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// Diff returns the elements of s not in t as a new Set.
+func (s Set) Diff(t Set) Set {
+	var out Set
+	j := 0
+	for _, v := range s {
+		for j < len(t) && t[j] < v {
+			j++
+		}
+		if j < len(t) && t[j] == v {
+			continue
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// MultiSet is a mutable bag of values with counts, used as the sliding
+// window over attribute versions during tIND validation (Section 4.3): as
+// intervals are traversed in order, versions entering the window Add their
+// values and versions leaving Remove them.
+type MultiSet struct {
+	counts map[Value]int
+}
+
+// NewMultiSet returns an empty multiset.
+func NewMultiSet() *MultiSet { return &MultiSet{counts: make(map[Value]int)} }
+
+// AddSet increments the count of every value in s.
+func (m *MultiSet) AddSet(s Set) {
+	for _, v := range s {
+		m.counts[v]++
+	}
+}
+
+// RemoveSet decrements the count of every value in s. It panics if a value
+// was not present: windows must only remove what they added.
+func (m *MultiSet) RemoveSet(s Set) {
+	for _, v := range s {
+		c := m.counts[v]
+		if c <= 0 {
+			panic(fmt.Sprintf("values: removing value %d not present in multiset", v))
+		}
+		if c == 1 {
+			delete(m.counts, v)
+		} else {
+			m.counts[v] = c - 1
+		}
+	}
+}
+
+// Contains reports whether v has a positive count.
+func (m *MultiSet) Contains(v Value) bool { return m.counts[v] > 0 }
+
+// ContainsAll reports whether every element of s has a positive count,
+// i.e. s ⊆ support(m).
+func (m *MultiSet) ContainsAll(s Set) bool {
+	for _, v := range s {
+		if m.counts[v] <= 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Distinct returns the number of distinct values with positive count.
+func (m *MultiSet) Distinct() int { return len(m.counts) }

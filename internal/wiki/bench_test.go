@@ -1,0 +1,50 @@
+package wiki
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+func benchWikitext(rows int) string {
+	var b strings.Builder
+	b.WriteString("{| class=\"wikitable\"\n! No. !! Name !! Country\n")
+	for i := 0; i < rows; i++ {
+		fmt.Fprintf(&b, "|-\n| %d || [[Entity %d|E%d]] || {{flag|Country %d}}\n", i, i, i, i%20)
+	}
+	b.WriteString("|}\n")
+	return b.String()
+}
+
+func BenchmarkParseTables100Rows(b *testing.B) {
+	src := benchWikitext(100)
+	b.SetBytes(int64(len(src)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if tables := ParseTables(src); len(tables) != 1 {
+			b.Fatal("parse failed")
+		}
+	}
+}
+
+func BenchmarkExtractorRevisionStream(b *testing.B) {
+	revs := make([]Revision, 20)
+	base := time.Date(2006, 1, 1, 0, 0, 0, 0, time.UTC)
+	for i := range revs {
+		revs[i] = Revision{
+			Page: "P", ID: int64(i), Timestamp: base.AddDate(0, 0, i*7),
+			Wikitext: benchWikitext(50 + i),
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ex := NewExtractor()
+		for _, r := range revs {
+			if err := ex.Process(r); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

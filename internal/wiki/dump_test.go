@@ -1,0 +1,183 @@
+package wiki
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleDump = `<mediawiki xmlns="http://www.mediawiki.org/xml/export-0.10/">
+  <siteinfo><sitename>Wikipedia</sitename></siteinfo>
+  <page>
+    <title>Pokémon</title>
+    <ns>0</ns>
+    <id>100</id>
+    <revision>
+      <id>1</id>
+      <timestamp>2004-05-01T12:34:56Z</timestamp>
+      <contributor><username>alice</username></contributor>
+      <text xml:space="preserve">{|
+! Game
+|-
+| Red
+|}</text>
+    </revision>
+    <revision>
+      <id>2</id>
+      <timestamp>2004-06-01T08:00:00Z</timestamp>
+      <text xml:space="preserve">{|
+! Game
+|-
+| Red
+|-
+| Gold
+|}</text>
+    </revision>
+    <revision>
+      <id>3</id>
+      <timestamp>2004-07-01T08:00:00Z</timestamp>
+      <text xml:space="preserve">just prose now, the table was deleted</text>
+    </revision>
+    <revision>
+      <id>4</id>
+      <timestamp>2004-08-01T08:00:00Z</timestamp>
+      <text xml:space="preserve">still prose</text>
+    </revision>
+  </page>
+  <page>
+    <title>Talk:Pokémon</title>
+    <ns>1</ns>
+    <id>101</id>
+    <revision>
+      <id>5</id>
+      <timestamp>2004-05-02T00:00:00Z</timestamp>
+      <text>talk page chatter {| | x |}</text>
+    </revision>
+  </page>
+  <page>
+    <title>Another article</title>
+    <ns>0</ns>
+    <id>102</id>
+    <revision>
+      <id>6</id>
+      <timestamp>2005-01-01T00:00:00Z</timestamp>
+      <text>no tables here</text>
+    </revision>
+  </page>
+</mediawiki>`
+
+func collectDump(t *testing.T, opt DumpOptions) []Revision {
+	t.Helper()
+	var out []Revision
+	if err := ParseDump(strings.NewReader(sampleDump), opt, func(r Revision) error {
+		out = append(out, r)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestParseDumpBasic(t *testing.T) {
+	revs := collectDump(t, DumpOptions{})
+	// Namespace 1 filtered, all ns-0 revisions kept.
+	if len(revs) != 5 {
+		t.Fatalf("got %d revisions, want 5", len(revs))
+	}
+	if revs[0].Page != "Pokémon" || revs[0].ID != 1 {
+		t.Fatalf("first revision: %+v", revs[0])
+	}
+	if revs[0].Timestamp.Year() != 2004 || revs[0].Timestamp.Month() != 5 {
+		t.Fatalf("timestamp: %v", revs[0].Timestamp)
+	}
+	if !strings.Contains(revs[1].Wikitext, "Gold") {
+		t.Fatalf("second revision text lost: %q", revs[1].Wikitext)
+	}
+	for _, r := range revs {
+		if strings.HasPrefix(r.Page, "Talk:") {
+			t.Fatal("talk namespace must be filtered")
+		}
+	}
+}
+
+func TestParseDumpTablesOnly(t *testing.T) {
+	revs := collectDump(t, DumpOptions{TablesOnly: true})
+	// Revisions 1, 2 have tables; revision 3 is the deletion boundary and
+	// must be kept; revision 4 and the tableless article are skipped.
+	if len(revs) != 3 {
+		t.Fatalf("got %d revisions, want 3: %+v", len(revs), revs)
+	}
+	if revs[2].ID != 3 {
+		t.Fatalf("deletion revision must be emitted, got id %d", revs[2].ID)
+	}
+}
+
+func TestParseDumpMaxPages(t *testing.T) {
+	revs := collectDump(t, DumpOptions{MaxPages: 1})
+	for _, r := range revs {
+		if r.Page != "Pokémon" {
+			t.Fatalf("MaxPages=1 leaked page %q", r.Page)
+		}
+	}
+	if len(revs) != 4 {
+		t.Fatalf("got %d revisions, want 4", len(revs))
+	}
+}
+
+func TestParseDumpCustomNamespaces(t *testing.T) {
+	revs := collectDump(t, DumpOptions{Namespaces: []int{1}})
+	if len(revs) != 1 || revs[0].Page != "Talk:Pokémon" {
+		t.Fatalf("namespace selection failed: %+v", revs)
+	}
+}
+
+func TestParseDumpFeedsExtractor(t *testing.T) {
+	ex := NewExtractor()
+	if err := ParseDump(strings.NewReader(sampleDump), DumpOptions{}, ex.Process); err != nil {
+		t.Fatal(err)
+	}
+	recs := ex.Records()
+	if len(recs) != 1 {
+		t.Fatalf("got %d records, want 1 (the Game column)", len(recs))
+	}
+	rec := recs[0]
+	if rec.Header != "Game" || len(rec.Observations) != 2 {
+		t.Fatalf("record: %+v", rec)
+	}
+	if rec.DeletedAt.IsZero() {
+		t.Fatal("table deletion in revision 3 must mark the column deleted")
+	}
+}
+
+func TestParseDumpMalformedXML(t *testing.T) {
+	err := ParseDump(strings.NewReader("<mediawiki><page><title>x</title"), DumpOptions{},
+		func(Revision) error { return nil })
+	if err == nil {
+		t.Fatal("malformed XML must fail")
+	}
+}
+
+func TestParseDumpBadTimestamp(t *testing.T) {
+	bad := `<mediawiki><page><title>X</title><ns>0</ns>
+	<revision><id>1</id><timestamp>yesterday</timestamp><text>{|</text></revision>
+	</page></mediawiki>`
+	err := ParseDump(strings.NewReader(bad), DumpOptions{}, func(Revision) error { return nil })
+	if err == nil || !strings.Contains(err.Error(), "timestamp") {
+		t.Fatalf("bad timestamp must fail, got %v", err)
+	}
+}
+
+func TestParseDumpEmitError(t *testing.T) {
+	wantErr := strings.NewReader(sampleDump)
+	err := ParseDump(wantErr, DumpOptions{}, func(Revision) error {
+		return errStop
+	})
+	if err != errStop {
+		t.Fatalf("emit errors must propagate, got %v", err)
+	}
+}
+
+var errStop = &stopError{}
+
+type stopError struct{}
+
+func (*stopError) Error() string { return "stop" }

@@ -1,0 +1,190 @@
+package wiki
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Revision is one version of a Wikipedia page.
+type Revision struct {
+	Page      string
+	ID        int64
+	Timestamp time.Time
+	Wikitext  string
+}
+
+// Observation is one column state extracted from a revision.
+type Observation struct {
+	Time   time.Time
+	Values []string // raw distinct cell values, in row order (may repeat)
+}
+
+// AttributeRecord is the extracted history of one column: the unit the
+// preprocessing pipeline turns into a history.History.
+type AttributeRecord struct {
+	Page         string
+	TableID      string // stable per-page table identity, e.g. "T3"
+	ColumnID     string // stable per-table column identity, e.g. "C2"
+	Header       string // most recent header text
+	Observations []Observation
+	// DeletedAt is the time of the first revision in which the column (or
+	// its table) no longer exists; zero while it is still alive.
+	DeletedAt time.Time
+}
+
+// Key identifies the attribute within the corpus.
+func (r *AttributeRecord) Key() string {
+	return r.Page + "/" + r.TableID + "/" + r.ColumnID
+}
+
+// trackedColumn is the live matching state of one column.
+type trackedColumn struct {
+	id         string
+	header     string
+	lastValues []string
+	record     *AttributeRecord
+}
+
+// trackedTable is the live matching state of one table of a page.
+type trackedTable struct {
+	id          string
+	headers     []string
+	caption     string
+	sampleCells []string
+	columns     []*trackedColumn
+	nextColumn  int
+}
+
+// pageState tracks all live tables of one page.
+type pageState struct {
+	tables    []*trackedTable
+	nextTable int
+	lastTime  time.Time
+}
+
+// Extractor consumes page revisions and maintains table/column identity
+// across them. Revisions of the same page must arrive in chronological
+// order; pages may interleave freely.
+type Extractor struct {
+	pages   map[string]*pageState
+	records []*AttributeRecord
+}
+
+// NewExtractor returns an empty extractor.
+func NewExtractor() *Extractor {
+	return &Extractor{pages: make(map[string]*pageState)}
+}
+
+// Process parses the revision's tables, matches them against the page's
+// tracked tables and records one observation per live column.
+func (e *Extractor) Process(rev Revision) error {
+	ps := e.pages[rev.Page]
+	if ps == nil {
+		ps = &pageState{}
+		e.pages[rev.Page] = ps
+	}
+	if rev.Timestamp.Before(ps.lastTime) {
+		return fmt.Errorf("wiki: revision %d of %q out of order (%v before %v)",
+			rev.ID, rev.Page, rev.Timestamp, ps.lastTime)
+	}
+	ps.lastTime = rev.Timestamp
+
+	tables := ParseTables(rev.Wikitext)
+	assign := greedyMatch(len(ps.tables), len(tables), func(i, j int) float64 {
+		return tableSimilarity(ps.tables[i], &tables[j])
+	})
+
+	matchedPrev := make([]bool, len(ps.tables))
+	var next []*trackedTable
+	for j := range tables {
+		cur := &tables[j]
+		var tt *trackedTable
+		if pi := assign[j]; pi >= 0 {
+			tt = ps.tables[pi]
+			matchedPrev[pi] = true
+		} else {
+			ps.nextTable++
+			tt = &trackedTable{id: fmt.Sprintf("T%d", ps.nextTable)}
+		}
+		e.updateTable(rev, tt, cur)
+		next = append(next, tt)
+	}
+	// Tables that vanished: mark all their columns deleted.
+	for i, tt := range ps.tables {
+		if !matchedPrev[i] {
+			for _, c := range tt.columns {
+				if c.record.DeletedAt.IsZero() {
+					c.record.DeletedAt = rev.Timestamp
+				}
+			}
+		}
+	}
+	ps.tables = next
+	return nil
+}
+
+// updateTable matches the columns of the new table version against the
+// tracked columns and appends observations.
+func (e *Extractor) updateTable(rev Revision, tt *trackedTable, cur *Table) {
+	ncols := cur.NumColumns()
+	headers := make([]string, ncols)
+	colVals := make([][]string, ncols)
+	for i := 0; i < ncols; i++ {
+		if i < len(cur.Headers) {
+			headers[i] = cur.Headers[i]
+		}
+		colVals[i] = cur.Column(i)
+	}
+
+	assign := greedyMatch(len(tt.columns), ncols, func(i, j int) float64 {
+		return columnSimilarity(tt.columns[i], headers[j], colVals[j])
+	})
+
+	matchedPrev := make([]bool, len(tt.columns))
+	var next []*trackedColumn
+	for j := 0; j < ncols; j++ {
+		var tc *trackedColumn
+		if pi := assign[j]; pi >= 0 {
+			tc = tt.columns[pi]
+			matchedPrev[pi] = true
+		} else {
+			tt.nextColumn++
+			tc = &trackedColumn{
+				id: fmt.Sprintf("C%d", tt.nextColumn),
+				record: &AttributeRecord{
+					Page:     rev.Page,
+					TableID:  tt.id,
+					ColumnID: fmt.Sprintf("C%d", tt.nextColumn),
+				},
+			}
+			e.records = append(e.records, tc.record)
+		}
+		tc.header = headers[j]
+		tc.lastValues = colVals[j]
+		tc.record.Header = headers[j]
+		tc.record.TableID = tt.id
+		tc.record.Observations = append(tc.record.Observations, Observation{
+			Time:   rev.Timestamp,
+			Values: colVals[j],
+		})
+		next = append(next, tc)
+	}
+	for i, tc := range tt.columns {
+		if !matchedPrev[i] && tc.record.DeletedAt.IsZero() {
+			tc.record.DeletedAt = rev.Timestamp
+		}
+	}
+	tt.columns = next
+	tt.headers = headers
+	tt.caption = cur.Caption
+	tt.sampleCells = sampleCells(cur)
+}
+
+// Records returns all attribute records extracted so far, sorted by key
+// for determinism. Records of deleted columns are included.
+func (e *Extractor) Records() []*AttributeRecord {
+	out := append([]*AttributeRecord(nil), e.records...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out
+}

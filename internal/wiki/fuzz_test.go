@@ -1,0 +1,70 @@
+package wiki
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzCleanCell asserts that cell cleaning never panics and never emits
+// wiki markup, whatever the input.
+func FuzzCleanCell(f *testing.F) {
+	seeds := []string{
+		"",
+		"plain",
+		"[[A|b]]",
+		"[[unclosed",
+		"{{tmpl|a|b}}",
+		"{{unclosed",
+		"}}backwards{{",
+		"<ref>x</ref>",
+		"<ref",
+		"<!--",
+		"'''''",
+		"[http://x",
+		"{{sort|k|[[X|y]]}}",
+		"{{{{}}}}",
+		"| a || b |",
+		strings.Repeat("{{a|", 50),
+		strings.Repeat("[[", 100) + strings.Repeat("]]", 100),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		out := CleanCell(s)
+		for _, bad := range []string{"[[", "]]", "<ref", "'''", "<!--"} {
+			if strings.Contains(out, bad) {
+				t.Fatalf("CleanCell(%q) leaked markup %q: %q", s, bad, out)
+			}
+		}
+	})
+}
+
+// FuzzParseTables asserts the table parser never panics and the parsed
+// structure is internally consistent.
+func FuzzParseTables(f *testing.F) {
+	seeds := []string{
+		"",
+		"{|\n|}",
+		"{|\n! A !! B\n|-\n| 1 || 2\n|}",
+		"{|\n{|\n|}\n|}",
+		"{|\n|+ caption\n|-\n|",
+		"|}",
+		"{|" + strings.Repeat("\n|-", 100),
+		"{|\n! style=\"x\" | H\n|-\n| a | b\n|}",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		tables := ParseTables(s)
+		for _, tbl := range tables {
+			n := tbl.NumColumns()
+			for i := 0; i < n; i++ {
+				if got := tbl.Column(i); len(got) > len(tbl.Rows) {
+					t.Fatalf("column %d longer than row count", i)
+				}
+			}
+		}
+	})
+}

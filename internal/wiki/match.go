@@ -1,0 +1,134 @@
+package wiki
+
+import (
+	"strings"
+)
+
+// jaccard computes the Jaccard similarity of two string multisets' supports.
+func jaccard(a, b []string) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	sa := make(map[string]bool, len(a))
+	for _, s := range a {
+		if s != "" {
+			sa[s] = true
+		}
+	}
+	inter, union := 0, 0
+	sb := make(map[string]bool, len(b))
+	for _, s := range b {
+		if s == "" || sb[s] {
+			continue
+		}
+		sb[s] = true
+		if sa[s] {
+			inter++
+		} else {
+			union++
+		}
+	}
+	union += len(sa)
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}
+
+// tableSimilarity scores how likely cur is the next version of prev:
+// header overlap dominates, with caption equality and cell-content overlap
+// as tie-breakers. Scores are in [0, 1].
+func tableSimilarity(prev *trackedTable, cur *Table) float64 {
+	headerScore := jaccard(prev.headers, cur.Headers)
+	var captionScore float64
+	if prev.caption != "" && prev.caption == cur.Caption {
+		captionScore = 1
+	}
+	contentScore := jaccard(prev.sampleCells, sampleCells(cur))
+	return 0.6*headerScore + 0.15*captionScore + 0.25*contentScore
+}
+
+// sampleCells returns a bounded sample of a table's cell values for
+// content-based matching of tables whose headers were renamed.
+func sampleCells(t *Table) []string {
+	const maxCells = 64
+	var out []string
+	for _, row := range t.Rows {
+		for _, c := range row {
+			if c == "" {
+				continue
+			}
+			out = append(out, c)
+			if len(out) >= maxCells {
+				return out
+			}
+		}
+	}
+	return out
+}
+
+// matchThreshold is the minimum similarity for a table (or column) of a
+// new revision to be considered the successor of a tracked one; below it,
+// the entity is treated as new.
+const matchThreshold = 0.25
+
+// greedyMatch computes a greedy maximum-similarity assignment between n
+// previous entities and m current ones. score(i,j) below threshold never
+// matches. Returns cur→prev (−1 for new entities).
+func greedyMatch(n, m int, score func(i, j int) float64) []int {
+	assign := make([]int, m)
+	for j := range assign {
+		assign[j] = -1
+	}
+	usedPrev := make([]bool, n)
+	type cand struct {
+		i, j int
+		s    float64
+	}
+	var cands []cand
+	for i := 0; i < n; i++ {
+		for j := 0; j < m; j++ {
+			if s := score(i, j); s >= matchThreshold {
+				cands = append(cands, cand{i, j, s})
+			}
+		}
+	}
+	// Selection sort of the small candidate list by descending score keeps
+	// the matching deterministic.
+	for len(cands) > 0 {
+		best := 0
+		for k := 1; k < len(cands); k++ {
+			if cands[k].s > cands[best].s ||
+				(cands[k].s == cands[best].s && (cands[k].i < cands[best].i ||
+					(cands[k].i == cands[best].i && cands[k].j < cands[best].j))) {
+				best = k
+			}
+		}
+		c := cands[best]
+		cands[best] = cands[len(cands)-1]
+		cands = cands[:len(cands)-1]
+		if usedPrev[c.i] || assign[c.j] != -1 {
+			continue
+		}
+		usedPrev[c.i] = true
+		assign[c.j] = c.i
+	}
+	return assign
+}
+
+// normalizeHeader canonicalizes a column header for identity matching.
+func normalizeHeader(h string) string {
+	return strings.ToLower(strings.TrimSpace(h))
+}
+
+// columnSimilarity scores column identity: exact (normalized) header match
+// is decisive; otherwise cell-value overlap decides (renamed columns).
+func columnSimilarity(prev *trackedColumn, header string, vals []string) float64 {
+	if prev.header != "" && normalizeHeader(prev.header) == normalizeHeader(header) {
+		return 1
+	}
+	return jaccard(prev.lastValues, vals) * 0.9
+}

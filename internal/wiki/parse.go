@@ -1,0 +1,570 @@
+// Package wiki is the Wikipedia substrate: a wikitext table parser, a
+// matcher that tracks table and column identity across page revisions, and
+// an extractor that turns revision streams into per-attribute observations.
+//
+// The paper builds on an existing table-history extraction system [5] and
+// the Wikimedia revision dump; this package reimplements the parts of that
+// pipeline the tIND workload needs. The parser covers the MediaWiki table
+// constructs that dominate real articles ({| |}, |-, ! and | cells, inline
+// || and !! separators, cell attributes, captions, [[links]], templates,
+// references and HTML comments).
+package wiki
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Table is one parsed wikitable.
+type Table struct {
+	Caption string
+	Headers []string   // first header row, cleaned
+	Rows    [][]string // data rows, cleaned cell text
+}
+
+// NumColumns returns the column count: the header width, or the widest
+// data row for headerless tables.
+func (t *Table) NumColumns() int {
+	n := len(t.Headers)
+	for _, r := range t.Rows {
+		if len(r) > n {
+			n = len(r)
+		}
+	}
+	return n
+}
+
+// Column returns the values of column i across all data rows, skipping
+// rows that are too short. Empty cells are included; callers decide how to
+// treat them (the preprocessing pipeline unifies null symbols).
+func (t *Table) Column(i int) []string {
+	out := make([]string, 0, len(t.Rows))
+	for _, r := range t.Rows {
+		if i < len(r) {
+			out = append(out, r[i])
+		}
+	}
+	return out
+}
+
+// ParseTables extracts all top-level wikitables from wikitext. Nested
+// tables are skipped (their content is not attributed to the outer cell),
+// which matches how table-history extraction treats layout nesting.
+func ParseTables(wikitext string) []Table {
+	lines := strings.Split(wikitext, "\n")
+	var tables []Table
+	for i := 0; i < len(lines); i++ {
+		if isTableStart(lines[i]) {
+			tbl, next := parseTable(lines, i+1)
+			tables = append(tables, tbl)
+			i = next
+		}
+	}
+	return tables
+}
+
+func isTableStart(line string) bool {
+	return strings.HasPrefix(strings.TrimSpace(line), "{|")
+}
+
+func isTableEnd(line string) bool {
+	return strings.HasPrefix(strings.TrimSpace(line), "|}")
+}
+
+// cell is one parsed table cell before row assembly.
+type cell struct {
+	text    string
+	header  bool
+	rowspan int
+	colspan int
+}
+
+// parseTable consumes lines starting after a {| marker and returns the
+// parsed table plus the index of the closing |} line (or the last line).
+func parseTable(lines []string, start int) (Table, int) {
+	var t Table
+	var current []cell // cells of the row being assembled
+	sawHeaderRow := false
+	// carry holds cells spanning into subsequent rows (rowspan), keyed by
+	// their column position.
+	type carried struct {
+		text      string
+		remaining int
+	}
+	var carry map[int]*carried
+
+	flush := func() {
+		if current == nil {
+			return
+		}
+		allHeader := true
+		for _, c := range current {
+			if !c.header {
+				allHeader = false
+				break
+			}
+		}
+		// Expand colspans and place rowspan carryovers.
+		var out []string
+		nextCarry := make(map[int]*carried)
+		col := 0
+		placeCarry := func() {
+			for carry[col] != nil { // a spanning cell occupies this column
+				cc := carry[col]
+				out = append(out, cc.text)
+				if cc.remaining > 1 {
+					nextCarry[col] = &carried{text: cc.text, remaining: cc.remaining - 1}
+				}
+				col++
+			}
+		}
+		for _, c := range current {
+			placeCarry()
+			for span := 0; span < c.colspan; span++ {
+				if c.rowspan > 1 {
+					nextCarry[col] = &carried{text: c.text, remaining: c.rowspan - 1}
+				}
+				out = append(out, c.text)
+				col++
+			}
+		}
+		placeCarry()
+		carry = nextCarry
+
+		switch {
+		case allHeader && !sawHeaderRow:
+			t.Headers = out
+			sawHeaderRow = true
+		case allHeader && sawHeaderRow && len(t.Rows) == 0:
+			// Secondary header row (grouped headers): skip.
+		default:
+			t.Rows = append(t.Rows, out)
+		}
+		current = nil
+	}
+
+	i := start
+	for ; i < len(lines); i++ {
+		line := strings.TrimSpace(lines[i])
+		switch {
+		case isTableEnd(line):
+			flush()
+			return t, i
+		case isTableStart(line):
+			// Nested table: skip to its end.
+			depth := 1
+			for i++; i < len(lines); i++ {
+				inner := strings.TrimSpace(lines[i])
+				if isTableStart(inner) {
+					depth++
+				} else if isTableEnd(inner) {
+					depth--
+					if depth == 0 {
+						break
+					}
+				}
+			}
+		case strings.HasPrefix(line, "|+"):
+			t.Caption = CleanCell(stripCellAttributes(line[2:]))
+		case strings.HasPrefix(line, "|-"):
+			flush()
+		case strings.HasPrefix(line, "!"):
+			for _, raw := range splitCells(line[1:], "!!") {
+				current = append(current, makeCell(raw, true))
+			}
+		case strings.HasPrefix(line, "|"):
+			for _, raw := range splitCells(line[1:], "||") {
+				current = append(current, makeCell(raw, false))
+			}
+		default:
+			// Continuation of the previous cell (multi-line cell content).
+			if len(current) > 0 && line != "" {
+				last := &current[len(current)-1]
+				last.text = strings.TrimSpace(last.text + " " + CleanCell(line))
+			}
+		}
+	}
+	flush()
+	return t, i - 1
+}
+
+// makeCell parses one raw cell into text plus span attributes.
+func makeCell(raw string, header bool) cell {
+	c := cell{header: header, rowspan: 1, colspan: 1}
+	attrs, content := splitCellAttributes(raw)
+	c.text = CleanCell(content)
+	if attrs != "" {
+		c.rowspan = spanAttr(attrs, "rowspan")
+		c.colspan = spanAttr(attrs, "colspan")
+	}
+	return c
+}
+
+// spanAttr extracts rowspan/colspan values from a cell attribute segment,
+// defaulting to 1 and capping implausible spans.
+func spanAttr(attrs, name string) int {
+	i := strings.Index(strings.ToLower(attrs), name)
+	if i < 0 {
+		return 1
+	}
+	rest := attrs[i+len(name):]
+	rest = strings.TrimLeft(rest, " =\"'")
+	n := 0
+	for n < len(rest) && rest[n] >= '0' && rest[n] <= '9' {
+		n++
+	}
+	v, err := strconv.Atoi(rest[:n])
+	if err != nil || v < 1 {
+		return 1
+	}
+	const maxSpan = 256 // guard against vandalized spans
+	if v > maxSpan {
+		return maxSpan
+	}
+	return v
+}
+
+// splitCells splits inline cell lists on the given separator (|| or !!),
+// respecting [[...]] links and {{...}} templates that may contain pipes.
+func splitCells(s, sep string) []string {
+	var cells []string
+	var depthLink, depthTmpl int
+	last := 0
+	for i := 0; i+1 < len(s); i++ {
+		switch s[i : i+2] {
+		case "[[":
+			depthLink++
+			i++
+		case "]]":
+			if depthLink > 0 {
+				depthLink--
+			}
+			i++
+		case "{{":
+			depthTmpl++
+			i++
+		case "}}":
+			if depthTmpl > 0 {
+				depthTmpl--
+			}
+			i++
+		case sep:
+			if depthLink == 0 && depthTmpl == 0 {
+				cells = append(cells, s[last:i])
+				i++
+				last = i + 1
+			}
+		}
+	}
+	cells = append(cells, s[last:])
+	return cells
+}
+
+// stripCellAttributes removes a leading attribute segment, returning only
+// the content.
+func stripCellAttributes(raw string) string {
+	_, content := splitCellAttributes(raw)
+	return content
+}
+
+// splitCellAttributes separates a leading attribute segment from the cell
+// content: in MediaWiki, `| style="..." | content` carries attributes
+// before the first single pipe. The segment is only treated as attributes
+// when it looks like key=value pairs and contains no link/template markup.
+func splitCellAttributes(cell string) (attrs, content string) {
+	var depthLink, depthTmpl int
+	for i := 0; i < len(cell); i++ {
+		if i+1 < len(cell) {
+			switch cell[i : i+2] {
+			case "[[":
+				depthLink++
+				i++
+				continue
+			case "]]":
+				if depthLink > 0 {
+					depthLink--
+				}
+				i++
+				continue
+			case "{{":
+				depthTmpl++
+				i++
+				continue
+			case "}}":
+				if depthTmpl > 0 {
+					depthTmpl--
+				}
+				i++
+				continue
+			}
+		}
+		if cell[i] == '|' && depthLink == 0 && depthTmpl == 0 {
+			prefix := cell[:i]
+			if strings.Contains(prefix, "=") && !strings.ContainsAny(prefix, "[]{}") {
+				return prefix, cell[i+1:]
+			}
+			return "", cell // a bare pipe without attributes: keep everything
+		}
+	}
+	return "", cell
+}
+
+// CleanCell normalizes wikitext cell content to plain text:
+//
+//   - [[Target|label]] and [[Target]] resolve to Target, uniformly
+//     representing linked entities across tables (Section 5.1)
+//   - [http://url label] keeps the label
+//   - templates {{...}}, <ref>...</ref> and HTML comments are dropped
+//   - bold/italic quotes and residual HTML tags are stripped
+func CleanCell(s string) string {
+	s = dropSpans(s, "<!--", "-->")
+	s = dropSpans(s, "<ref", "</ref>")
+	s = dropSelfClosingRefs(s)
+	s = renderTemplates(s)
+	s = dropSpans(s, "{{", "}}")
+	s = resolveLinks(s)
+	s = resolveExternalLinks(s)
+	s = strings.ReplaceAll(s, "'''", "")
+	s = strings.ReplaceAll(s, "''", "")
+	s = dropTags(s)
+	// Unbalanced markers survive the span passes; a value must never
+	// carry raw markup, so scrub the leftovers.
+	s = residualMarkup.Replace(s)
+	s = strings.Join(strings.Fields(s), " ")
+	return strings.TrimSpace(s)
+}
+
+// residualMarkup scrubs unbalanced wiki markers from cleaned cells.
+// Replacement with a space (not the empty string) prevents the scrub from
+// splicing new markers together, e.g. "[{{[" → "[[".
+var residualMarkup = strings.NewReplacer("[[", " ", "]]", " ", "{{", " ", "}}", " ")
+
+// dropSpans removes all (possibly nested for identical markers) spans
+// delimited by open/close. An opener without a matching closer is left
+// intact — e.g. a self-closing <ref .../>, handled separately.
+func dropSpans(s, open, close string) string {
+	var b strings.Builder
+	for {
+		i := strings.Index(s, open)
+		if i < 0 {
+			b.WriteString(s)
+			return b.String()
+		}
+		depth := 1
+		j := i + len(open)
+		for j < len(s) && depth > 0 {
+			switch {
+			case strings.HasPrefix(s[j:], open):
+				depth++
+				j += len(open)
+			case strings.HasPrefix(s[j:], close):
+				depth--
+				j += len(close)
+			default:
+				j++
+			}
+		}
+		if depth > 0 {
+			b.WriteString(s)
+			return b.String()
+		}
+		b.WriteString(s[:i])
+		b.WriteByte(' ')
+		s = s[j:]
+	}
+}
+
+// renderTemplates expands the handful of templates that carry cell values
+// in real Wikipedia tables; everything unrecognized is left for the
+// subsequent template-dropping pass. Innermost templates are rendered
+// first so nesting like {{sort|k|{{flag|X}}}} resolves correctly.
+func renderTemplates(s string) string {
+	for pass := 0; pass < 16; pass++ { // depth bound against pathological nesting
+		i := strings.LastIndex(s, "{{")
+		if i < 0 {
+			return s
+		}
+		j := strings.Index(s[i:], "}}")
+		if j < 0 {
+			return s
+		}
+		inner := s[i+2 : i+j]
+		rendered, ok := renderTemplate(inner)
+		if !ok {
+			// Unknown template: blank it so the scan can proceed to any
+			// enclosing one; the final drop pass removes leftovers.
+			rendered = ""
+		}
+		s = s[:i] + rendered + s[i+j+2:]
+	}
+	return s
+}
+
+// renderTemplate expands one template body (without braces) when its name
+// is known to carry a display value.
+func renderTemplate(body string) (string, bool) {
+	parts := splitArgs(body)
+	name := strings.ToLower(strings.TrimSpace(parts[0]))
+	// Positional arguments only; named parameters (key=value) are
+	// formatting hints.
+	var args []string
+	for _, p := range parts[1:] {
+		if strings.Contains(p, "=") {
+			continue
+		}
+		args = append(args, strings.TrimSpace(p))
+	}
+	switch name {
+	case "flag", "flagcountry", "flagu":
+		// {{flag|Germany}} → Germany
+		if len(args) > 0 {
+			return args[0], true
+		}
+	case "hs":
+		// Hidden sort key: contributes no visible text.
+		return "", true
+	case "sort", "sortname":
+		// {{sort|key|display}} → display; {{sortname|First|Last}} → First Last
+		if name == "sortname" && len(args) >= 2 {
+			return args[0] + " " + args[1], true
+		}
+		if len(args) >= 2 {
+			return args[1], true
+		}
+		if len(args) == 1 {
+			return args[0], true
+		}
+	case "nowrap", "small", "center", "left", "right", "big":
+		if len(args) > 0 {
+			return strings.Join(args, " "), true
+		}
+	case "dts", "date":
+		// date-sort templates: join the date parts.
+		if len(args) > 0 {
+			return strings.Join(args, "-"), true
+		}
+	}
+	return "", false
+}
+
+// splitArgs splits a template body on pipes, ignoring pipes inside
+// [[links]] (the body contains no nested templates — callers render
+// innermost-first).
+func splitArgs(body string) []string {
+	var out []string
+	depth, last := 0, 0
+	for i := 0; i+1 <= len(body); i++ {
+		if i+1 < len(body) {
+			switch body[i : i+2] {
+			case "[[":
+				depth++
+				i++
+				continue
+			case "]]":
+				if depth > 0 {
+					depth--
+				}
+				i++
+				continue
+			}
+		}
+		if body[i] == '|' && depth == 0 {
+			out = append(out, body[last:i])
+			last = i + 1
+		}
+	}
+	return append(out, body[last:])
+}
+
+// dropSelfClosingRefs removes <ref name="x"/> style tags.
+func dropSelfClosingRefs(s string) string {
+	for {
+		i := strings.Index(s, "<ref")
+		if i < 0 {
+			return s
+		}
+		j := strings.Index(s[i:], "/>")
+		if j < 0 {
+			return s
+		}
+		s = s[:i] + " " + s[i+j+2:]
+	}
+}
+
+// resolveLinks replaces [[Target|label]] and [[Target]] with Target,
+// the paper's §5.1 normalization ("we replaced the text of the link with
+// the title of the linked page").
+func resolveLinks(s string) string {
+	var b strings.Builder
+	for {
+		i := strings.Index(s, "[[")
+		if i < 0 {
+			b.WriteString(s)
+			return b.String()
+		}
+		j := strings.Index(s[i:], "]]")
+		if j < 0 {
+			b.WriteString(s)
+			return b.String()
+		}
+		b.WriteString(s[:i])
+		inner := s[i+2 : i+j]
+		if p := strings.IndexByte(inner, '|'); p >= 0 {
+			inner = inner[:p]
+		}
+		// Strip section anchors: [[Page#Section]] → Page.
+		if p := strings.IndexByte(inner, '#'); p >= 0 {
+			inner = inner[:p]
+		}
+		b.WriteString(strings.TrimSpace(inner))
+		s = s[i+j+2:]
+	}
+}
+
+// resolveExternalLinks replaces [http://url label] with label (or drops
+// the bare url form).
+func resolveExternalLinks(s string) string {
+	var b strings.Builder
+	for {
+		i := strings.Index(s, "[http")
+		if i < 0 {
+			b.WriteString(s)
+			return b.String()
+		}
+		j := strings.IndexByte(s[i:], ']')
+		if j < 0 {
+			b.WriteString(s)
+			return b.String()
+		}
+		b.WriteString(s[:i])
+		inner := s[i+1 : i+j]
+		if p := strings.IndexByte(inner, ' '); p >= 0 {
+			b.WriteString(inner[p+1:])
+		}
+		s = s[i+j+1:]
+	}
+}
+
+// dropTags removes residual HTML tags such as <br/>, <small>, </span>.
+func dropTags(s string) string {
+	var b strings.Builder
+	depth := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '<':
+			depth++
+		case '>':
+			if depth > 0 {
+				depth--
+				b.WriteByte(' ')
+				continue
+			}
+			b.WriteByte(s[i])
+		default:
+			if depth == 0 {
+				b.WriteByte(s[i])
+			}
+		}
+	}
+	return b.String()
+}

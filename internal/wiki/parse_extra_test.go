@@ -1,0 +1,51 @@
+package wiki
+
+import "testing"
+
+func TestRenderTemplates(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"{{flag|Germany}}", "Germany"},
+		{"{{flagcountry|Japan}}", "Japan"},
+		{"{{sort|zzz|Visible Name}}", "Visible Name"},
+		{"{{sortname|Junichi|Masuda}}", "Junichi Masuda"},
+		{"{{nowrap|New York City}}", "New York City"},
+		{"{{dts|2004|05|01}}", "2004-05-01"},
+		{"{{sort|k|[[France|fr]]}}", "France"},
+		{"{{sort|k|{{flag|Poland}}}}", "Poland"},
+		{"{{flagicon|GER}} [[Germany]]", "Germany"},
+		{"{{unknown template|with|args}}", ""},
+		{"text {{flag|Italy}} more", "text Italy more"},
+		{"{{sort|only}}", "only"},
+		{"{{flag}}", ""},
+		{"{{hs|03}} 3rd place", "3rd place"},
+	}
+	for _, c := range cases {
+		if got := CleanCell(c.in); got != c.want {
+			t.Errorf("CleanCell(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSplitArgs(t *testing.T) {
+	got := splitArgs("sort|key|[[France|fr]]")
+	if len(got) != 3 || got[2] != "[[France|fr]]" {
+		t.Fatalf("splitArgs = %q", got)
+	}
+	if got := splitArgs("noargs"); len(got) != 1 {
+		t.Fatalf("splitArgs single = %q", got)
+	}
+}
+
+func TestRenderTemplateNamedArgsIgnored(t *testing.T) {
+	if got := CleanCell("{{sort|key|Display|style=bold}}"); got != "Display" {
+		t.Fatalf("named args must be ignored: %q", got)
+	}
+}
+
+func TestParseTableWithTemplatesInCells(t *testing.T) {
+	src := "{|\n! Country !! Athlete\n|-\n| {{flag|Kenya}} || {{sortname|Eliud|Kipchoge}}\n|}"
+	tbl := ParseTables(src)[0]
+	if tbl.Rows[0][0] != "Kenya" || tbl.Rows[0][1] != "Eliud Kipchoge" {
+		t.Fatalf("rows = %v", tbl.Rows)
+	}
+}

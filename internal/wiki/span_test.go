@@ -1,0 +1,119 @@
+package wiki
+
+import "testing"
+
+func TestRowspanExpansion(t *testing.T) {
+	// The country cell spans two rows; both athletes must inherit it.
+	src := `{|
+! Country !! Athlete
+|-
+| rowspan="2" | [[Kenya]] || Kipchoge
+|-
+| Kipruto
+|-
+| [[Ethiopia]] || Bekele
+|}`
+	tbl := ParseTables(src)[0]
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %v", tbl.Rows)
+	}
+	want := [][]string{
+		{"Kenya", "Kipchoge"},
+		{"Kenya", "Kipruto"},
+		{"Ethiopia", "Bekele"},
+	}
+	for i, w := range want {
+		if len(tbl.Rows[i]) != 2 || tbl.Rows[i][0] != w[0] || tbl.Rows[i][1] != w[1] {
+			t.Fatalf("row %d = %v, want %v", i, tbl.Rows[i], w)
+		}
+	}
+	if got := tbl.Column(0); len(got) != 3 || got[1] != "Kenya" {
+		t.Fatalf("country column = %v", got)
+	}
+}
+
+func TestColspanExpansion(t *testing.T) {
+	src := `{|
+! A !! B !! C
+|-
+| colspan="2" | wide || x
+|-
+| 1 || 2 || 3
+|}`
+	tbl := ParseTables(src)[0]
+	if len(tbl.Rows[0]) != 3 || tbl.Rows[0][0] != "wide" || tbl.Rows[0][1] != "wide" || tbl.Rows[0][2] != "x" {
+		t.Fatalf("colspan row = %v", tbl.Rows[0])
+	}
+}
+
+func TestRowspanInMiddleColumn(t *testing.T) {
+	src := `{|
+! A !! B !! C
+|-
+| a1 || rowspan="2" | shared || c1
+|-
+| a2 || c2
+|}`
+	tbl := ParseTables(src)[0]
+	if tbl.Rows[1][0] != "a2" || tbl.Rows[1][1] != "shared" || tbl.Rows[1][2] != "c2" {
+		t.Fatalf("second row = %v", tbl.Rows[1])
+	}
+}
+
+func TestSecondaryHeaderRowSkipped(t *testing.T) {
+	src := `{|
+! rowspan="2" | Name !! colspan="2" | Medals
+|-
+! Gold !! Silver
+|-
+| Alice || 3 || 1
+|}`
+	tbl := ParseTables(src)[0]
+	if len(tbl.Headers) != 3 {
+		t.Fatalf("headers = %v", tbl.Headers)
+	}
+	if len(tbl.Rows) != 1 || tbl.Rows[0][0] != "Alice" {
+		t.Fatalf("rows = %v", tbl.Rows)
+	}
+}
+
+func TestHeaderRowSpanDoesNotLeakIntoData(t *testing.T) {
+	src := `{|
+! rowspan="3" | H1 !! H2
+|-
+! Sub
+|-
+| d1
+|}`
+	tbl := ParseTables(src)[0]
+	// The header's 3-row span covers the subheader and the data row: the
+	// data row's first column inherits "H1".
+	if len(tbl.Rows) != 1 {
+		t.Fatalf("rows = %v", tbl.Rows)
+	}
+	if tbl.Rows[0][0] != "H1" || tbl.Rows[0][1] != "d1" {
+		t.Fatalf("data row = %v", tbl.Rows[0])
+	}
+}
+
+func TestSpanAttr(t *testing.T) {
+	cases := []struct {
+		attrs string
+		name  string
+		want  int
+	}{
+		{`rowspan="2"`, "rowspan", 2},
+		{`rowspan=3`, "rowspan", 3},
+		{`colspan='4' style="x"`, "colspan", 4},
+		{`style="x"`, "rowspan", 1},
+		{`rowspan="0"`, "rowspan", 1},
+		{`ROWSPAN="5"`, "rowspan", 5},
+		{`rowspan="99999"`, "rowspan", 256},
+		{`rowspan=""`, "rowspan", 1},
+	}
+	for _, c := range cases {
+		if got := spanAttr(c.attrs, c.name); got != c.want {
+			t.Errorf("spanAttr(%q, %q) = %d, want %d", c.attrs, c.name, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,318 @@
+package wiki
+
+import (
+	"testing"
+	"time"
+)
+
+const pokemonTable = `
+Some intro prose about the series.
+
+{| class="wikitable sortable"
+|+ Main series games
+! Game !! Year !! Platform
+|-
+| [[Pokémon Red and Blue|Pokémon Red]] || 1996 || [[Game Boy]]
+|-
+| ''[[Pokémon Gold and Silver|Pokémon Gold]]'' || 1999 || [[Game Boy Color]]
+|-
+| '''Pokémon Ruby''' <ref>some reference</ref> || 2002 || [[Game Boy Advance]]
+|}
+
+Trailing prose.
+`
+
+func TestParseBasicTable(t *testing.T) {
+	tables := ParseTables(pokemonTable)
+	if len(tables) != 1 {
+		t.Fatalf("got %d tables, want 1", len(tables))
+	}
+	tbl := tables[0]
+	if tbl.Caption != "Main series games" {
+		t.Errorf("caption = %q", tbl.Caption)
+	}
+	wantHeaders := []string{"Game", "Year", "Platform"}
+	if len(tbl.Headers) != 3 {
+		t.Fatalf("headers = %v", tbl.Headers)
+	}
+	for i, h := range wantHeaders {
+		if tbl.Headers[i] != h {
+			t.Errorf("header[%d] = %q, want %q", i, tbl.Headers[i], h)
+		}
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(tbl.Rows))
+	}
+	// Link resolution: label replaced by target page title (§5.1).
+	if tbl.Rows[0][0] != "Pokémon Red and Blue" {
+		t.Errorf("row0 game = %q", tbl.Rows[0][0])
+	}
+	// Italic markup + link.
+	if tbl.Rows[1][0] != "Pokémon Gold and Silver" {
+		t.Errorf("row1 game = %q", tbl.Rows[1][0])
+	}
+	// Bold + ref dropped.
+	if tbl.Rows[2][0] != "Pokémon Ruby" {
+		t.Errorf("row2 game = %q", tbl.Rows[2][0])
+	}
+	if tbl.Rows[2][2] != "Game Boy Advance" {
+		t.Errorf("row2 platform = %q", tbl.Rows[2][2])
+	}
+	if got := tbl.Column(1); len(got) != 3 || got[0] != "1996" || got[2] != "2002" {
+		t.Errorf("year column = %v", got)
+	}
+}
+
+func TestParseCellAttributes(t *testing.T) {
+	src := `{|
+! Name !! style="width: 5em" | Country
+|-
+| style="background: red" | Alice || [[Germany]]
+|-
+| Bob
+| colspan="1" | [[France#History|French]]
+|}`
+	tbl := ParseTables(src)[0]
+	if tbl.Headers[1] != "Country" {
+		t.Errorf("attribute header = %q", tbl.Headers[1])
+	}
+	if tbl.Rows[0][0] != "Alice" {
+		t.Errorf("attributed cell = %q", tbl.Rows[0][0])
+	}
+	// Section anchor stripped from link target.
+	if tbl.Rows[1][1] != "France" {
+		t.Errorf("anchored link = %q", tbl.Rows[1][1])
+	}
+}
+
+func TestParseRowsWithoutHeaders(t *testing.T) {
+	src := "{|\n|-\n| a || b\n|-\n| c || d\n|}"
+	tbl := ParseTables(src)[0]
+	if len(tbl.Headers) != 0 {
+		t.Errorf("headers = %v, want none", tbl.Headers)
+	}
+	if len(tbl.Rows) != 2 || tbl.NumColumns() != 2 {
+		t.Fatalf("rows = %v", tbl.Rows)
+	}
+}
+
+func TestParseMultipleAndNestedTables(t *testing.T) {
+	src := `
+{|
+! A
+|-
+| outer1
+|-
+|
+{|
+! Inner
+|-
+| nested
+|}
+|-
+| outer2
+|}
+
+{|
+! B
+|-
+| second
+|}`
+	tables := ParseTables(src)
+	if len(tables) != 2 {
+		t.Fatalf("got %d tables, want 2 (nested skipped)", len(tables))
+	}
+	if tables[0].Headers[0] != "A" || tables[1].Headers[0] != "B" {
+		t.Fatalf("headers: %v / %v", tables[0].Headers, tables[1].Headers)
+	}
+	for _, row := range tables[0].Rows {
+		for _, c := range row {
+			if c == "nested" {
+				t.Fatal("nested table content leaked into outer table")
+			}
+		}
+	}
+}
+
+func TestParseUnterminatedTable(t *testing.T) {
+	src := "{|\n! H\n|-\n| x"
+	tables := ParseTables(src)
+	if len(tables) != 1 || len(tables[0].Rows) != 1 || tables[0].Rows[0][0] != "x" {
+		t.Fatalf("unterminated table: %+v", tables)
+	}
+}
+
+func TestCleanCell(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"plain", "plain"},
+		{"[[Target|label]]", "Target"},
+		{"[[Target]]", "Target"},
+		{"[[A]] and [[B|b]]", "A and B"},
+		{"{{flagicon|GER}} [[Germany]]", "Germany"},
+		{"text<ref>note</ref> more", "text more"},
+		{`x<ref name="a"/> y`, "x y"},
+		{"<!-- hidden -->shown", "shown"},
+		{"'''bold''' ''italic''", "bold italic"},
+		{"a<br/>b", "a b"},
+		{"[http://example.com Example Site]", "Example Site"},
+		{"[http://example.com]", ""},
+		{"  spaced   out  ", "spaced out"},
+		{"{{nested {{tmpl}} }}gone", "gone"},
+		{"", ""},
+	}
+	for _, c := range cases {
+		if got := CleanCell(c.in); got != c.want {
+			t.Errorf("CleanCell(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSplitCellsRespectsMarkup(t *testing.T) {
+	got := splitCells("[[A|a]] || {{t|x||y}} || plain", "||")
+	if len(got) != 3 {
+		t.Fatalf("splitCells = %q", got)
+	}
+}
+
+func TestJaccard(t *testing.T) {
+	cases := []struct {
+		a, b []string
+		want float64
+	}{
+		{nil, nil, 1},
+		{[]string{"x"}, nil, 0},
+		{[]string{"a", "b"}, []string{"a", "b"}, 1},
+		{[]string{"a", "b"}, []string{"b", "c"}, 1.0 / 3},
+		{[]string{"a", "a", "b"}, []string{"a", "b"}, 1}, // multiset support
+	}
+	for _, c := range cases {
+		if got := jaccard(c.a, c.b); got != c.want {
+			t.Errorf("jaccard(%v, %v) = %g, want %g", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func rev(page string, id int64, day int, text string) Revision {
+	return Revision{
+		Page:      page,
+		ID:        id,
+		Timestamp: time.Date(2005, 1, 1, 12, 0, 0, 0, time.UTC).AddDate(0, 0, day),
+		Wikitext:  text,
+	}
+}
+
+func TestExtractorTracksTableAcrossRevisions(t *testing.T) {
+	e := NewExtractor()
+	v1 := "{|\n! Game !! Year\n|-\n| Red || 1996\n|}"
+	v2 := "{|\n! Game !! Year\n|-\n| Red || 1996\n|-\n| Gold || 1999\n|}"
+	if err := e.Process(rev("Pokémon", 1, 0, v1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Process(rev("Pokémon", 2, 3, v2)); err != nil {
+		t.Fatal(err)
+	}
+	recs := e.Records()
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2 (Game, Year)", len(recs))
+	}
+	game := recs[0]
+	if game.Header != "Game" || len(game.Observations) != 2 {
+		t.Fatalf("game record: %+v", game)
+	}
+	if len(game.Observations[1].Values) != 2 {
+		t.Fatalf("second observation values = %v", game.Observations[1].Values)
+	}
+	if !game.DeletedAt.IsZero() {
+		t.Fatal("live column must not be deleted")
+	}
+}
+
+func TestExtractorColumnRename(t *testing.T) {
+	e := NewExtractor()
+	v1 := "{|\n! Title !! Year\n|-\n| Red || 1996\n|-\n| Gold || 1999\n|}"
+	v2 := "{|\n! Game !! Year\n|-\n| Red || 1996\n|-\n| Gold || 1999\n|}"
+	e.Process(rev("P", 1, 0, v1))
+	e.Process(rev("P", 2, 1, v2))
+	recs := e.Records()
+	if len(recs) != 2 {
+		t.Fatalf("rename must preserve identity; got %d records", len(recs))
+	}
+	var renamed *AttributeRecord
+	for _, r := range recs {
+		if r.Header == "Game" {
+			renamed = r
+		}
+	}
+	if renamed == nil || len(renamed.Observations) != 2 {
+		t.Fatalf("renamed column lost its history: %+v", recs)
+	}
+}
+
+func TestExtractorTableDeletion(t *testing.T) {
+	e := NewExtractor()
+	v1 := "{|\n! A\n|-\n| x\n|}"
+	v2 := "no tables anymore"
+	e.Process(rev("P", 1, 0, v1))
+	e.Process(rev("P", 2, 5, v2))
+	recs := e.Records()
+	if len(recs) != 1 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	if recs[0].DeletedAt.IsZero() {
+		t.Fatal("vanished table's column must be marked deleted")
+	}
+}
+
+func TestExtractorNewTableGetsNewID(t *testing.T) {
+	e := NewExtractor()
+	v1 := "{|\n! Players !! Country\n|-\n| Alice || GER\n|}"
+	v2 := v1 + "\n{|\n! Totally !! Different\n|-\n| 1 || 2\n|}"
+	e.Process(rev("P", 1, 0, v1))
+	e.Process(rev("P", 2, 1, v2))
+	ids := make(map[string]bool)
+	for _, r := range e.Records() {
+		ids[r.TableID] = true
+	}
+	if len(ids) != 2 {
+		t.Fatalf("want 2 table ids, got %v", ids)
+	}
+}
+
+func TestExtractorOutOfOrderRevision(t *testing.T) {
+	e := NewExtractor()
+	e.Process(rev("P", 1, 5, "{|\n! A\n|}"))
+	if err := e.Process(rev("P", 2, 1, "{|\n! A\n|}")); err == nil {
+		t.Fatal("out-of-order revision must fail")
+	}
+}
+
+func TestExtractorInterleavedPages(t *testing.T) {
+	e := NewExtractor()
+	e.Process(rev("P1", 1, 0, "{|\n! A\n|-\n| x\n|}"))
+	e.Process(rev("P2", 2, 0, "{|\n! B\n|-\n| y\n|}"))
+	e.Process(rev("P1", 3, 1, "{|\n! A\n|-\n| x2\n|}"))
+	recs := e.Records()
+	if len(recs) != 2 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	if recs[0].Page != "P1" || len(recs[0].Observations) != 2 {
+		t.Fatalf("P1 record: %+v", recs[0])
+	}
+	if recs[1].Page != "P2" || len(recs[1].Observations) != 1 {
+		t.Fatalf("P2 record: %+v", recs[1])
+	}
+}
+
+func TestGreedyMatchDeterministicAndOneToOne(t *testing.T) {
+	scores := [][]float64{
+		{0.9, 0.8, 0.1},
+		{0.85, 0.9, 0.1},
+	}
+	assign := greedyMatch(2, 3, func(i, j int) float64 { return scores[i][j] })
+	if assign[0] != 0 || assign[1] != 1 {
+		t.Fatalf("assign = %v", assign)
+	}
+	if assign[2] != -1 {
+		t.Fatal("low-similarity column must be new")
+	}
+}
