@@ -10,9 +10,13 @@ package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"tind/internal/bloom"
@@ -32,8 +36,20 @@ func main() {
 		delta   = flag.Int("delta", 7, "δ in days")
 		workers = flag.Int("workers", 0, "query workers (0 = all cores)")
 		doPrint = flag.Bool("print", false, "print every discovered tIND")
+		timeout = flag.Duration("timeout", 0, "abort discovery after this long (0 = no limit)")
 	)
 	flag.Parse()
+
+	// The n² discovery loop can run for hours on a big corpus; Ctrl-C or
+	// the -timeout budget cancels it mid-validation instead of leaving an
+	// unkillable CPU burner.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	c, err := datagen.Generate(datagen.Config{
 		Seed: *seed, Attributes: *attrs, Horizon: timeline.Time(*horizon),
@@ -56,8 +72,11 @@ func main() {
 		ds.Len(), time.Since(start).Round(time.Millisecond),
 		float64(idx.Stats().MemoryBytes)/(1<<20))
 
-	pairs, err := idx.AllPairs(p, *workers)
+	pairs, err := idx.AllPairsContext(ctx, p, *workers)
 	if err != nil {
+		if errors.Is(err, index.ErrCanceled) || errors.Is(err, index.ErrDeadlineExceeded) {
+			fatal(fmt.Errorf("discovery aborted: %w", err))
+		}
 		fatal(err)
 	}
 	total := time.Since(start)

@@ -1,11 +1,14 @@
 // Command tindserve exposes tIND search over HTTP — the interactive
 // exploration scenario of the paper's introduction (suggesting joinable
-// tables to a user browsing one) as a small JSON service.
+// tables to a user browsing one) as a small JSON service, hardened for
+// unsupervised operation: per-request query deadlines, load shedding,
+// panic recovery, liveness/readiness probes and graceful drain.
 //
 // Usage:
 //
 //	tindserve -corpus corpus.tind -addr :8080
 //	tindserve -attrs 5000                      # synthetic corpus
+//	tindserve -query-timeout 2s -max-in-flight 32
 //
 // Endpoints:
 //
@@ -15,17 +18,35 @@
 //	GET /explain?lhs=...&rhs=...&delta=7                 violated intervals
 //	GET /attr?attr=...                                   attribute details
 //	GET /stats                                           corpus and index stats
+//	GET /healthz                                         process liveness
+//	GET /readyz                                          200 once the index is built
+//
+// The index builds in the background: the server binds and answers
+// /healthz immediately, query endpoints shed with 503 + Retry-After
+// until /readyz turns 200. Queries run under a deadline derived from
+// -query-timeout and abort mid-validation when it expires (504) or when
+// the client disconnects. A weighted concurrency limiter sheds excess
+// load with 503 + Retry-After instead of queueing. SIGINT/SIGTERM drain
+// in-flight requests for up to -drain-timeout before exiting.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"runtime"
+	"runtime/debug"
 	"strconv"
 	"strings"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"tind/internal/core"
@@ -33,74 +54,263 @@ import (
 	"tind/internal/history"
 	"tind/internal/index"
 	"tind/internal/persist"
+	"tind/internal/sem"
 	"tind/internal/timeline"
 )
 
+// statusClientClosedRequest is nginx's non-standard code for "client
+// went away before we finished"; it keeps abandoned queries apart from
+// real timeouts and server errors in access logs.
+const statusClientClosedRequest = 499
+
+// topKWeight is the limiter weight of /topk requests: the escalating
+// search may re-run the underlying query several times, so one /topk
+// costs about as much as a few plain searches.
+const topKWeight = 2
+
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		corpusF = flag.String("corpus", "", "binary dataset to serve (default: synthetic)")
-		attrs   = flag.Int("attrs", 2000, "synthetic corpus size")
-		horizon = flag.Int("horizon", 1500, "synthetic corpus horizon (days)")
-		seed    = flag.Int64("seed", 1, "random seed")
+		addr         = flag.String("addr", ":8080", "listen address")
+		corpusF      = flag.String("corpus", "", "binary dataset to serve (default: synthetic)")
+		attrs        = flag.Int("attrs", 2000, "synthetic corpus size")
+		horizon      = flag.Int("horizon", 1500, "synthetic corpus horizon (days)")
+		seed         = flag.Int64("seed", 1, "random seed")
+		queryTimeout = flag.Duration("query-timeout", 10*time.Second, "per-request query deadline (0 = none)")
+		maxInFlight  = flag.Int64("max-in-flight", 0, "concurrent query weight admitted before shedding with 503 (0 = 4×GOMAXPROCS)")
+		drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "grace period for in-flight requests on SIGINT/SIGTERM")
 	)
 	flag.Parse()
 
-	var ds *history.Dataset
-	if *corpusF != "" {
-		f, err := os.Open(*corpusF)
+	cfg := config{
+		queryTimeout: *queryTimeout,
+		maxInFlight:  *maxInFlight,
+		drainTimeout: *drainTimeout,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("listening on %s (index building in background)", ln.Addr())
+
+	load := func() (*history.Dataset, *index.Index, error) {
+		return loadCorpus(*corpusF, *attrs, *horizon, *seed)
+	}
+	if err := run(ctx, cfg, ln, load); err != nil {
+		log.Fatal(err)
+	}
+	log.Print("drained, bye")
+}
+
+// config holds the robustness knobs of the service.
+type config struct {
+	queryTimeout time.Duration
+	maxInFlight  int64
+	drainTimeout time.Duration
+}
+
+// run serves on ln until ctx is done (SIGINT/SIGTERM in production),
+// then drains in-flight requests for up to cfg.drainTimeout. The corpus
+// loads in a background goroutine so the process answers health probes
+// from the first moment; a load failure tears the server down.
+func run(ctx context.Context, cfg config, ln net.Listener, load func() (*history.Dataset, *index.Index, error)) error {
+	s := newServer(cfg)
+
+	writeTimeout := time.Minute
+	if cfg.queryTimeout > 0 {
+		// Leave headroom beyond the query deadline so a timed-out query
+		// still delivers its JSON 504 before the connection is cut.
+		writeTimeout = cfg.queryTimeout + 10*time.Second
+	}
+	httpSrv := &http.Server{
+		Handler:           s.routes(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      writeTimeout,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	errCh := make(chan error, 2)
+	go func() {
+		if err := httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+		}
+	}()
+	go func() {
+		start := time.Now()
+		ds, idx, err := load()
 		if err != nil {
-			log.Fatal(err)
+			errCh <- fmt.Errorf("corpus load: %w", err)
+			return
+		}
+		s.install(ds, idx)
+		log.Printf("ready: %d attributes (index built in %v)",
+			ds.Len(), time.Since(start).Round(time.Millisecond))
+	}()
+
+	select {
+	case err := <-errCh:
+		httpSrv.Close()
+		return err
+	case <-ctx.Done():
+	}
+
+	log.Printf("shutdown requested, draining for up to %v", cfg.drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		httpSrv.Close()
+		return fmt.Errorf("drain incomplete after %v: %w", cfg.drainTimeout, err)
+	}
+	return nil
+}
+
+// loadCorpus reads or generates the dataset and builds the index.
+func loadCorpus(corpusF string, attrs, horizon int, seed int64) (*history.Dataset, *index.Index, error) {
+	var ds *history.Dataset
+	if corpusF != "" {
+		f, err := os.Open(corpusF)
+		if err != nil {
+			return nil, nil, err
 		}
 		ds, err = persist.Read(f)
 		f.Close()
 		if err != nil {
-			log.Fatal(err)
+			return nil, nil, err
 		}
 	} else {
 		c, err := datagen.Generate(datagen.Config{
-			Seed: *seed, Attributes: *attrs, Horizon: timeline.Time(*horizon),
+			Seed: seed, Attributes: attrs, Horizon: timeline.Time(horizon),
 		})
 		if err != nil {
-			log.Fatal(err)
+			return nil, nil, err
 		}
 		ds = c.Dataset
 	}
-
 	opt := index.DefaultOptions(ds.Horizon())
 	opt.Reverse = true
-	opt.Seed = *seed
-	start := time.Now()
+	opt.Seed = seed
 	idx, err := index.Build(ds, opt)
 	if err != nil {
-		log.Fatal(err)
+		return nil, nil, err
 	}
-	log.Printf("serving %d attributes (index built in %v) on %s",
-		ds.Len(), time.Since(start).Round(time.Millisecond), *addr)
-
-	srv := newServer(ds, idx)
-	log.Fatal(http.ListenAndServe(*addr, srv.routes()))
+	return ds, idx, nil
 }
 
-// server bundles the dataset and index behind the HTTP handlers.
-type server struct {
+// corpus is the immutable serving state, swapped in atomically once the
+// index build completes.
+type corpus struct {
 	ds  *history.Dataset
 	idx *index.Index
+	// pagesLower caches the lowercased page title per attribute so
+	// resolve's substring match does not re-lowercase every title on
+	// every request.
+	pagesLower []string
 }
 
-func newServer(ds *history.Dataset, idx *index.Index) *server {
-	return &server{ds: ds, idx: idx}
+// server bundles the serving state with the robustness machinery.
+type server struct {
+	corpus       atomic.Pointer[corpus]
+	limiter      *sem.Weighted
+	queryTimeout time.Duration
 }
 
-func (s *server) routes() *http.ServeMux {
+func newServer(cfg config) *server {
+	capacity := cfg.maxInFlight
+	if capacity <= 0 {
+		capacity = int64(4 * runtime.GOMAXPROCS(0))
+	}
+	return &server{limiter: sem.New(capacity), queryTimeout: cfg.queryTimeout}
+}
+
+// install publishes the corpus, flipping /readyz to 200 and letting
+// query endpoints through.
+func (s *server) install(ds *history.Dataset, idx *index.Index) {
+	pages := make([]string, ds.Len())
+	for i, h := range ds.Attrs() {
+		pages[i] = strings.ToLower(h.Meta().Page)
+	}
+	s.corpus.Store(&corpus{ds: ds, idx: idx, pagesLower: pages})
+}
+
+// queryHandler is an endpoint that needs the corpus; the query
+// middleware hands it the current snapshot.
+type queryHandler func(c *corpus, w http.ResponseWriter, r *http.Request)
+
+func (s *server) routes() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /search", s.handleSearch(false))
-	mux.HandleFunc("GET /reverse", s.handleSearch(true))
-	mux.HandleFunc("GET /topk", s.handleTopK)
-	mux.HandleFunc("GET /explain", s.handleExplain)
-	mux.HandleFunc("GET /attr", s.handleAttr)
-	mux.HandleFunc("GET /stats", s.handleStats)
-	return mux
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.Handle("GET /search", s.query(1, s.handleSearch(false)))
+	mux.Handle("GET /reverse", s.query(1, s.handleSearch(true)))
+	mux.Handle("GET /topk", s.query(topKWeight, s.handleTopK))
+	mux.Handle("GET /explain", s.query(1, s.handleExplain))
+	mux.Handle("GET /attr", s.query(1, s.handleAttr))
+	mux.Handle("GET /stats", s.query(1, s.handleStats))
+	return recoverJSON(mux)
+}
+
+// query gates an endpoint behind readiness, the concurrency limiter and
+// the per-request deadline. Not-ready and saturated both shed with 503 +
+// Retry-After rather than queueing: the client retrying in a second is
+// cheaper than a goroutine parked on a semaphore.
+func (s *server) query(weight int64, h queryHandler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		c := s.corpus.Load()
+		if c == nil {
+			w.Header().Set("Retry-After", "1")
+			httpError(w, http.StatusServiceUnavailable, errors.New("index still building, retry shortly"))
+			return
+		}
+		if !s.limiter.TryAcquire(weight) {
+			w.Header().Set("Retry-After", "1")
+			httpError(w, http.StatusServiceUnavailable, errors.New("server saturated, retry shortly"))
+			return
+		}
+		defer s.limiter.Release(weight)
+		if s.queryTimeout > 0 {
+			ctx, cancel := context.WithTimeout(r.Context(), s.queryTimeout)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+		h(c, w, r)
+	})
+}
+
+// recoverJSON turns a handler panic into a structured JSON 500 and a
+// stack trace in the log, keeping the process alive. http.ErrAbortHandler
+// passes through — it is the sanctioned way to abort a response.
+func recoverJSON(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			rec := recover()
+			if rec == nil {
+				return
+			}
+			if rec == http.ErrAbortHandler {
+				panic(rec)
+			}
+			log.Printf("tindserve: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+			httpError(w, http.StatusInternalServerError, fmt.Errorf("internal error: %v", rec))
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]interface{}{"status": "ok"})
+}
+
+func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.corpus.Load() == nil {
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusServiceUnavailable, errors.New("index still building"))
+		return
+	}
+	writeJSON(w, map[string]interface{}{"status": "ready"})
 }
 
 // attrResult is one attribute in a JSON response.
@@ -111,34 +321,36 @@ type attrResult struct {
 	Column string         `json:"column"`
 }
 
-func (s *server) attrResult(id history.AttrID) attrResult {
-	m := s.ds.Attr(id).Meta()
+func (c *corpus) attrResult(id history.AttrID) attrResult {
+	m := c.ds.Attr(id).Meta()
 	return attrResult{ID: id, Page: m.Page, Table: m.Table, Column: m.Column}
 }
 
-// resolve finds an attribute by id or page substring.
-func (s *server) resolve(arg string) (*history.History, error) {
+// resolve finds an attribute by id or page substring. The substring scan
+// runs over the precomputed lowercased page titles, keeping the original
+// first-match semantics without per-request lowercasing of the corpus.
+func (c *corpus) resolve(arg string) (*history.History, error) {
 	if arg == "" {
 		return nil, fmt.Errorf("missing attr parameter")
 	}
 	if id, err := strconv.Atoi(arg); err == nil {
-		if id < 0 || id >= s.ds.Len() {
-			return nil, fmt.Errorf("attribute id %d out of range [0,%d)", id, s.ds.Len())
+		if id < 0 || id >= c.ds.Len() {
+			return nil, fmt.Errorf("attribute id %d out of range [0,%d)", id, c.ds.Len())
 		}
-		return s.ds.Attr(history.AttrID(id)), nil
+		return c.ds.Attr(history.AttrID(id)), nil
 	}
 	needle := strings.ToLower(arg)
-	for _, h := range s.ds.Attrs() {
-		if strings.Contains(strings.ToLower(h.Meta().Page), needle) {
-			return h, nil
+	for i, page := range c.pagesLower {
+		if strings.Contains(page, needle) {
+			return c.ds.Attr(history.AttrID(i)), nil
 		}
 	}
 	return nil, fmt.Errorf("no attribute matches %q", arg)
 }
 
 // params parses eps/delta query parameters with the paper's defaults.
-func (s *server) params(r *http.Request) (core.Params, error) {
-	p := core.DefaultDays(s.ds.Horizon())
+func (c *corpus) params(r *http.Request) (core.Params, error) {
+	p := core.DefaultDays(c.ds.Horizon())
 	if v := r.URL.Query().Get("eps"); v != "" {
 		e, err := strconv.ParseFloat(v, 64)
 		if err != nil || e < 0 {
@@ -156,34 +368,34 @@ func (s *server) params(r *http.Request) (core.Params, error) {
 	return p, nil
 }
 
-func (s *server) handleSearch(reverse bool) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
-		q, err := s.resolve(r.URL.Query().Get("attr"))
+func (s *server) handleSearch(reverse bool) queryHandler {
+	return func(c *corpus, w http.ResponseWriter, r *http.Request) {
+		q, err := c.resolve(r.URL.Query().Get("attr"))
 		if err != nil {
 			httpError(w, http.StatusBadRequest, err)
 			return
 		}
-		p, err := s.params(r)
+		p, err := c.params(r)
 		if err != nil {
 			httpError(w, http.StatusBadRequest, err)
 			return
 		}
 		var res index.Result
 		if reverse {
-			res, err = s.idx.Reverse(q, p)
+			res, err = c.idx.ReverseContext(r.Context(), q, p)
 		} else {
-			res, err = s.idx.Search(q, p)
+			res, err = c.idx.SearchContext(r.Context(), q, p)
 		}
 		if err != nil {
-			httpError(w, http.StatusInternalServerError, err)
+			queryError(w, err)
 			return
 		}
 		results := make([]attrResult, 0, len(res.IDs))
 		for _, id := range res.IDs {
-			results = append(results, s.attrResult(id))
+			results = append(results, c.attrResult(id))
 		}
 		writeJSON(w, map[string]interface{}{
-			"query":      s.attrResult(q.ID()),
+			"query":      c.attrResult(q.ID()),
 			"eps":        p.Epsilon,
 			"delta":      int(p.Delta),
 			"results":    results,
@@ -194,13 +406,13 @@ func (s *server) handleSearch(reverse bool) http.HandlerFunc {
 	}
 }
 
-func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
-	q, err := s.resolve(r.URL.Query().Get("attr"))
+func (s *server) handleTopK(c *corpus, w http.ResponseWriter, r *http.Request) {
+	q, err := c.resolve(r.URL.Query().Get("attr"))
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	p, err := s.params(r)
+	p, err := c.params(r)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
@@ -212,9 +424,9 @@ func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	ranked, err := s.idx.TopK(q, p.Delta, p.Weight, k)
+	ranked, err := c.idx.TopKContext(r.Context(), q, p.Delta, p.Weight, k)
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, err)
+		queryError(w, err)
 		return
 	}
 	type rankedResult struct {
@@ -223,26 +435,26 @@ func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	}
 	results := make([]rankedResult, 0, len(ranked))
 	for _, rr := range ranked {
-		results = append(results, rankedResult{attrResult: s.attrResult(rr.ID), Violation: rr.Violation})
+		results = append(results, rankedResult{attrResult: c.attrResult(rr.ID), Violation: rr.Violation})
 	}
 	writeJSON(w, map[string]interface{}{
-		"query":   s.attrResult(q.ID()),
+		"query":   c.attrResult(q.ID()),
 		"results": results,
 	})
 }
 
-func (s *server) handleExplain(w http.ResponseWriter, r *http.Request) {
-	lhs, err := s.resolve(r.URL.Query().Get("lhs"))
+func (s *server) handleExplain(c *corpus, w http.ResponseWriter, r *http.Request) {
+	lhs, err := c.resolve(r.URL.Query().Get("lhs"))
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	rhs, err := s.resolve(r.URL.Query().Get("rhs"))
+	rhs, err := c.resolve(r.URL.Query().Get("rhs"))
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	p, err := s.params(r)
+	p, err := c.params(r)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
@@ -261,13 +473,13 @@ func (s *server) handleExplain(w http.ResponseWriter, r *http.Request) {
 			FromDay: int(v.Interval.Start),
 			ToDay:   int(v.Interval.End),
 			Weight:  v.Weight,
-			Missing: s.ds.Dict().String(v.Missing),
+			Missing: c.ds.Dict().String(v.Missing),
 		})
 		total += v.Weight
 	}
 	writeJSON(w, map[string]interface{}{
-		"lhs":             s.attrResult(lhs.ID()),
-		"rhs":             s.attrResult(rhs.ID()),
+		"lhs":             c.attrResult(lhs.ID()),
+		"rhs":             c.attrResult(rhs.ID()),
 		"violations":      out,
 		"total_violation": total,
 		"eps":             p.Epsilon,
@@ -275,8 +487,8 @@ func (s *server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (s *server) handleAttr(w http.ResponseWriter, r *http.Request) {
-	h, err := s.resolve(r.URL.Query().Get("attr"))
+func (s *server) handleAttr(c *corpus, w http.ResponseWriter, r *http.Request) {
+	h, err := c.resolve(r.URL.Query().Get("attr"))
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
@@ -290,29 +502,43 @@ func (s *server) handleAttr(w http.ResponseWriter, r *http.Request) {
 		v := h.Version(i)
 		versions = append(versions, version{
 			Day:    int(v.Start),
-			Values: s.ds.Dict().Strings(v.Values),
+			Values: c.ds.Dict().Strings(v.Values),
 		})
 	}
 	writeJSON(w, map[string]interface{}{
-		"attr":          s.attrResult(h.ID()),
+		"attr":          c.attrResult(h.ID()),
 		"observed_from": int(h.ObservedFrom()),
 		"observed_to":   int(h.ObservedUntil()),
 		"versions":      versions,
 	})
 }
 
-func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	st := s.ds.ComputeStats()
-	ist := s.idx.Stats()
+func (s *server) handleStats(c *corpus, w http.ResponseWriter, r *http.Request) {
+	st := c.ds.ComputeStats()
+	ist := c.idx.Stats()
 	writeJSON(w, map[string]interface{}{
 		"attributes":       st.Attributes,
-		"horizon_days":     int(s.ds.Horizon()),
+		"horizon_days":     int(c.ds.Horizon()),
 		"distinct_values":  st.DistinctValues,
 		"mean_changes":     st.MeanChanges,
 		"mean_cardinality": st.MeanCardinality,
 		"index_slices":     ist.Slices,
 		"index_bytes":      ist.MemoryBytes,
 	})
+}
+
+// queryError maps a failed query to its HTTP status: deadline expiry is
+// a 504 the client can act on, a disconnected client gets the 499
+// convention, anything else is a 500.
+func queryError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, index.ErrDeadlineExceeded):
+		httpError(w, http.StatusGatewayTimeout, err)
+	case errors.Is(err, index.ErrCanceled):
+		httpError(w, statusClientClosedRequest, err)
+	default:
+		httpError(w, http.StatusInternalServerError, err)
+	}
 }
 
 func writeJSON(w http.ResponseWriter, v interface{}) {

@@ -11,7 +11,7 @@ import (
 	"tind/internal/index"
 )
 
-func testServer(t *testing.T) (*server, *httptest.Server) {
+func testServerConfig(t *testing.T, cfg config) (*server, *httptest.Server) {
 	t.Helper()
 	c, err := datagen.Generate(datagen.Config{Seed: 4, Attributes: 80, Horizon: 500, AttrsPerDomain: 20})
 	if err != nil {
@@ -23,10 +23,16 @@ func testServer(t *testing.T) (*server, *httptest.Server) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := newServer(c.Dataset, idx)
+	s := newServer(cfg)
+	s.install(c.Dataset, idx)
 	ts := httptest.NewServer(s.routes())
 	t.Cleanup(ts.Close)
 	return s, ts
+}
+
+func testServer(t *testing.T) (*server, *httptest.Server) {
+	t.Helper()
+	return testServerConfig(t, config{})
 }
 
 func getJSON(t *testing.T, url string, wantStatus int) map[string]interface{} {

@@ -38,6 +38,7 @@ func main() {
 		allRevs   = flag.Bool("all-revisions", false, "keep revisions without table markup too")
 		startDate = flag.String("start", "2001-01-15", "observation period start (YYYY-MM-DD)")
 		endDate   = flag.String("end", "2017-11-01", "observation period end (YYYY-MM-DD)")
+		strict    = flag.Bool("strict", false, "abort on the first malformed page/revision instead of skipping it")
 	)
 	flag.Parse()
 	if *dump == "" {
@@ -73,10 +74,8 @@ func main() {
 		ex = wiki.NewExtractor()
 	}
 
-	nRevs := 0
 	opt := wiki.DumpOptions{TablesOnly: !*allRevs, MaxPages: *maxPages}
-	err = wiki.ParseDump(in, opt, func(r wiki.Revision) error {
-		nRevs++
+	nRevs, malformed, err := parseStage(in, opt, *strict, os.Stderr, func(r wiki.Revision) error {
 		if jsonl != nil {
 			if err := jsonl.Encode(r); err != nil {
 				return err
@@ -94,6 +93,9 @@ func main() {
 		if err := jsonlFlush(); err != nil {
 			fatal(err)
 		}
+	}
+	if malformed > 0 {
+		fmt.Fprintf(os.Stderr, "skipped %d malformed records\n", malformed)
 	}
 	fmt.Fprintf(os.Stderr, "parsed %d revisions\n", nRevs)
 
@@ -121,6 +123,37 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "wrote %d attributes to %s\n", ds.Len(), *out)
 	}
+}
+
+// parseStage streams the dump through emit. Multi-terabyte dumps contain
+// the occasional mangled record, and one bad page must not throw away
+// hours of parsing: unless strict, malformed records are skipped and
+// counted (the first few logged in full), and the stage only fails when
+// every record was malformed and nothing parsed at all. Tokenizer-level
+// XML corruption and emit errors (output-side failures) still abort.
+func parseStage(in io.Reader, opt wiki.DumpOptions, strict bool, logw io.Writer, emit func(wiki.Revision) error) (nRevs, malformed int, err error) {
+	const logFirst = 5
+	if !strict {
+		opt.OnMalformed = func(page string, err error) {
+			malformed++
+			if malformed <= logFirst {
+				fmt.Fprintf(logw, "wikiparse: skipping malformed record: %v\n", err)
+			} else if malformed == logFirst+1 {
+				fmt.Fprintln(logw, "wikiparse: further malformed records suppressed (final count below)")
+			}
+		}
+	}
+	err = wiki.ParseDump(in, opt, func(r wiki.Revision) error {
+		nRevs++
+		return emit(r)
+	})
+	if err != nil {
+		return nRevs, malformed, err
+	}
+	if nRevs == 0 && malformed > 0 {
+		return nRevs, malformed, fmt.Errorf("all %d records malformed, nothing parsed", malformed)
+	}
+	return nRevs, malformed, nil
 }
 
 // openDump opens the dump file, transparently decompressing by extension.

@@ -5,7 +5,10 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
+
+	"tind/internal/wiki"
 )
 
 const tinyDump = `<mediawiki><page><title>X</title><ns>0</ns>
@@ -72,6 +75,59 @@ func TestOpenDumpBadGzip(t *testing.T) {
 	os.WriteFile(path, []byte("not gzip"), 0o644)
 	if _, _, err := openDump(path); err == nil {
 		t.Fatal("corrupt gzip must fail")
+	}
+}
+
+const mixedDump = `<mediawiki><page><title>Bad</title><ns>0</ns>
+<revision><id>1</id><timestamp>not-a-time</timestamp><text>{| x |}</text></revision>
+</page><page><title>Good</title><ns>0</ns>
+<revision><id>2</id><timestamp>2004-01-01T00:00:00Z</timestamp><text>{| y |}</text></revision>
+</page></mediawiki>`
+
+const allBadDump = `<mediawiki><page><title>Bad</title><ns>0</ns>
+<revision><id>1</id><timestamp>not-a-time</timestamp><text>{| x |}</text></revision>
+</page></mediawiki>`
+
+func TestParseStageSkipsMalformedRecords(t *testing.T) {
+	var log strings.Builder
+	var got []int64
+	nRevs, malformed, err := parseStage(strings.NewReader(mixedDump), wiki.DumpOptions{},
+		false, &log, func(r wiki.Revision) error {
+			got = append(got, r.ID)
+			return nil
+		})
+	if err != nil {
+		t.Fatalf("one bad record must not abort the dump: %v", err)
+	}
+	if nRevs != 1 || len(got) != 1 || got[0] != 2 {
+		t.Fatalf("good revision must survive: nRevs=%d got=%v", nRevs, got)
+	}
+	if malformed != 1 {
+		t.Fatalf("malformed count = %d, want 1", malformed)
+	}
+	if !strings.Contains(log.String(), "skipping malformed record") {
+		t.Fatalf("skip must be logged, got: %q", log.String())
+	}
+}
+
+func TestParseStageFailsWhenEverythingMalformed(t *testing.T) {
+	var log strings.Builder
+	nRevs, malformed, err := parseStage(strings.NewReader(allBadDump), wiki.DumpOptions{},
+		false, &log, func(wiki.Revision) error { return nil })
+	if err == nil {
+		t.Fatal("a dump where every record is malformed must fail")
+	}
+	if nRevs != 0 || malformed != 1 {
+		t.Fatalf("nRevs=%d malformed=%d", nRevs, malformed)
+	}
+}
+
+func TestParseStageStrictAbortsOnFirstError(t *testing.T) {
+	var log strings.Builder
+	_, _, err := parseStage(strings.NewReader(mixedDump), wiki.DumpOptions{},
+		true, &log, func(wiki.Revision) error { return nil })
+	if err == nil || !strings.Contains(err.Error(), "timestamp") {
+		t.Fatalf("strict mode must abort on the bad timestamp, got %v", err)
 	}
 }
 

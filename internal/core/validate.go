@@ -1,12 +1,20 @@
 package core
 
 import (
+	"context"
 	"sort"
 
 	"tind/internal/history"
 	"tind/internal/timeline"
 	"tind/internal/values"
 )
+
+// cancelCheckEvery is how many boundary intervals Algorithm 2 validates
+// between cancellation polls. Attribute histories with many change points
+// produce thousands of intervals per candidate pair, so a mid-candidate
+// poll keeps even a single pathological validation interruptible; the
+// poll itself is one atomic load per batch and vanishes in profiles.
+const cancelCheckEvery = 256
 
 // StaticIND reports whether Q[t] ⊆ A[t] (Definition 3.1).
 func StaticIND(q, a *history.History, t timeline.Time) bool {
@@ -32,16 +40,33 @@ func DeltaContained(q, a *history.History, t timeline.Time, delta timeline.Time)
 // window (history.Cursor) over A's versions makes the overall cost linear
 // in the number of change points of Q and A.
 func Holds(q, a *history.History, p Params) bool {
-	_, ok := violationWeight(q, a, p, true)
+	_, ok, _ := violationWeight(nil, q, a, p, true)
 	return ok
+}
+
+// HoldsContext is Holds with a cancellation hook inside the validation
+// loop: every cancelCheckEvery boundary intervals the context is polled,
+// and a done context aborts the candidate with the context's error. The
+// index layer uses it so heavy-tail queries stop burning CPU mid-candidate
+// rather than only between candidates.
+func HoldsContext(ctx context.Context, q, a *history.History, p Params) (bool, error) {
+	_, ok, err := violationWeight(ctx, q, a, p, true)
+	return ok, err
 }
 
 // ViolationWeight returns the total summed weight of timestamps at which
 // Q[t] is not δ-contained in A. The tIND holds iff the result is ≤ ε; the
 // exact weight feeds diagnostics and the evaluation harness.
 func ViolationWeight(q, a *history.History, p Params) float64 {
-	w, _ := violationWeight(q, a, p, false)
+	w, _, _ := violationWeight(nil, q, a, p, false)
 	return w
+}
+
+// ViolationWeightContext is ViolationWeight with the same periodic
+// cancellation poll as HoldsContext.
+func ViolationWeightContext(ctx context.Context, q, a *history.History, p Params) (float64, error) {
+	w, _, err := violationWeight(ctx, q, a, p, false)
+	return w, err
 }
 
 // boundaries assembles and sorts the timestamps at which δ-containment of
@@ -80,13 +105,20 @@ func boundaries(q, a *history.History, delta timeline.Time, n timeline.Time) []t
 
 // violationWeight runs Algorithm 2. With earlyExit it stops as soon as the
 // accumulated violation exceeds ε and reports ok=false; otherwise it
-// accumulates the exact total.
-func violationWeight(q, a *history.History, p Params, earlyExit bool) (weight float64, ok bool) {
+// accumulates the exact total. A non-nil ctx is polled every
+// cancelCheckEvery intervals; once it is done the loop aborts and the
+// context's error is returned.
+func violationWeight(ctx context.Context, q, a *history.History, p Params, earlyExit bool) (weight float64, ok bool, err error) {
 	n := p.Weight.Horizon()
 	bs := boundaries(q, a, p.Delta, n)
 	cursor := history.NewCursor(a)
 	var violation float64
 	for i := 0; i+1 < len(bs); i++ {
+		if ctx != nil && i%cancelCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return violation, false, err
+			}
+		}
 		iv := timeline.NewInterval(bs[i], bs[i+1])
 		qv := q.At(iv.Start)
 		if qv.IsEmpty() {
@@ -98,11 +130,11 @@ func violationWeight(q, a *history.History, p Params, earlyExit bool) (weight fl
 		if !cursor.Seek(win).ContainsAll(qv) {
 			violation += p.Weight.Sum(iv)
 			if earlyExit && violation > p.Epsilon {
-				return violation, false
+				return violation, false, nil
 			}
 		}
 	}
-	return violation, violation <= p.Epsilon
+	return violation, violation <= p.Epsilon, nil
 }
 
 // Violation is one maximal interval during which Q is not δ-contained in

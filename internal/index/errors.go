@@ -1,0 +1,55 @@
+package index
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// Typed query-termination errors. The context-aware entry points
+// (SearchContext, ReverseContext, TopKContext, AllPairsContext) return
+// them — wrapped, so both errors.Is(err, ErrCanceled) and
+// errors.Is(err, context.Canceled) hold — when the caller's context ends
+// before the query completes. The accompanying Result carries the
+// statistics accumulated up to the abort point, so callers can still see
+// how far a shed query got.
+var (
+	// ErrCanceled reports that the query context was canceled (an
+	// abandoned HTTP client, an operator interrupt, ...).
+	ErrCanceled = errors.New("index: query canceled")
+	// ErrDeadlineExceeded reports that the query ran past its deadline.
+	ErrDeadlineExceeded = errors.New("index: query deadline exceeded")
+)
+
+// ctxErr translates the context's state into the package's typed errors.
+// It returns nil while the context is live, so it doubles as the poll
+// used at every cancellation checkpoint on the query path.
+func ctxErr(ctx context.Context) error {
+	switch err := ctx.Err(); {
+	case err == nil:
+		return nil
+	case errors.Is(err, context.DeadlineExceeded):
+		return fmt.Errorf("%w: %w", ErrDeadlineExceeded, err)
+	default:
+		return fmt.Errorf("%w: %w", ErrCanceled, err)
+	}
+}
+
+// typedErr wraps an error that surfaced from a cancellation hook into the
+// package's typed errors. Raw context errors (from core's validation
+// hooks) are classified like ctxErr; anything else passes through.
+func typedErr(ctx context.Context, err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, context.DeadlineExceeded):
+		return fmt.Errorf("%w: %w", ErrDeadlineExceeded, err)
+	case errors.Is(err, context.Canceled):
+		return fmt.Errorf("%w: %w", ErrCanceled, err)
+	default:
+		if cerr := ctxErr(ctx); cerr != nil {
+			return cerr
+		}
+		return err
+	}
+}

@@ -1,6 +1,7 @@
 package index
 
 import (
+	"context"
 	"runtime"
 	"sort"
 	"sync"
@@ -12,6 +13,10 @@ import (
 	"tind/internal/history"
 	"tind/internal/timeline"
 )
+
+// subsetCheckEvery is how many candidates the exact subset pre-check
+// (line 16 of Algorithm 1) processes between cancellation polls.
+const subsetCheckEvery = 512
 
 // QueryStats records how a single query was answered, feeding the
 // runtime-distribution experiments.
@@ -25,7 +30,9 @@ type QueryStats struct {
 	Elapsed           time.Duration // total query time
 }
 
-// Result is the answer to a tIND (or reverse tIND) search.
+// Result is the answer to a tIND (or reverse tIND) search. When a query
+// aborts on a done context, Result carries the statistics accumulated up
+// to the abort point (with Elapsed set) alongside the typed error.
 type Result struct {
 	IDs   []history.AttrID // attributes satisfying the dependency, ascending
 	Stats QueryStats
@@ -37,11 +44,28 @@ type Result struct {
 // δ ≤ the index δ. A larger query δ disables slice pruning (Section 4.4)
 // but still returns exact results via M_T and validation.
 func (x *Index) Search(q *history.History, p core.Params) (Result, error) {
+	return x.SearchContext(context.Background(), q, p)
+}
+
+// SearchContext is Search under a context: the query polls ctx between
+// pruning stages, between candidate batches of the subset pre-check, and
+// inside exact validation (per candidate and, via core.HoldsContext,
+// periodically within a single candidate). Once ctx is done the query
+// returns ErrCanceled or ErrDeadlineExceeded (wrapped) together with the
+// partial statistics gathered so far.
+func (x *Index) SearchContext(ctx context.Context, q *history.History, p core.Params) (Result, error) {
 	start := time.Now()
 	if err := p.Validate(); err != nil {
 		return Result{}, err
 	}
 	var st QueryStats
+	abort := func(err error) (Result, error) {
+		st.Elapsed = time.Since(start)
+		return Result{Stats: st}, err
+	}
+	if err := ctxErr(ctx); err != nil {
+		return abort(err)
+	}
 
 	// Line 2: prune via required values against M_T.
 	req := core.RequiredValues(q, p.Epsilon, p.Weight)
@@ -60,6 +84,9 @@ func (x *Index) Search(q *history.History, p core.Params) (Result, error) {
 	if p.Delta <= x.opt.Params.Delta && st.InitialCandidates > 0 {
 		vio := make(map[int]float64)
 		for _, ts := range x.slices {
+			if err := ctxErr(ctx); err != nil {
+				return abort(err)
+			}
 			st.SlicesUsed++
 			x.pruneSlice(q, p, ts, cand, vio)
 			if cand.Count() == 0 {
@@ -71,21 +98,43 @@ func (x *Index) Search(q *history.History, p core.Params) (Result, error) {
 
 	// Line 16: discard Bloom false positives by checking the required
 	// values against the actual full value sets.
+	if err := x.subsetCheck(ctx, cand, func(c history.AttrID) bool {
+		return req.SubsetOf(x.ds.Attr(c).AllValues())
+	}); err != nil {
+		return abort(err)
+	}
+	st.AfterSubsetCheck = cand.Count()
+
+	// Lines 17-19: exact validation (Algorithm 2), in parallel.
+	ids, err := x.validate(ctx, cand, &st, func(c history.AttrID) (bool, error) {
+		return core.HoldsContext(ctx, q, x.ds.Attr(c), p)
+	})
+	if err != nil {
+		return abort(err)
+	}
+	st.Results = len(ids)
+	st.Elapsed = time.Since(start)
+	return Result{IDs: ids, Stats: st}, nil
+}
+
+// subsetCheck clears every candidate failing the exact check, polling the
+// context every subsetCheckEvery candidates.
+func (x *Index) subsetCheck(ctx context.Context, cand *bitmatrix.Vec, keep func(history.AttrID) bool) error {
+	var n int
+	var err error
 	cand.ForEach(func(c int) bool {
-		if !req.SubsetOf(x.ds.Attr(history.AttrID(c)).AllValues()) {
+		if n%subsetCheckEvery == 0 {
+			if err = ctxErr(ctx); err != nil {
+				return false
+			}
+		}
+		n++
+		if !keep(history.AttrID(c)) {
 			cand.Clear(c)
 		}
 		return true
 	})
-	st.AfterSubsetCheck = cand.Count()
-
-	// Lines 17-19: exact validation (Algorithm 2), in parallel.
-	ids := x.validate(cand, &st, func(c history.AttrID) bool {
-		return core.Holds(q, x.ds.Attr(c), p)
-	})
-	st.Results = len(ids)
-	st.Elapsed = time.Since(start)
-	return Result{IDs: ids, Stats: st}, nil
+	return err
 }
 
 // pruneSlice applies one time-slice index to the candidate set: for every
@@ -144,11 +193,24 @@ func (x *Index) pruneSlice(q *history.History, p core.Params, ts timeSlice,
 // larger ε disables M_R pruning, a larger δ disables slice pruning — both
 // fall back to exhaustive validation and remain exact.
 func (x *Index) Reverse(q *history.History, p core.Params) (Result, error) {
+	return x.ReverseContext(context.Background(), q, p)
+}
+
+// ReverseContext is Reverse under a context, with the same cancellation
+// points and typed errors as SearchContext.
+func (x *Index) ReverseContext(ctx context.Context, q *history.History, p core.Params) (Result, error) {
 	start := time.Now()
 	if err := p.Validate(); err != nil {
 		return Result{}, err
 	}
 	var st QueryStats
+	abort := func(err error) (Result, error) {
+		st.Elapsed = time.Since(start)
+		return Result{Stats: st}, err
+	}
+	if err := ctxErr(ctx); err != nil {
+		return abort(err)
+	}
 
 	// Candidates: attributes whose required values are contained in Q[T].
 	var cand *bitmatrix.Vec
@@ -170,6 +232,9 @@ func (x *Index) Reverse(q *history.History, p core.Params) (Result, error) {
 		vio := make(map[int]float64)
 		used := 0
 		for _, ts := range x.slices {
+			if err := ctxErr(ctx); err != nil {
+				return abort(err)
+			}
 			if ts.minVio == nil {
 				continue // index not built for reverse
 			}
@@ -201,18 +266,20 @@ func (x *Index) Reverse(q *history.History, p core.Params) (Result, error) {
 	// values under the *query* parameters must truly appear in Q's full
 	// history — a necessary condition of A ⊆ Q for any parameters.
 	qAll := q.AllValues()
-	cand.ForEach(func(c int) bool {
-		req := core.RequiredValues(x.ds.Attr(history.AttrID(c)), p.Epsilon, p.Weight)
-		if !req.SubsetOf(qAll) {
-			cand.Clear(c)
-		}
-		return true
-	})
+	if err := x.subsetCheck(ctx, cand, func(c history.AttrID) bool {
+		req := core.RequiredValues(x.ds.Attr(c), p.Epsilon, p.Weight)
+		return req.SubsetOf(qAll)
+	}); err != nil {
+		return abort(err)
+	}
 	st.AfterSubsetCheck = cand.Count()
 
-	ids := x.validate(cand, &st, func(c history.AttrID) bool {
-		return core.Holds(x.ds.Attr(c), q, p)
+	ids, err := x.validate(ctx, cand, &st, func(c history.AttrID) (bool, error) {
+		return core.HoldsContext(ctx, x.ds.Attr(c), q, p)
 	})
+	if err != nil {
+		return abort(err)
+	}
 	st.Results = len(ids)
 	st.Elapsed = time.Since(start)
 	return Result{IDs: ids, Stats: st}, nil
@@ -244,8 +311,10 @@ func (x *Index) excludeSelf(q *history.History, cand *bitmatrix.Vec) {
 
 // validate runs the exact check over all remaining candidates, in parallel
 // when the index allows it, and returns the ids that pass in ascending
-// order.
-func (x *Index) validate(cand *bitmatrix.Vec, st *QueryStats, check func(history.AttrID) bool) []history.AttrID {
+// order. The check itself may abort (a done context surfacing through
+// core.HoldsContext); the first such error stops all workers at the next
+// candidate boundary and is returned, mapped to the typed query errors.
+func (x *Index) validate(ctx context.Context, cand *bitmatrix.Vec, st *QueryStats, check func(history.AttrID) (bool, error)) ([]history.AttrID, error) {
 	todo := cand.Ones()
 	st.Validated = len(todo)
 	workers := x.opt.ValidationWorkers
@@ -258,19 +327,24 @@ func (x *Index) validate(cand *bitmatrix.Vec, st *QueryStats, check func(history
 	if workers <= 1 {
 		var ids []history.AttrID
 		for _, c := range todo {
-			if check(history.AttrID(c)) {
+			ok, err := check(history.AttrID(c))
+			if err != nil {
+				return nil, typedErr(ctx, err)
+			}
+			if ok {
 				ids = append(ids, history.AttrID(c))
 			}
 		}
-		return ids
+		return ids, nil
 	}
 	var (
-		mu  sync.Mutex
-		ids []history.AttrID
-		wg  sync.WaitGroup
-		pos int
+		mu       sync.Mutex // guards ids and firstErr
+		ids      []history.AttrID
+		firstErr error
+		wg       sync.WaitGroup
+		pos      int
+		posMu    sync.Mutex
 	)
-	var posMu sync.Mutex
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -283,18 +357,35 @@ func (x *Index) validate(cand *bitmatrix.Vec, st *QueryStats, check func(history
 				if i >= len(todo) {
 					return
 				}
+				mu.Lock()
+				stop := firstErr != nil
+				mu.Unlock()
+				if stop {
+					return
+				}
 				c := history.AttrID(todo[i])
-				if check(c) {
-					mu.Lock()
+				ok, err := check(c)
+				mu.Lock()
+				if err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+				} else if ok {
 					ids = append(ids, c)
-					mu.Unlock()
+				}
+				mu.Unlock()
+				if err != nil {
+					return
 				}
 			}
 		}()
 	}
 	wg.Wait()
+	if firstErr != nil {
+		return nil, typedErr(ctx, firstErr)
+	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	return ids
+	return ids, nil
 }
 
 // Pair is a discovered temporal inclusion dependency LHS ⊆_{w,ε,δ} RHS.
@@ -305,9 +396,20 @@ type Pair struct {
 // AllPairs discovers the complete set of tINDs in the dataset by querying
 // every attribute against the index (Section 3.5). Queries run in
 // parallel; per-query validation is sequential, the superior split per
-// Section 4.2.2. workers ≤ 0 means GOMAXPROCS.
+// Section 4.2.2. workers ≤ 0 is clamped to GOMAXPROCS.
 func (x *Index) AllPairs(p core.Params, workers int) ([]Pair, error) {
+	return x.AllPairsContext(context.Background(), p, workers)
+}
+
+// AllPairsContext is AllPairs under a context. Cancellation propagates
+// through every per-attribute SearchContext, so an n²-sized discovery run
+// stops within one validation-batch boundary of the context ending and
+// returns the typed ErrCanceled/ErrDeadlineExceeded.
+func (x *Index) AllPairsContext(ctx context.Context, p core.Params, workers int) ([]Pair, error) {
 	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := ctxErr(ctx); err != nil {
 		return nil, err
 	}
 	if workers <= 0 {
@@ -337,7 +439,7 @@ func (x *Index) AllPairs(p core.Params, workers int) ([]Pair, error) {
 				if i >= n || stop {
 					return
 				}
-				res, e := seq.Search(x.ds.Attr(history.AttrID(i)), p)
+				res, e := seq.SearchContext(ctx, x.ds.Attr(history.AttrID(i)), p)
 				if e != nil {
 					mu.Lock()
 					if err == nil {

@@ -1,6 +1,7 @@
 package index
 
 import (
+	"context"
 	"sort"
 
 	"tind/internal/core"
@@ -25,6 +26,15 @@ type Ranked struct {
 // the index pruned at budget ε is proven to violate more than ε, so once
 // k results lie at or below ε they are exactly the global top k.
 func (x *Index) TopK(q *history.History, delta timeline.Time, w timeline.WeightFunc, k int) ([]Ranked, error) {
+	return x.TopKContext(context.Background(), q, delta, w, k)
+}
+
+// TopKContext is TopK under a context. The context is polled at every
+// budget escalation, inside each underlying SearchContext, and during the
+// exact violation-weight ranking of the results, so even the escalating
+// search (which may re-run the query several times) aborts promptly with
+// the typed ErrCanceled/ErrDeadlineExceeded.
+func (x *Index) TopKContext(ctx context.Context, q *history.History, delta timeline.Time, w timeline.WeightFunc, k int) ([]Ranked, error) {
 	if k <= 0 {
 		return nil, nil
 	}
@@ -34,18 +44,22 @@ func (x *Index) TopK(q *history.History, delta timeline.Time, w timeline.WeightF
 		eps = 1
 	}
 	for {
+		if err := ctxErr(ctx); err != nil {
+			return nil, err
+		}
 		p := core.Params{Epsilon: eps, Delta: delta, Weight: w}
-		res, err := x.Search(q, p)
+		res, err := x.SearchContext(ctx, q, p)
 		if err != nil {
 			return nil, err
 		}
 		ranked := make([]Ranked, 0, len(res.IDs))
 		for _, id := range res.IDs {
-			ranked = append(ranked, Ranked{
-				ID: id,
-				// Exact weight for ranking (Search only certifies ≤ ε).
-				Violation: core.ViolationWeight(q, x.ds.Attr(id), p),
-			})
+			// Exact weight for ranking (Search only certifies ≤ ε).
+			v, err := core.ViolationWeightContext(ctx, q, x.ds.Attr(id), p)
+			if err != nil {
+				return nil, typedErr(ctx, err)
+			}
+			ranked = append(ranked, Ranked{ID: id, Violation: v})
 		}
 		sort.Slice(ranked, func(i, j int) bool {
 			if ranked[i].Violation != ranked[j].Violation {

@@ -23,7 +23,15 @@ func FuzzRead(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte("TIND"))
 	f.Add(append([]byte("TIND"), 1, 0, 0, 0))
+	f.Add(append([]byte("TIND"), 2, 0, 0, 0))
 	f.Add(good[:len(good)/3])
+	// Footer-less and version-patched variants: a legacy v1 body (valid)
+	// and a v2 body missing its checksum footer (must error).
+	legacy := append([]byte(nil), good[:len(good)-footerSize]...)
+	legacy[len(magic)] = 1
+	f.Add(legacy)
+	f.Add(good[:len(good)-footerSize])
+	f.Add(good[:len(good)-1])
 	// A few targeted mutations as seeds.
 	for _, pos := range []int{5, 10, len(good) / 2, len(good) - 2} {
 		m := append([]byte(nil), good...)

@@ -2,6 +2,7 @@ package persist
 
 import (
 	"bytes"
+	"strings"
 	"testing"
 
 	"tind/internal/datagen"
@@ -118,6 +119,79 @@ func TestReadRejectsCorruptInput(t *testing.T) {
 			t.Errorf("%s: Read must fail", name)
 		}
 	}
+}
+
+func TestReadRejectsFlippedPayloadByte(t *testing.T) {
+	// A flipped bit inside string content parses fine structurally — only
+	// the checksum footer can catch it. Use a distinctive dictionary
+	// string so the corruption site is easy to locate in the encoding.
+	ds := history.NewDataset(50)
+	h, err := history.New(history.Meta{Page: "p", Table: "t", Column: "c"},
+		[]history.Version{{Start: 0, Values: ds.Dict().InternAll([]string{"AAAAAAAAAAAAAAAA"})}}, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds.Add(h)
+	var buf bytes.Buffer
+	if err := Write(ds, &buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	pos := bytes.Index(data, []byte("AAAAAAAAAAAAAAAA"))
+	if pos < 0 {
+		t.Fatal("marker string not found in encoding")
+	}
+	data[pos+3] = 'B'
+	_, err = Read(bytes.NewReader(data))
+	if err == nil {
+		t.Fatal("flipped payload byte must be rejected")
+	}
+	if !strings.Contains(err.Error(), "checksum mismatch") {
+		t.Fatalf("want checksum mismatch error, got: %v", err)
+	}
+}
+
+func TestReadRejectsTruncatedFooter(t *testing.T) {
+	c, err := datagen.Generate(datagen.Config{Seed: 8, Attributes: 10, Horizon: 100, AttrsPerDomain: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(c.Dataset, &buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Strip part of the footer: the payload parses, the footer read fails.
+	if _, err := Read(bytes.NewReader(data[:len(data)-2])); err == nil {
+		t.Fatal("truncated footer must be rejected")
+	} else if !strings.Contains(err.Error(), "checksum footer") {
+		t.Fatalf("want footer read error, got: %v", err)
+	}
+}
+
+func TestReadAcceptsLegacyV1(t *testing.T) {
+	// A version-1 file is a version-2 file minus the footer, with the
+	// version byte patched down (both 1 and 2 encode as a single varint
+	// byte at offset len(magic)).
+	c, err := datagen.Generate(datagen.Config{Seed: 9, Attributes: 25, Horizon: 150, AttrsPerDomain: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(c.Dataset, &buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	legacy := append([]byte(nil), data[:len(data)-footerSize]...)
+	if legacy[len(magic)] != formatVersion {
+		t.Fatalf("expected version byte %d at offset %d", formatVersion, len(magic))
+	}
+	legacy[len(magic)] = 1
+	got, err := Read(bytes.NewReader(legacy))
+	if err != nil {
+		t.Fatalf("legacy v1 file must stay readable: %v", err)
+	}
+	assertEqualDatasets(t, c.Dataset, got)
 }
 
 func TestReadRejectsGarbageAfterHeader(t *testing.T) {

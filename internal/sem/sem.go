@@ -1,0 +1,71 @@
+// Package sem provides a tiny weighted semaphore for load shedding.
+//
+// Unlike a blocking semaphore, acquisition is try-only: a saturated
+// server should tell the client to come back later (HTTP 503 +
+// Retry-After) instead of queueing requests unboundedly — queued work
+// holds memory and goroutines while its client has likely already given
+// up. The standard library has no semaphore and the module is
+// dependency-free by policy, so this is a minimal local implementation.
+package sem
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Weighted is a counting semaphore with per-acquisition weights. The
+// zero value is unusable; use New.
+type Weighted struct {
+	mu       sync.Mutex
+	capacity int64
+	inUse    int64
+}
+
+// New returns a semaphore admitting acquisitions of total weight
+// capacity. It panics on a non-positive capacity — a limiter that can
+// admit nothing is a configuration error, not a runtime state.
+func New(capacity int64) *Weighted {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("sem: non-positive capacity %d", capacity))
+	}
+	return &Weighted{capacity: capacity}
+}
+
+// TryAcquire reserves weight n if it fits the remaining capacity and
+// reports whether it did. It never blocks. Weights larger than the total
+// capacity can never be admitted and always fail.
+func (s *Weighted) TryAcquire(n int64) bool {
+	if n <= 0 {
+		return true
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.inUse+n > s.capacity {
+		return false
+	}
+	s.inUse += n
+	return true
+}
+
+// Release returns weight n to the semaphore. Releasing more than is held
+// panics: it means an unbalanced acquire/release pair, which would
+// silently raise the effective capacity.
+func (s *Weighted) Release(n int64) {
+	if n <= 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n > s.inUse {
+		panic(fmt.Sprintf("sem: releasing %d with only %d in use", n, s.inUse))
+	}
+	s.inUse -= n
+}
+
+// InUse returns the currently reserved weight (for introspection and
+// tests).
+func (s *Weighted) InUse() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inUse
+}

@@ -1,0 +1,89 @@
+package sem
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestTryAcquireRelease(t *testing.T) {
+	s := New(3)
+	if !s.TryAcquire(2) {
+		t.Fatal("acquire 2 of 3 must succeed")
+	}
+	if s.TryAcquire(2) {
+		t.Fatal("acquire beyond capacity must fail")
+	}
+	if !s.TryAcquire(1) {
+		t.Fatal("exact fill must succeed")
+	}
+	if s.TryAcquire(1) {
+		t.Fatal("saturated semaphore must shed")
+	}
+	s.Release(2)
+	if !s.TryAcquire(2) {
+		t.Fatal("released weight must be reusable")
+	}
+	if got := s.InUse(); got != 3 {
+		t.Fatalf("InUse = %d, want 3", got)
+	}
+}
+
+func TestOversizedWeightNeverAdmitted(t *testing.T) {
+	s := New(2)
+	if s.TryAcquire(3) {
+		t.Fatal("weight above total capacity must always fail")
+	}
+	if got := s.InUse(); got != 0 {
+		t.Fatalf("failed acquire leaked weight: %d", got)
+	}
+}
+
+func TestNonPositiveWeightsAreNoops(t *testing.T) {
+	s := New(1)
+	if !s.TryAcquire(0) || !s.TryAcquire(-1) {
+		t.Fatal("non-positive acquires must trivially succeed")
+	}
+	s.Release(0)
+	s.Release(-4)
+	if got := s.InUse(); got != 0 {
+		t.Fatalf("non-positive weights must not change state: %d", got)
+	}
+}
+
+func TestUnbalancedReleasePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("over-release must panic")
+		}
+	}()
+	New(1).Release(1)
+}
+
+func TestBadCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-positive capacity must panic")
+		}
+	}()
+	New(0)
+}
+
+func TestConcurrentBalance(t *testing.T) {
+	s := New(4)
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				if s.TryAcquire(1) {
+					s.Release(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := s.InUse(); got != 0 {
+		t.Fatalf("weight leaked under concurrency: %d", got)
+	}
+}

@@ -20,6 +20,15 @@ type DumpOptions struct {
 	// Namespaces restricts to the given namespaces. Nil means {0} (the
 	// article namespace, where Wikipedia's content tables live).
 	Namespaces []int
+	// OnMalformed, when non-nil, switches ParseDump to lenient mode: a
+	// revision or page-metadata element that fails to parse (bad
+	// timestamp, unparsable element content) is reported through the
+	// callback and skipped instead of aborting the whole dump. A page
+	// whose title or namespace element is malformed is skipped entirely —
+	// its revisions cannot be attributed or filtered reliably. Errors at
+	// the XML tokenizer level still abort: past a corrupt token the
+	// stream cannot be resynchronized.
+	OnMalformed func(page string, err error)
 }
 
 // ParseDump streams a MediaWiki XML export (pages-meta-history format,
@@ -67,16 +76,30 @@ func ParseDump(r io.Reader, opt DumpOptions, emit func(Revision) error) error {
 			title, ns, skipPage, lastHadTable = "", 0, false, false
 		case "title":
 			if err := dec.DecodeElement(&title, &start); err != nil {
+				if opt.OnMalformed != nil {
+					opt.OnMalformed(title, fmt.Errorf("wiki: page title: %w", err))
+					skipPage = true
+					continue
+				}
 				return fmt.Errorf("wiki: page title: %w", err)
 			}
 		case "ns":
 			if err := dec.DecodeElement(&ns, &start); err != nil {
+				if opt.OnMalformed != nil {
+					opt.OnMalformed(title, fmt.Errorf("wiki: page namespace: %w", err))
+					skipPage = true
+					continue
+				}
 				return fmt.Errorf("wiki: page namespace: %w", err)
 			}
 			skipPage = !namespaces[ns]
 		case "revision":
 			var rev dumpRevision
 			if err := dec.DecodeElement(&rev, &start); err != nil {
+				if opt.OnMalformed != nil {
+					opt.OnMalformed(title, fmt.Errorf("wiki: revision of %q: %w", title, err))
+					continue
+				}
 				return fmt.Errorf("wiki: revision of %q: %w", title, err)
 			}
 			if skipPage {
@@ -89,6 +112,10 @@ func ParseDump(r io.Reader, opt DumpOptions, emit func(Revision) error) error {
 			lastHadTable = hasTable
 			ts, err := time.Parse(time.RFC3339, rev.Timestamp)
 			if err != nil {
+				if opt.OnMalformed != nil {
+					opt.OnMalformed(title, fmt.Errorf("wiki: revision %d of %q: bad timestamp %q", rev.ID, title, rev.Timestamp))
+					continue
+				}
 				return fmt.Errorf("wiki: revision %d of %q: bad timestamp %q", rev.ID, title, rev.Timestamp)
 			}
 			if err := emit(Revision{

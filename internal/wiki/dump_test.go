@@ -166,6 +166,72 @@ func TestParseDumpBadTimestamp(t *testing.T) {
 	}
 }
 
+func TestParseDumpLenientSkipsBadTimestamp(t *testing.T) {
+	// One malformed revision among good ones: lenient mode reports and
+	// skips it, emitting the rest.
+	dump := `<mediawiki><page><title>X</title><ns>0</ns>
+	<revision><id>1</id><timestamp>yesterday</timestamp><text>{| bad |}</text></revision>
+	<revision><id>2</id><timestamp>2004-01-01T00:00:00Z</timestamp><text>{| good |}</text></revision>
+	</page></mediawiki>`
+	var malformed []string
+	var got []Revision
+	err := ParseDump(strings.NewReader(dump), DumpOptions{
+		OnMalformed: func(page string, err error) {
+			malformed = append(malformed, page+": "+err.Error())
+		},
+	}, func(r Revision) error {
+		got = append(got, r)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("lenient parse must not abort: %v", err)
+	}
+	if len(got) != 1 || got[0].ID != 2 {
+		t.Fatalf("good revision must survive: %+v", got)
+	}
+	if len(malformed) != 1 || !strings.Contains(malformed[0], "timestamp") {
+		t.Fatalf("malformed revision must be reported: %v", malformed)
+	}
+}
+
+func TestParseDumpLenientSkipsBadNamespacePage(t *testing.T) {
+	// A page whose <ns> does not parse cannot be namespace-filtered; the
+	// whole page is skipped, later pages still emit.
+	dump := `<mediawiki><page><title>Broken</title><ns>zero</ns>
+	<revision><id>1</id><timestamp>2004-01-01T00:00:00Z</timestamp><text>{| x |}</text></revision>
+	</page><page><title>Fine</title><ns>0</ns>
+	<revision><id>2</id><timestamp>2004-02-01T00:00:00Z</timestamp><text>{| y |}</text></revision>
+	</page></mediawiki>`
+	var malformed int
+	var got []Revision
+	err := ParseDump(strings.NewReader(dump), DumpOptions{
+		OnMalformed: func(page string, err error) { malformed++ },
+	}, func(r Revision) error {
+		got = append(got, r)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("lenient parse must not abort: %v", err)
+	}
+	if len(got) != 1 || got[0].Page != "Fine" {
+		t.Fatalf("page after the broken one must survive: %+v", got)
+	}
+	if malformed != 1 {
+		t.Fatalf("broken page must be reported once, got %d", malformed)
+	}
+}
+
+func TestParseDumpLenientStillAbortsOnBrokenXML(t *testing.T) {
+	// Tokenizer-level corruption cannot be resynchronized; lenient mode
+	// must still abort rather than loop or silently stop.
+	err := ParseDump(strings.NewReader("<mediawiki><page><title>x</title"), DumpOptions{
+		OnMalformed: func(string, error) {},
+	}, func(Revision) error { return nil })
+	if err == nil {
+		t.Fatal("tokenizer corruption must abort even in lenient mode")
+	}
+}
+
 func TestParseDumpEmitError(t *testing.T) {
 	wantErr := strings.NewReader(sampleDump)
 	err := ParseDump(wantErr, DumpOptions{}, func(Revision) error {

@@ -205,6 +205,16 @@ const (
 	WeightedRandomSlices = index.WeightedRandom
 )
 
+// Typed query-abort errors. Context-aware queries (SearchContext,
+// ReverseContext, TopKContext, AllPairsContext on Index) return an error
+// matching ErrQueryCanceled or ErrQueryDeadlineExceeded via errors.Is when
+// the caller's context ends mid-query; the wrapped context.Canceled /
+// context.DeadlineExceeded also still match.
+var (
+	ErrQueryCanceled         = index.ErrCanceled
+	ErrQueryDeadlineExceeded = index.ErrDeadlineExceeded
+)
+
 // BuildIndex constructs the tIND index over a dataset (Section 4.2).
 func BuildIndex(ds *Dataset, opt IndexOptions) (*Index, error) { return index.Build(ds, opt) }
 
