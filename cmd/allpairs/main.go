@@ -24,6 +24,7 @@ import (
 	"tind/internal/datagen"
 	"tind/internal/index"
 	"tind/internal/many"
+	"tind/internal/obs"
 	"tind/internal/timeline"
 )
 
@@ -37,8 +38,12 @@ func main() {
 		workers = flag.Int("workers", 0, "query workers (0 = all cores)")
 		doPrint = flag.Bool("print", false, "print every discovered tIND")
 		timeout = flag.Duration("timeout", 0, "abort discovery after this long (0 = no limit)")
+		metrics = flag.Bool("metrics", false, "dump the collected metrics to stderr on exit (Prometheus text format)")
 	)
 	flag.Parse()
+	if *metrics {
+		defer dumpMetrics()
+	}
 
 	// The n² discovery loop can run for hours on a big corpus; Ctrl-C or
 	// the -timeout budget cancels it mid-validation instead of leaving an
@@ -104,6 +109,16 @@ func main() {
 		for _, pr := range pairs {
 			fmt.Fprintf(w, "%s ⊆ %s\n", ds.Attr(pr.LHS).Meta(), ds.Attr(pr.RHS).Meta())
 		}
+	}
+}
+
+// dumpMetrics writes the final state of every instrument — index build
+// times, Bloom fill ratios, query-phase histograms of the discovery run —
+// so a batch job leaves the same numbers a scraped server would.
+func dumpMetrics() {
+	fmt.Fprintln(os.Stderr, "--- metrics ---")
+	if err := obs.Default().WritePrometheus(os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "allpairs: writing metrics:", err)
 	}
 }
 

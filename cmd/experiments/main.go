@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"tind/internal/experiments"
+	"tind/internal/obs"
 	"tind/internal/timeline"
 )
 
@@ -29,8 +30,19 @@ func main() {
 		seed    = flag.Int64("seed", 1, "random seed")
 		workers = flag.Int("workers", 0, "all-pairs workers (0 = all cores)")
 		list    = flag.Bool("list", false, "list available experiments and exit")
+		metrics = flag.Bool("metrics", false, "dump the collected metrics to stderr on exit (Prometheus text format)")
 	)
 	flag.Parse()
+	if *metrics {
+		// Final stats dump: the per-phase histograms and fill-ratio gauges
+		// accumulated across every experiment run in this process.
+		defer func() {
+			fmt.Fprintln(os.Stderr, "--- metrics ---")
+			if err := obs.Default().WritePrometheus(os.Stderr); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: writing metrics:", err)
+			}
+		}()
+	}
 
 	if *list {
 		for _, e := range experiments.All() {

@@ -18,6 +18,8 @@
 //	GET /explain?lhs=...&rhs=...&delta=7                 violated intervals
 //	GET /attr?attr=...                                   attribute details
 //	GET /stats                                           corpus and index stats
+//	GET /metrics                                         Prometheus text exposition
+//	GET /debug/pprof/*                                   profiling (only with -pprof)
 //	GET /healthz                                         process liveness
 //	GET /readyz                                          200 once the index is built
 //
@@ -28,6 +30,12 @@
 // the client disconnects. A weighted concurrency limiter sheds excess
 // load with 503 + Retry-After instead of queueing. SIGINT/SIGTERM drain
 // in-flight requests for up to -drain-timeout before exiting.
+//
+// Observability: /metrics serves the process-wide obs registry (query
+// phase latencies, candidate funnels, Bloom fill ratios, HTTP counters)
+// in the Prometheus text format; queries slower than
+// -slow-query-threshold are logged with their per-phase trace; -pprof
+// opt-in exposes the standard /debug/pprof endpoints.
 package main
 
 import (
@@ -39,6 +47,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -53,10 +62,37 @@ import (
 	"tind/internal/datagen"
 	"tind/internal/history"
 	"tind/internal/index"
+	"tind/internal/obs"
 	"tind/internal/persist"
 	"tind/internal/sem"
 	"tind/internal/timeline"
 )
+
+// HTTP-level instruments. The query-internal metrics (phase latencies,
+// candidate funnels) live in internal/index; these cover what the index
+// cannot see: shedding, status codes and handler wall time per endpoint.
+var (
+	mHTTPInFlight = obs.Default().Gauge("tind_http_in_flight",
+		"Weighted in-flight query load admitted by the limiter.")
+	mHTTPShed = func(reason string) *obs.Counter {
+		return obs.Default().Counter("tind_http_shed_total",
+			"Requests shed with 503, by reason.", obs.L("reason", reason))
+	}
+	mSlowQueries = obs.Default().Counter("tind_http_slow_queries_total",
+		"Queries that exceeded -slow-query-threshold.")
+)
+
+func mHTTPRequests(endpoint string, code int) *obs.Counter {
+	return obs.Default().Counter("tind_http_requests_total",
+		"Query requests served, by endpoint and status code.",
+		obs.L("endpoint", endpoint), obs.L("code", strconv.Itoa(code)))
+}
+
+func mHTTPSeconds(endpoint string) *obs.Histogram {
+	return obs.Default().Histogram("tind_http_request_seconds",
+		"Handler wall time per query endpoint.", obs.LatencyBuckets,
+		obs.L("endpoint", endpoint))
+}
 
 // statusClientClosedRequest is nginx's non-standard code for "client
 // went away before we finished"; it keeps abandoned queries apart from
@@ -78,6 +114,8 @@ func main() {
 		queryTimeout = flag.Duration("query-timeout", 10*time.Second, "per-request query deadline (0 = none)")
 		maxInFlight  = flag.Int64("max-in-flight", 0, "concurrent query weight admitted before shedding with 503 (0 = 4×GOMAXPROCS)")
 		drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "grace period for in-flight requests on SIGINT/SIGTERM")
+		slowQuery    = flag.Duration("slow-query-threshold", time.Second, "log queries slower than this with their phase breakdown (0 = disabled)")
+		pprofF       = flag.Bool("pprof", false, "expose /debug/pprof endpoints (off by default: profiling leaks internals)")
 	)
 	flag.Parse()
 
@@ -85,6 +123,8 @@ func main() {
 		queryTimeout: *queryTimeout,
 		maxInFlight:  *maxInFlight,
 		drainTimeout: *drainTimeout,
+		slowQuery:    *slowQuery,
+		pprof:        *pprofF,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -105,11 +145,13 @@ func main() {
 	log.Print("drained, bye")
 }
 
-// config holds the robustness knobs of the service.
+// config holds the robustness and observability knobs of the service.
 type config struct {
 	queryTimeout time.Duration
 	maxInFlight  int64
 	drainTimeout time.Duration
+	slowQuery    time.Duration
+	pprof        bool
 }
 
 // run serves on ln until ctx is done (SIGINT/SIGTERM in production),
@@ -211,11 +253,28 @@ type corpus struct {
 	pagesLower []string
 }
 
+// newCorpus derives every cached view (currently the lowercased page
+// titles resolve scans) from the dataset at construction time. Building
+// the cache here rather than at the install site means a future second
+// caller that swaps the corpus pointer cannot forget to invalidate it:
+// a corpus and its caches are created together or not at all.
+func newCorpus(ds *history.Dataset, idx *index.Index) *corpus {
+	pages := make([]string, ds.Len())
+	for i, h := range ds.Attrs() {
+		pages[i] = strings.ToLower(h.Meta().Page)
+	}
+	return &corpus{ds: ds, idx: idx, pagesLower: pages}
+}
+
 // server bundles the serving state with the robustness machinery.
 type server struct {
 	corpus       atomic.Pointer[corpus]
 	limiter      *sem.Weighted
 	queryTimeout time.Duration
+	slowQuery    time.Duration
+	pprof        bool
+	// logf receives the slow-query log lines; tests substitute a capture.
+	logf func(format string, args ...interface{})
 }
 
 func newServer(cfg config) *server {
@@ -223,17 +282,19 @@ func newServer(cfg config) *server {
 	if capacity <= 0 {
 		capacity = int64(4 * runtime.GOMAXPROCS(0))
 	}
-	return &server{limiter: sem.New(capacity), queryTimeout: cfg.queryTimeout}
+	return &server{
+		limiter:      sem.New(capacity),
+		queryTimeout: cfg.queryTimeout,
+		slowQuery:    cfg.slowQuery,
+		pprof:        cfg.pprof,
+		logf:         log.Printf,
+	}
 }
 
 // install publishes the corpus, flipping /readyz to 200 and letting
 // query endpoints through.
 func (s *server) install(ds *history.Dataset, idx *index.Index) {
-	pages := make([]string, ds.Len())
-	for i, h := range ds.Attrs() {
-		pages[i] = strings.ToLower(h.Meta().Page)
-	}
-	s.corpus.Store(&corpus{ds: ds, idx: idx, pagesLower: pages})
+	s.corpus.Store(newCorpus(ds, idx))
 }
 
 // queryHandler is an endpoint that needs the corpus; the query
@@ -250,33 +311,129 @@ func (s *server) routes() http.Handler {
 	mux.Handle("GET /explain", s.query(1, s.handleExplain))
 	mux.Handle("GET /attr", s.query(1, s.handleAttr))
 	mux.Handle("GET /stats", s.query(1, s.handleStats))
+	// /metrics is deliberately outside the query middleware: scrapes must
+	// work while the index is still building and must never be shed.
+	mux.HandleFunc("GET /metrics", handleMetrics)
+	if s.pprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return recoverJSON(mux)
+}
+
+// handleMetrics serves the process-wide registry in the Prometheus text
+// exposition format.
+func handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := obs.Default().WritePrometheus(w); err != nil {
+		log.Printf("tindserve: writing metrics: %v", err)
+	}
+}
+
+// statusRecorder captures the status code a handler writes so the query
+// middleware can label its metrics and the slow-query log with it.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusRecorder) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// queryNote carries per-query diagnostics from a handler back to the
+// query middleware, which owns the slow-query log.
+type queryNote struct {
+	stats *index.QueryStats
+}
+
+type noteKey struct{}
+
+// noteStats records the query stats of the request for the slow-query
+// log. Handlers that run an index query call it; the others stay silent
+// and a slow request logs without a phase breakdown.
+func noteStats(r *http.Request, st *index.QueryStats) {
+	if n, ok := r.Context().Value(noteKey{}).(*queryNote); ok {
+		n.stats = st
+	}
+}
+
+// traceSummary renders the per-phase breakdown of a slow query for the
+// log: the Timings aggregate plus the ordered trace spans if the query
+// ran with tracing enabled.
+func traceSummary(st *index.QueryStats) string {
+	t := st.Timings
+	s := fmt.Sprintf("phases[mt_prune=%v slice_prune=%v subset_check=%v validate=%v rank=%v] candidates=%d validated=%d results=%d",
+		t.MTPrune.Round(time.Microsecond), t.SlicePrune.Round(time.Microsecond),
+		t.SubsetCheck.Round(time.Microsecond), t.Validate.Round(time.Microsecond),
+		t.Rank.Round(time.Microsecond),
+		st.InitialCandidates, st.Validated, st.Results)
+	if len(st.Trace) > 0 {
+		spans := make([]string, len(st.Trace))
+		for i, sp := range st.Trace {
+			spans[i] = sp.String()
+		}
+		s += " trace[" + strings.Join(spans, " ") + "]"
+	}
+	return s
 }
 
 // query gates an endpoint behind readiness, the concurrency limiter and
 // the per-request deadline. Not-ready and saturated both shed with 503 +
 // Retry-After rather than queueing: the client retrying in a second is
-// cheaper than a goroutine parked on a semaphore.
+// cheaper than a goroutine parked on a semaphore. Admitted requests are
+// timed and counted per endpoint and status; those slower than the
+// slow-query threshold are logged with their phase breakdown.
 func (s *server) query(weight int64, h queryHandler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		endpoint := r.URL.Path
 		c := s.corpus.Load()
 		if c == nil {
+			mHTTPShed("not_ready").Inc()
+			mHTTPRequests(endpoint, http.StatusServiceUnavailable).Inc()
 			w.Header().Set("Retry-After", "1")
 			httpError(w, http.StatusServiceUnavailable, errors.New("index still building, retry shortly"))
 			return
 		}
 		if !s.limiter.TryAcquire(weight) {
+			mHTTPShed("saturated").Inc()
+			mHTTPRequests(endpoint, http.StatusServiceUnavailable).Inc()
 			w.Header().Set("Retry-After", "1")
 			httpError(w, http.StatusServiceUnavailable, errors.New("server saturated, retry shortly"))
 			return
 		}
-		defer s.limiter.Release(weight)
+		mHTTPInFlight.Add(float64(weight))
+		defer func() {
+			s.limiter.Release(weight)
+			mHTTPInFlight.Add(-float64(weight))
+		}()
 		if s.queryTimeout > 0 {
 			ctx, cancel := context.WithTimeout(r.Context(), s.queryTimeout)
 			defer cancel()
 			r = r.WithContext(ctx)
 		}
-		h(c, w, r)
+		note := &queryNote{}
+		r = r.WithContext(context.WithValue(r.Context(), noteKey{}, note))
+		sr := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		h(c, sr, r)
+		elapsed := time.Since(start)
+		mHTTPRequests(endpoint, sr.status).Inc()
+		mHTTPSeconds(endpoint).ObserveDuration(elapsed)
+		if s.slowQuery > 0 && elapsed >= s.slowQuery {
+			mSlowQueries.Inc()
+			detail := ""
+			if note.stats != nil {
+				detail = " " + traceSummary(note.stats)
+			}
+			s.logf("tindserve: slow query: %s %s -> %d in %v (threshold %v)%s",
+				r.Method, r.URL.RequestURI(), sr.status,
+				elapsed.Round(time.Microsecond), s.slowQuery, detail)
+		}
 	})
 }
 
@@ -380,12 +537,16 @@ func (s *server) handleSearch(reverse bool) queryHandler {
 			httpError(w, http.StatusBadRequest, err)
 			return
 		}
-		var res index.Result
+		mode := index.ModeForward
 		if reverse {
-			res, err = c.idx.ReverseContext(r.Context(), q, p)
-		} else {
-			res, err = c.idx.SearchContext(r.Context(), q, p)
+			mode = index.ModeReverse
 		}
+		res, err := c.idx.Query(r.Context(), q, index.QueryOptions{
+			Mode:   mode,
+			Params: p,
+			Trace:  s.slowQuery > 0,
+		})
+		noteStats(r, &res.Stats)
 		if err != nil {
 			queryError(w, err)
 			return
@@ -424,11 +585,18 @@ func (s *server) handleTopK(c *corpus, w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	ranked, err := c.idx.TopKContext(r.Context(), q, p.Delta, p.Weight, k)
+	res, err := c.idx.Query(r.Context(), q, index.QueryOptions{
+		Mode:   index.ModeTopK,
+		Params: core.Params{Delta: p.Delta, Weight: p.Weight},
+		K:      k,
+		Trace:  s.slowQuery > 0,
+	})
+	noteStats(r, &res.Stats)
 	if err != nil {
 		queryError(w, err)
 		return
 	}
+	ranked := res.Ranked
 	type rankedResult struct {
 		attrResult
 		Violation float64 `json:"violation"`

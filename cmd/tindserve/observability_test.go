@@ -1,0 +1,223 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"tind/internal/history"
+	"tind/internal/index"
+	"tind/internal/timeline"
+	"tind/internal/values"
+)
+
+// sampleLine matches one Prometheus text-format sample:
+// name{optional labels} value.
+var sampleLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? (.+)$`)
+
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := testServer(t)
+	// Exercise the query path so the phase histograms have samples.
+	getJSON(t, ts.URL+"/search?attr=0&eps=3&delta=7", http.StatusOK)
+	getJSON(t, ts.URL+"/topk?attr=0&k=3", http.StatusOK)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+
+	// Every non-comment line must parse as a sample with a float value.
+	samples := 0
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		m := sampleLine.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("unparseable sample line: %q", line)
+		}
+		if _, err := strconv.ParseFloat(m[2], 64); err != nil {
+			t.Fatalf("sample %q: bad value: %v", line, err)
+		}
+		samples++
+	}
+	if samples == 0 {
+		t.Fatal("exposition contains no samples")
+	}
+
+	for _, want := range []string{
+		"tind_index_bloom_fill_ratio{matrix=\"m_t\"}",
+		"tind_query_phase_seconds_bucket",
+		"tind_query_phase_seconds_bucket{mode=\"forward\",phase=\"validate\",le=\"+Inf\"}",
+		"tind_queries_total{mode=\"forward\"}",
+		"tind_http_requests_total{endpoint=\"/search\",code=\"200\"}",
+		"tind_http_request_seconds_bucket",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+
+	// The fill-ratio gauge of the required-values matrix must carry a
+	// real value: the test corpus is non-empty, so some bits are set.
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, "tind_index_bloom_fill_ratio{matrix=\"m_t\"}") {
+			v, err := strconv.ParseFloat(strings.Fields(line)[1], 64)
+			if err != nil || v <= 0 || v > 1 {
+				t.Fatalf("m_t fill ratio %q out of (0,1]: %v", line, err)
+			}
+		}
+	}
+}
+
+func TestMetricsServedWhileNotReady(t *testing.T) {
+	// Corpus never installed: query endpoints shed, but scrapes must not.
+	s := newServer(config{})
+	w := httptest.NewRecorder()
+	s.routes().ServeHTTP(w, httptest.NewRequest("GET", "/metrics", nil))
+	if w.Code != http.StatusOK {
+		t.Fatalf("/metrics while not ready: status %d", w.Code)
+	}
+}
+
+func TestPprofGating(t *testing.T) {
+	_, off := testServerConfig(t, config{})
+	resp, err := http.Get(off.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("pprof without -pprof: status %d, want 404", resp.StatusCode)
+	}
+
+	_, on := testServerConfig(t, config{pprof: true})
+	resp, err = http.Get(on.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof with -pprof: status %d, want 200", resp.StatusCode)
+	}
+}
+
+func TestSlowQueryLog(t *testing.T) {
+	// Threshold of 1ns: every query is slow, so one request must produce
+	// one log line carrying the per-phase breakdown.
+	s, ts := testServerConfig(t, config{slowQuery: time.Nanosecond})
+	var mu sync.Mutex
+	var lines []string
+	s.logf = func(format string, args ...interface{}) {
+		mu.Lock()
+		defer mu.Unlock()
+		lines = append(lines, fmt.Sprintf(format, args...))
+	}
+
+	getJSON(t, ts.URL+"/search?attr=0&eps=3&delta=7", http.StatusOK)
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(lines) != 1 {
+		t.Fatalf("slow-query log lines: %d, want 1: %q", len(lines), lines)
+	}
+	line := lines[0]
+	for _, want := range []string{
+		"slow query", "GET /search", "-> 200",
+		"phases[", "mt_prune=", "validate=", "trace[",
+	} {
+		if !strings.Contains(line, want) {
+			t.Errorf("slow-query line missing %q: %s", want, line)
+		}
+	}
+}
+
+func TestSlowQueryLogDisabled(t *testing.T) {
+	s, ts := testServerConfig(t, config{}) // threshold 0 = disabled
+	var mu sync.Mutex
+	var lines []string
+	s.logf = func(format string, args ...interface{}) {
+		mu.Lock()
+		defer mu.Unlock()
+		lines = append(lines, fmt.Sprintf(format, args...))
+	}
+	getJSON(t, ts.URL+"/search?attr=0", http.StatusOK)
+	mu.Lock()
+	defer mu.Unlock()
+	if len(lines) != 0 {
+		t.Fatalf("disabled slow-query log still logged: %q", lines)
+	}
+}
+
+// miniCorpus builds a one-attribute dataset whose only page title is the
+// given string, plus its index.
+func miniCorpus(t *testing.T, page string) (*history.Dataset, *index.Index) {
+	t.Helper()
+	ds := history.NewDataset(timeline.Time(100))
+	dict := ds.Dict()
+	vals := values.Set{dict.Intern("x"), dict.Intern("y")}
+	h, err := history.New(history.Meta{Page: page, Table: "t", Column: "c"},
+		[]history.Version{{Start: 0, Values: vals}}, timeline.Time(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ds.Add(h); err != nil {
+		t.Fatal(err)
+	}
+	idx, err := index.Build(ds, index.DefaultOptions(ds.Horizon()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds, idx
+}
+
+// TestResolveCacheFollowsCorpusSwap guards the regression where the
+// lowercased-page cache used by resolve outlived a corpus swap: after a
+// second install, resolve must see only the new corpus's pages.
+func TestResolveCacheFollowsCorpusSwap(t *testing.T) {
+	s := newServer(config{})
+	s.install(miniCorpus(t, "Alpha Page"))
+
+	c := s.corpus.Load()
+	if _, err := c.resolve("alpha"); err != nil {
+		t.Fatalf("resolve on first corpus: %v", err)
+	}
+	if _, err := c.resolve("beta"); err == nil {
+		t.Fatal("resolved a page absent from the first corpus")
+	}
+
+	s.install(miniCorpus(t, "Beta Page"))
+	c = s.corpus.Load()
+	h, err := c.resolve("beta")
+	if err != nil {
+		t.Fatalf("resolve after swap: %v", err)
+	}
+	if h.Meta().Page != "Beta Page" {
+		t.Fatalf("resolved %q, want the swapped-in page", h.Meta().Page)
+	}
+	if _, err := c.resolve("alpha"); err == nil {
+		t.Fatal("stale page cache: resolved a page from the replaced corpus")
+	}
+}

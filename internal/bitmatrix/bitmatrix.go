@@ -160,6 +160,21 @@ func (m *Matrix) MemoryBytes() int64 {
 	return int64(m.params.M) * int64((m.n+63)/64) * 8
 }
 
+// FillRatio returns the fraction of set bits over the whole matrix — the
+// mean Bloom-filter density of its columns. A ratio near 1 means the
+// filters are saturated and prune almost nothing; the paper's m sizing
+// (§5.4) trades this against memory.
+func (m *Matrix) FillRatio() float64 {
+	if m.n == 0 || m.params.M == 0 {
+		return 0
+	}
+	total := 0
+	for _, row := range m.rows {
+		total += row.Count()
+	}
+	return float64(total) / (float64(m.params.M) * float64(m.n))
+}
+
 // Supersets narrows the candidate vector to columns whose filter contains
 // every set bit of the query filter — the query_index procedure of
 // Algorithm 1. The result is base ∧ (∧ rows with query bit set); base is

@@ -21,6 +21,12 @@ var (
 	ErrDeadlineExceeded = errors.New("index: query deadline exceeded")
 )
 
+// ErrInvalidOptions reports malformed index Options (Build) or
+// QueryOptions (Query). Every validation failure wraps it, so callers
+// can distinguish a configuration bug from a runtime failure with one
+// errors.Is check.
+var ErrInvalidOptions = errors.New("index: invalid options")
+
 // ctxErr translates the context's state into the package's typed errors.
 // It returns nil while the context is live, so it doubles as the poll
 // used at every cancellation checkpoint on the query path.

@@ -68,13 +68,65 @@ func DefaultOptions(n timeline.Time) Options {
 // tIND search: m=512, k=2, weighted-random slices.
 func DefaultReverseOptions(n timeline.Time) Options {
 	return Options{
-		Bloom:         bloom.Params{M: 512, K: 2},
-		Slices:        2,
-		Strategy:      WeightedRandom,
-		Params:        core.DefaultDays(n),
-		Reverse:       true,
-		ReverseSlices: 2,
+		Bloom:    bloom.Params{M: 512, K: 2},
+		Slices:   2,
+		Strategy: WeightedRandom,
+		Params:   core.DefaultDays(n),
+	}.ForReverse()
+}
+
+// ForReverse returns a copy of o with reverse tIND search enabled:
+// Reverse is set and ReverseSlices defaults to the paper's best value of
+// 2 when unset. The Bloom shape and slice count are deliberately left
+// untouched so one index can serve both directions; start from
+// DefaultReverseOptions for the reverse-tuned shape (m=512, k=2,
+// weighted-random slices).
+func (o Options) ForReverse() Options {
+	o.Reverse = true
+	if o.ReverseSlices == 0 {
+		o.ReverseSlices = 2
 	}
+	return o
+}
+
+// withDefaults fills the documented zero-value defaults: the paper's
+// default relaxation when no weight function is given, and 2 reverse
+// slices when unset.
+func (o Options) withDefaults(horizon timeline.Time) Options {
+	if o.Params.Weight == nil {
+		o.Params = core.DefaultDays(horizon)
+	}
+	if o.ReverseSlices == 0 {
+		o.ReverseSlices = 2
+	}
+	return o
+}
+
+// Validate reports whether the options are well formed. Every failure
+// wraps ErrInvalidOptions. Build validates automatically; callers
+// assembling options programmatically can check earlier and cheaper.
+func (o Options) Validate() error {
+	if err := o.Bloom.Validate(); err != nil {
+		return fmt.Errorf("%w: %w", ErrInvalidOptions, err)
+	}
+	if o.Slices < 0 {
+		return fmt.Errorf("%w: negative slice count %d", ErrInvalidOptions, o.Slices)
+	}
+	if o.ReverseSlices < 0 {
+		return fmt.Errorf("%w: negative reverse slice count %d", ErrInvalidOptions, o.ReverseSlices)
+	}
+	if o.Strategy != Random && o.Strategy != WeightedRandom {
+		return fmt.Errorf("%w: unknown slice strategy %d", ErrInvalidOptions, int(o.Strategy))
+	}
+	if o.ValidationWorkers < 0 {
+		return fmt.Errorf("%w: negative validation workers %d", ErrInvalidOptions, o.ValidationWorkers)
+	}
+	if o.Params.Weight != nil {
+		if err := o.Params.Validate(); err != nil {
+			return fmt.Errorf("%w: %w", ErrInvalidOptions, err)
+		}
+	}
+	return nil
 }
 
 // timeSlice is one indexed interval I with its Bloom matrix over A[I^δ].
@@ -99,6 +151,13 @@ type Index struct {
 	slices       []timeSlice
 	mR           *bitmatrix.Matrix // columns: Bloom(R_{ε,w}(A)); reverse only
 	buildElapsed time.Duration
+	// Build-time observability, surfaced via Stats and the obs gauges:
+	// per-matrix fill times, Bloom fill ratios and per-slice pruning
+	// power estimates p(I).
+	mtBuild, sliceBuild, mrBuild time.Duration
+	fillMT, fillMR               float64
+	fillSlices                   []float64
+	slicePower                   []float64
 	// dirty marks attributes whose histories changed after Build
 	// (index.Refresh): their slice-matrix entries are stale, so slice
 	// pruning must never eliminate them. They still pass through M_T
@@ -113,26 +172,30 @@ type BuildStats struct {
 	SliceSpans  []timeline.Interval
 	MemoryBytes int64
 	Elapsed     time.Duration
+	// Per-matrix fill times: M_T, all slice matrices combined, and M_R.
+	MTBuild, SliceBuild, MRBuild time.Duration
+	// Bloom fill ratios (fraction of set bits) per matrix; the knob the
+	// paper's m sizing trades against pruning power (§5.4). MRFillRatio
+	// is zero for forward-only indices.
+	MTFillRatio  float64
+	MRFillRatio  float64
+	SliceFillRatios []float64
+	// SlicePruningPower is the estimate p(I) = Σ_A |A[I]| / |I| of
+	// Section 4.4.2 for each chosen slice interval.
+	SlicePruningPower []float64
 }
 
-// Build constructs the index over a dataset.
+// Build constructs the index over a dataset. Malformed options are
+// rejected with a typed error wrapping ErrInvalidOptions.
 func Build(ds *history.Dataset, opt Options) (*Index, error) {
 	start := time.Now()
-	if err := opt.Bloom.Validate(); err != nil {
-		return nil, err
-	}
-	if opt.Params.Weight == nil {
-		opt.Params = core.DefaultDays(ds.Horizon())
-	}
-	if err := opt.Params.Validate(); err != nil {
+	opt = opt.withDefaults(ds.Horizon())
+	if err := opt.Validate(); err != nil {
 		return nil, err
 	}
 	if opt.Params.Weight.Horizon() != ds.Horizon() {
-		return nil, fmt.Errorf("index: weight horizon %d does not match dataset horizon %d",
-			opt.Params.Weight.Horizon(), ds.Horizon())
-	}
-	if opt.ReverseSlices == 0 {
-		opt.ReverseSlices = 2
+		return nil, fmt.Errorf("%w: weight horizon %d does not match dataset horizon %d",
+			ErrInvalidOptions, opt.Params.Weight.Horizon(), ds.Horizon())
 	}
 
 	idx := &Index{ds: ds, opt: opt}
@@ -142,18 +205,22 @@ func Build(ds *history.Dataset, opt Options) (*Index, error) {
 	// time and is embarrassingly parallel per attribute; writing the
 	// columns into the shared row vectors happens serially afterwards
 	// (adjacent columns share words, so concurrent SetColumn would race).
-	fillMatrix := func(filter func(h *history.History) *bloom.Filter) *bitmatrix.Matrix {
+	fillMatrix := func(kind string, dst *time.Duration, filter func(h *history.History) *bloom.Filter) *bitmatrix.Matrix {
+		t0 := time.Now()
 		m := bitmatrix.NewMatrix(opt.Bloom, n)
 		filters := parallelFilters(ds, filter)
 		for i, f := range filters {
 			m.SetColumn(i, f)
 		}
+		d := time.Since(t0)
+		*dst += d
+		matrixBuildSeconds(kind).ObserveDuration(d)
 		return m
 	}
 
 	// M_T over the full value sets. Constructible without knowing any of
 	// the three query parameters (Section 4.2.1).
-	idx.mT = fillMatrix(func(h *history.History) *bloom.Filter {
+	idx.mT = fillMatrix("m_t", &idx.mtBuild, func(h *history.History) *bloom.Filter {
 		return bloom.FromSet(opt.Bloom, h.AllValues())
 	})
 
@@ -169,7 +236,7 @@ func Build(ds *history.Dataset, opt Options) (*Index, error) {
 		opt.Slices, opt.Strategy, rng)
 	for _, iv := range ivs {
 		expanded := iv.Expand(opt.Params.Delta)
-		ts := timeSlice{iv: iv, matrix: fillMatrix(func(h *history.History) *bloom.Filter {
+		ts := timeSlice{iv: iv, matrix: fillMatrix("slice", &idx.sliceBuild, func(h *history.History) *bloom.Filter {
 			return bloom.FromSet(opt.Bloom, h.Union(expanded))
 		})}
 		if opt.Reverse {
@@ -181,13 +248,65 @@ func Build(ds *history.Dataset, opt Options) (*Index, error) {
 	// M_R over required values, for reverse search (Section 4.5). Its ε
 	// and w must be the maximum/assumed query parameters.
 	if opt.Reverse {
-		idx.mR = fillMatrix(func(h *history.History) *bloom.Filter {
+		idx.mR = fillMatrix("m_r", &idx.mrBuild, func(h *history.History) *bloom.Filter {
 			req := core.RequiredValues(h, opt.Params.Epsilon, opt.Params.Weight)
 			return bloom.FromSet(opt.Bloom, req)
 		})
 	}
+	idx.observeBuild()
 	idx.buildElapsed = time.Since(start)
+	mBuildSeconds.ObserveDuration(idx.buildElapsed)
 	return idx, nil
+}
+
+// observeBuild computes the build-quality measurements — Bloom fill
+// ratios per matrix and the pruning-power estimate p(I) per slice — and
+// publishes them on the obs gauges. The fill ratio is the knob the
+// paper's m sizing (§5.4) trades against pruning power: a filter near
+// saturation prunes nothing.
+func (x *Index) observeBuild() {
+	x.fillMT = x.mT.FillRatio()
+	fillRatioGauge("m_t").Set(x.fillMT)
+	var sliceSum float64
+	for i, ts := range x.slices {
+		r := ts.matrix.FillRatio()
+		x.fillSlices = append(x.fillSlices, r)
+		sliceSum += r
+		p := slicePruningPower(x.ds, ts.iv)
+		x.slicePower = append(x.slicePower, p)
+		slicePruningPowerGauge(i).Set(p)
+	}
+	if len(x.slices) > 0 {
+		fillRatioGauge("slices").Set(sliceSum / float64(len(x.slices)))
+	}
+	if x.mR != nil {
+		x.fillMR = x.mR.FillRatio()
+		fillRatioGauge("m_r").Set(x.fillMR)
+	}
+	st := x.Stats()
+	mIndexAttributes.Set(float64(st.Attributes))
+	mIndexBytes.Set(float64(st.MemoryBytes))
+	mIndexSlices.Set(float64(st.Slices))
+}
+
+// slicePruningPower computes p(I) = Σ_A |A[I]| / |I| (Section 4.4.2) for
+// a chosen slice, subsampling large corpora the same way slice selection
+// does.
+func slicePruningPower(ds *history.Dataset, iv timeline.Interval) float64 {
+	if iv.Len() <= 0 {
+		return 0
+	}
+	attrs := ds.Attrs()
+	const maxAttrs = 2000
+	stride := 1
+	if len(attrs) > maxAttrs {
+		stride = len(attrs) / maxAttrs
+	}
+	distinct := 0
+	for a := 0; a < len(attrs); a += stride {
+		distinct += attrs[a].DistinctValuesIn(iv)
+	}
+	return float64(distinct) * float64(stride) / float64(iv.Len())
 }
 
 // parallelFilters computes one Bloom filter per attribute concurrently.
@@ -262,6 +381,10 @@ func (x *Index) Stats() BuildStats {
 		s.MemoryBytes += x.mR.MemoryBytes()
 	}
 	s.Elapsed = x.buildElapsed
+	s.MTBuild, s.SliceBuild, s.MRBuild = x.mtBuild, x.sliceBuild, x.mrBuild
+	s.MTFillRatio, s.MRFillRatio = x.fillMT, x.fillMR
+	s.SliceFillRatios = append([]float64(nil), x.fillSlices...)
+	s.SlicePruningPower = append([]float64(nil), x.slicePower...)
 	return s
 }
 

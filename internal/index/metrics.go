@@ -1,0 +1,103 @@
+package index
+
+import (
+	"strconv"
+
+	"tind/internal/obs"
+)
+
+// Metric names follow the Prometheus conventions: a tind_ namespace,
+// base units (seconds, bytes), _total suffix on counters. The inventory
+// is documented in DESIGN.md §7.
+var reg = obs.Default()
+
+// Query-phase names, shared between the Timings breakdown, the trace
+// spans and the {phase=...} label of the latency histograms.
+const (
+	phaseMTPrune     = "mt_prune"
+	phaseSlicePrune  = "slice_prune"
+	phaseSubsetCheck = "subset_check"
+	phaseValidate    = "validate"
+	phaseRank        = "rank" // top-k only: exact violation-weight ranking
+)
+
+// modeMetrics bundles the per-query-mode instruments.
+type modeMetrics struct {
+	queries *obs.Counter
+	errors  *obs.Counter
+	total   *obs.Histogram
+	phases  map[string]*obs.Histogram
+	// Candidate-funnel histograms: how many survive each pruning stage.
+	candInitial    *obs.Histogram
+	candSlices     *obs.Histogram
+	candSubset     *obs.Histogram
+	exactChecks    *obs.Counter
+	resultsEmitted *obs.Counter
+}
+
+// qm holds the per-mode metrics, indexed by Mode.
+var qm [numModes]modeMetrics
+
+// Index-build instruments.
+var (
+	mBuildSeconds = reg.Histogram("tind_index_build_seconds",
+		"Wall time of full index builds.", obs.ExpBuckets(0.001, 4, 12))
+	mIndexAttributes = reg.Gauge("tind_index_attributes",
+		"Attributes covered by the most recently built index.")
+	mIndexBytes = reg.Gauge("tind_index_bytes",
+		"Memory footprint of the most recently built index.")
+	mIndexSlices = reg.Gauge("tind_index_slices",
+		"Time-slice matrices in the most recently built index.")
+	mAllPairsSeconds = reg.Histogram("tind_allpairs_seconds",
+		"Wall time of complete all-pairs discovery runs.", obs.ExpBuckets(0.001, 4, 14))
+)
+
+func init() {
+	latHelp := "Query-phase latency by mode and phase."
+	for m := Mode(0); m < numModes; m++ {
+		mode := obs.L("mode", m.String())
+		phases := make(map[string]*obs.Histogram, 5)
+		for _, ph := range []string{phaseMTPrune, phaseSlicePrune, phaseSubsetCheck, phaseValidate, phaseRank} {
+			phases[ph] = reg.Histogram("tind_query_phase_seconds", latHelp,
+				obs.LatencyBuckets, mode, obs.L("phase", ph))
+		}
+		qm[m] = modeMetrics{
+			queries: reg.Counter("tind_queries_total", "Queries started, by mode.", mode),
+			errors:  reg.Counter("tind_query_errors_total", "Queries that returned an error (including cancellation), by mode.", mode),
+			total:   reg.Histogram("tind_query_seconds", "End-to-end query latency by mode.", obs.LatencyBuckets, mode),
+			phases:  phases,
+			candInitial: reg.Histogram("tind_query_candidates", "Candidates surviving each pruning stage.",
+				obs.CountBuckets, mode, obs.L("stage", "initial")),
+			candSlices: reg.Histogram("tind_query_candidates", "Candidates surviving each pruning stage.",
+				obs.CountBuckets, mode, obs.L("stage", "after_slices")),
+			candSubset: reg.Histogram("tind_query_candidates", "Candidates surviving each pruning stage.",
+				obs.CountBuckets, mode, obs.L("stage", "after_subset_check")),
+			exactChecks:    reg.Counter("tind_query_exact_checks_total", "Candidates passed to exact Algorithm-2 validation, by mode.", mode),
+			resultsEmitted: reg.Counter("tind_query_results_total", "Dependencies reported to callers, by mode.", mode),
+		}
+	}
+}
+
+// matrixBuildSeconds returns the build-time histogram of one matrix kind
+// (m_t, slice, m_r).
+func matrixBuildSeconds(matrix string) *obs.Histogram {
+	return reg.Histogram("tind_index_matrix_build_seconds",
+		"Per-matrix fill time during index builds.", obs.ExpBuckets(0.0001, 4, 12),
+		obs.L("matrix", matrix))
+}
+
+// fillRatioGauge returns the Bloom fill-ratio gauge of one matrix kind.
+func fillRatioGauge(matrix string) *obs.Gauge {
+	return reg.Gauge("tind_index_bloom_fill_ratio",
+		"Fraction of set bits in the Bloom matrices of the most recent build.",
+		obs.L("matrix", matrix))
+}
+
+// slicePruningPowerGauge returns the p(I) gauge of slice i: the paper's
+// pruning-power estimate sum_A |A[I]| / |I| (Section 4.4.2) computed for
+// the chosen interval at build time.
+func slicePruningPowerGauge(i int) *obs.Gauge {
+	return reg.Gauge("tind_index_slice_pruning_power",
+		"Pruning-power estimate p(I) per chosen time slice.",
+		obs.L("slice", strconv.Itoa(i)))
+}

@@ -1,0 +1,384 @@
+package index
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"tind/internal/bitmatrix"
+	"tind/internal/bloom"
+	"tind/internal/core"
+	"tind/internal/history"
+	"tind/internal/obs"
+	"tind/internal/timeline"
+	"tind/internal/values"
+)
+
+// Mode selects the direction of a Query.
+type Mode int
+
+const (
+	// ModeForward finds all A with Q ⊆_{w,ε,δ} A (Definition 3.7,
+	// Algorithm 1).
+	ModeForward Mode = iota
+	// ModeReverse finds all A with A ⊆_{w,ε,δ} Q (Definition 3.8); the
+	// index must have been built with Options.Reverse.
+	ModeReverse
+	// ModeTopK ranks the K attributes with the smallest exact violation
+	// weight of Q ⊆_{w,·,δ} A, escalating the search budget until K
+	// results fit.
+	ModeTopK
+
+	numModes
+)
+
+// String names the mode for metric labels and logs.
+func (m Mode) String() string {
+	switch m {
+	case ModeForward:
+		return "forward"
+	case ModeReverse:
+		return "reverse"
+	case ModeTopK:
+		return "topk"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// QueryOptions parameterizes one call to Index.Query.
+type QueryOptions struct {
+	// Mode is the query direction; the zero value is ModeForward.
+	Mode Mode
+	// Params is the tIND relaxation (ε, δ, w). For ModeTopK, Epsilon is
+	// the initial escalation budget (0 means the index ε) and the exact
+	// ranking ignores it otherwise.
+	Params core.Params
+	// K is the result count for ModeTopK; other modes ignore it.
+	K int
+	// Trace additionally records per-phase spans into Stats.Trace. The
+	// Timings breakdown is always populated; the trace costs a few
+	// appends more and is off by default.
+	Trace bool
+}
+
+// Timings is the per-phase breakdown of a query, mirroring the pruning
+// pipeline of Algorithm 1. Phases that did not run stay zero; Total is
+// always set on return, even for aborted queries.
+type Timings struct {
+	Total       time.Duration
+	MTPrune     time.Duration // required-values pruning against M_T (or M_R)
+	SlicePrune  time.Duration // time-slice pruning
+	SubsetCheck time.Duration // exact subset pre-check (line 16)
+	Validate    time.Duration // Algorithm-2 validation
+	Rank        time.Duration // top-k only: exact violation-weight ranking
+}
+
+// TraceSpan is one recorded query phase (offsets relative to query start).
+type TraceSpan = obs.Span
+
+// Query is the context-first entry point for all single-query modes:
+// forward search, reverse search and top-k ranking, selected by
+// QueryOptions.Mode. It subsumes the deprecated
+// Search/Reverse/TopK(Context) pairs, which remain as thin wrappers.
+//
+// The context is polled between pruning stages, between candidate
+// batches of the subset pre-check and inside exact validation; once it
+// is done the query returns ErrCanceled or ErrDeadlineExceeded (wrapped)
+// together with the partial statistics gathered so far. Stats.Timings is
+// populated on every return, successful or not.
+func (x *Index) Query(ctx context.Context, q *history.History, o QueryOptions) (Result, error) {
+	if o.Mode < 0 || o.Mode >= numModes {
+		return Result{}, fmt.Errorf("%w: unknown query mode %d", ErrInvalidOptions, int(o.Mode))
+	}
+	if o.Mode == ModeTopK && o.K <= 0 {
+		return Result{}, fmt.Errorf("%w: ModeTopK requires K > 0, got %d", ErrInvalidOptions, o.K)
+	}
+	if err := o.Params.Validate(); err != nil {
+		return Result{}, err
+	}
+	qm[o.Mode].queries.Inc()
+
+	r := &queryRun{x: x, mode: o.Mode, start: time.Now()}
+	if o.Trace {
+		r.tr = obs.NewTrace()
+	}
+	var (
+		res Result
+		err error
+	)
+	switch o.Mode {
+	case ModeForward:
+		res, err = r.search(ctx, q, o.Params, false)
+	case ModeReverse:
+		res, err = r.search(ctx, q, o.Params, true)
+	case ModeTopK:
+		res, err = r.topK(ctx, q, o)
+	}
+	r.finish(&res.Stats, err)
+	return res, err
+}
+
+// queryRun carries the cross-phase state of one Query call: the clock,
+// the optional trace, and the mode's metrics.
+type queryRun struct {
+	x     *Index
+	mode  Mode
+	start time.Time
+	tr    *obs.Trace
+}
+
+// phase times one pipeline phase: the returned func records the elapsed
+// time into *dst (accumulating, so top-k escalations sum), the mode's
+// phase histogram and the trace.
+func (r *queryRun) phase(name string, dst *time.Duration) func() {
+	start := time.Now()
+	endSpan := r.tr.Span(name)
+	return func() {
+		endSpan()
+		d := time.Since(start)
+		*dst += d
+		qm[r.mode].phases[name].ObserveDuration(d)
+	}
+}
+
+// finish seals the statistics of the run: total time, trace, and the
+// per-mode counters and histograms. Called exactly once per Query.
+func (r *queryRun) finish(st *QueryStats, err error) {
+	st.Elapsed = time.Since(r.start)
+	st.Timings.Total = st.Elapsed
+	st.Trace = r.tr.Spans()
+	m := &qm[r.mode]
+	m.total.ObserveDuration(st.Elapsed)
+	m.candInitial.Observe(float64(st.InitialCandidates))
+	m.candSlices.Observe(float64(st.AfterSlices))
+	m.candSubset.Observe(float64(st.AfterSubsetCheck))
+	m.exactChecks.Add(int64(st.Validated))
+	m.resultsEmitted.Add(int64(st.Results))
+	if err != nil {
+		m.errors.Inc()
+	}
+}
+
+// search implements forward (Algorithm 1) and reverse (Section 4.5) tIND
+// search with per-phase timing. Parameters have been validated by Query.
+func (r *queryRun) search(ctx context.Context, q *history.History, p core.Params, reverse bool) (Result, error) {
+	x := r.x
+	var st QueryStats
+	abort := func(err error) (Result, error) {
+		return Result{Stats: st}, err
+	}
+	if err := ctxErr(ctx); err != nil {
+		return abort(err)
+	}
+
+	// Phase 1: candidate generation via the required-values matrix —
+	// M_T supersets for forward search (line 2 of Algorithm 1), M_R
+	// subsets for reverse search.
+	endPhase := r.phase(phaseMTPrune, &st.Timings.MTPrune)
+	var cand *bitmatrix.Vec
+	var req values.Set // forward only: required values, reused by the subset check
+	if reverse {
+		if x.mR != nil && p.Epsilon <= x.opt.Params.Epsilon {
+			qf := bloom.FromSet(x.opt.Bloom, q.AllValues())
+			cand = x.mR.Subsets(qf, nil)
+		} else {
+			cand = bitmatrix.NewVecFull(x.ds.Len())
+		}
+	} else {
+		req = core.RequiredValues(q, p.Epsilon, p.Weight)
+		if x.opt.DisableRequiredValues {
+			cand = bitmatrix.NewVecFull(x.ds.Len())
+		} else {
+			qf := bloom.FromSet(x.opt.Bloom, req)
+			cand = x.mT.Supersets(qf, nil)
+		}
+	}
+	x.excludeSelf(q, cand)
+	st.InitialCandidates = cand.Count()
+	endPhase()
+
+	// Phase 2: time-slice pruning with violation tracking. Only sound
+	// when the query δ does not exceed the index δ (and, for reverse
+	// search, under the index weighting).
+	endPhase = r.phase(phaseSlicePrune, &st.Timings.SlicePrune)
+	var err error
+	if reverse {
+		err = x.reverseSlicePrune(ctx, q, p, cand, &st)
+	} else {
+		err = x.forwardSlicePrune(ctx, q, p, cand, &st)
+	}
+	st.AfterSlices = cand.Count()
+	endPhase()
+	if err != nil {
+		return abort(err)
+	}
+
+	// Phase 3: exact subset pre-check (line 16) discarding Bloom false
+	// positives against the actual value sets.
+	endPhase = r.phase(phaseSubsetCheck, &st.Timings.SubsetCheck)
+	var keep func(history.AttrID) bool
+	if reverse {
+		qAll := q.AllValues()
+		keep = func(c history.AttrID) bool {
+			creq := core.RequiredValues(x.ds.Attr(c), p.Epsilon, p.Weight)
+			return creq.SubsetOf(qAll)
+		}
+	} else {
+		keep = func(c history.AttrID) bool {
+			return req.SubsetOf(x.ds.Attr(c).AllValues())
+		}
+	}
+	err = x.subsetCheck(ctx, cand, keep)
+	st.AfterSubsetCheck = cand.Count()
+	endPhase()
+	if err != nil {
+		return abort(err)
+	}
+
+	// Phase 4: exact validation (Algorithm 2), in parallel.
+	endPhase = r.phase(phaseValidate, &st.Timings.Validate)
+	check := func(c history.AttrID) (bool, error) {
+		if reverse {
+			return core.HoldsContext(ctx, x.ds.Attr(c), q, p)
+		}
+		return core.HoldsContext(ctx, q, x.ds.Attr(c), p)
+	}
+	ids, err := x.validate(ctx, cand, &st, check)
+	endPhase()
+	if err != nil {
+		return abort(err)
+	}
+	st.Results = len(ids)
+	return Result{IDs: ids, Stats: st}, nil
+}
+
+// forwardSlicePrune runs lines 4-15 of Algorithm 1 over all slices.
+func (x *Index) forwardSlicePrune(ctx context.Context, q *history.History, p core.Params,
+	cand *bitmatrix.Vec, st *QueryStats) error {
+	if p.Delta > x.opt.Params.Delta || st.InitialCandidates == 0 {
+		return nil
+	}
+	vio := make(map[int]float64)
+	for _, ts := range x.slices {
+		if err := ctxErr(ctx); err != nil {
+			return err
+		}
+		st.SlicesUsed++
+		x.pruneSlice(q, p, ts, cand, vio)
+		if cand.Count() == 0 {
+			break
+		}
+	}
+	return nil
+}
+
+// reverseSlicePrune applies the reverse-capable slices (Section 4.5): a
+// candidate whose window set is not contained in Q's doubly expanded
+// window is provably violated by at least its cheapest version in the
+// slice. The slice count is capped per Options.ReverseSlices (more hurt,
+// Figure 14).
+func (x *Index) reverseSlicePrune(ctx context.Context, q *history.History, p core.Params,
+	cand *bitmatrix.Vec, st *QueryStats) error {
+	if p.Delta > x.opt.Params.Delta || st.InitialCandidates == 0 ||
+		!sameWeight(p.Weight, x.opt.Params.Weight) {
+		return nil
+	}
+	vio := make(map[int]float64)
+	used := 0
+	for _, ts := range x.slices {
+		if err := ctxErr(ctx); err != nil {
+			return err
+		}
+		if ts.minVio == nil {
+			continue // index not built for reverse
+		}
+		if used >= x.opt.ReverseSlices {
+			break
+		}
+		used++
+		st.SlicesUsed++
+		qWin := q.Union(ts.iv.Expand(2 * x.opt.Params.Delta))
+		violators := ts.matrix.Violators(bloom.FromSet(x.opt.Bloom, qWin), cand)
+		if x.dirty != nil {
+			violators.AndNot(x.dirty)
+		}
+		violators.ForEach(func(c int) bool {
+			vio[c] += ts.minVio[c]
+			if vio[c] > p.Epsilon {
+				cand.Clear(c)
+			}
+			return true
+		})
+		if cand.Count() == 0 {
+			break
+		}
+	}
+	return nil
+}
+
+// topK implements ModeTopK: escalate the violation budget until at least
+// K results fit, then rank them by exact violation weight. Everything
+// the index pruned at budget ε is proven to violate more than ε, so once
+// K results lie at or below ε they are exactly the global top K.
+func (r *queryRun) topK(ctx context.Context, q *history.History, o QueryOptions) (Result, error) {
+	x, k := r.x, o.K
+	w := o.Params.Weight
+	total := w.Sum(timeline.NewInterval(0, w.Horizon()))
+	eps := o.Params.Epsilon
+	if eps <= 0 {
+		eps = x.opt.Params.Epsilon
+	}
+	if eps <= 0 {
+		eps = 1
+	}
+	var st QueryStats
+	for {
+		if err := ctxErr(ctx); err != nil {
+			return Result{Stats: st}, err
+		}
+		p := core.Params{Epsilon: eps, Delta: o.Params.Delta, Weight: w}
+		res, err := r.search(ctx, q, p, false)
+		// Carry the inner stats (and their accumulated timings) so an
+		// abort mid-escalation still reports how far the query got.
+		res.Stats.Timings.Rank = st.Timings.Rank
+		st = res.Stats
+		if err != nil {
+			return Result{Stats: st}, err
+		}
+
+		endRank := r.phase(phaseRank, &st.Timings.Rank)
+		ranked := make([]Ranked, 0, len(res.IDs))
+		for _, id := range res.IDs {
+			// Exact weight for ranking (the search only certifies ≤ ε).
+			v, err := core.ViolationWeightContext(ctx, q, x.ds.Attr(id), p)
+			if err != nil {
+				endRank()
+				return Result{Stats: st}, typedErr(ctx, err)
+			}
+			ranked = append(ranked, Ranked{ID: id, Violation: v})
+		}
+		sort.Slice(ranked, func(i, j int) bool {
+			if ranked[i].Violation != ranked[j].Violation {
+				return ranked[i].Violation < ranked[j].Violation
+			}
+			return ranked[i].ID < ranked[j].ID
+		})
+		endRank()
+		if len(ranked) >= k {
+			ranked = ranked[:k]
+		} else if eps < total {
+			eps *= 4
+			if eps > total {
+				eps = total
+			}
+			continue
+		}
+		// Either k results fit the budget, or the budget covers every
+		// timestamp and this is the complete ranking (fewer than k
+		// attributes exist).
+		st.Results = len(ranked)
+		return Result{Ranked: ranked, Stats: st}, nil
+	}
+}

@@ -1,0 +1,196 @@
+package index
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"tind/internal/core"
+	"tind/internal/history"
+)
+
+// queryTestIndex builds a reverse-capable index over a random dataset.
+func queryTestIndex(t *testing.T, seed int64, nAttrs int) (*history.Dataset, *Index) {
+	t.Helper()
+	ds := randDataset(rand.New(rand.NewSource(seed)), nAttrs, 200)
+	opt := DefaultOptions(ds.Horizon())
+	opt.Reverse = true
+	x, err := Build(ds, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds, x
+}
+
+func TestQueryModeDispatch(t *testing.T) {
+	ds, x := queryTestIndex(t, 11, 40)
+	p := core.DefaultDays(ds.Horizon())
+	ctx := context.Background()
+	for i := 0; i < ds.Len(); i += 7 {
+		q := ds.Attr(history.AttrID(i))
+
+		fwd, err := x.Query(ctx, q, QueryOptions{Mode: ModeForward, Params: p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !idsEqual(fwd.IDs, bruteSearch(ds, q, p)) {
+			t.Fatalf("attr %d: forward Query deviates from brute force", i)
+		}
+
+		rev, err := x.Query(ctx, q, QueryOptions{Mode: ModeReverse, Params: p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !idsEqual(rev.IDs, bruteReverse(ds, q, p)) {
+			t.Fatalf("attr %d: reverse Query deviates from brute force", i)
+		}
+
+		top, err := x.Query(ctx, q, QueryOptions{Mode: ModeTopK, Params: core.Params{Delta: p.Delta, Weight: p.Weight}, K: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if top.IDs != nil {
+			t.Fatal("ModeTopK must leave IDs nil")
+		}
+		if len(top.Ranked) == 0 || len(top.Ranked) > 5 {
+			t.Fatalf("attr %d: topk returned %d results", i, len(top.Ranked))
+		}
+		for j := 1; j < len(top.Ranked); j++ {
+			if top.Ranked[j].Violation < top.Ranked[j-1].Violation {
+				t.Fatalf("attr %d: topk not sorted", i)
+			}
+		}
+	}
+}
+
+// goldenStats is the QueryStats subset that must be bit-identical
+// between a deprecated wrapper and the Query call it forwards to
+// (everything except wall-clock times and the trace).
+type goldenStats struct {
+	initial, afterSlices, afterSubset, validated, results, slices int
+}
+
+func golden(st QueryStats) goldenStats {
+	return goldenStats{st.InitialCandidates, st.AfterSlices, st.AfterSubsetCheck,
+		st.Validated, st.Results, st.SlicesUsed}
+}
+
+func TestDeprecatedWrappersMatchQuery(t *testing.T) {
+	ds, x := queryTestIndex(t, 12, 40)
+	p := core.DefaultDays(ds.Horizon())
+	ctx := context.Background()
+	for i := 0; i < ds.Len(); i += 5 {
+		q := ds.Attr(history.AttrID(i))
+
+		oldFwd, err1 := x.Search(q, p)
+		newFwd, err2 := x.Query(ctx, q, QueryOptions{Mode: ModeForward, Params: p})
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if !idsEqual(oldFwd.IDs, newFwd.IDs) || golden(oldFwd.Stats) != golden(newFwd.Stats) {
+			t.Fatalf("attr %d: Search wrapper deviates from Query: %+v vs %+v",
+				i, golden(oldFwd.Stats), golden(newFwd.Stats))
+		}
+
+		oldRev, err1 := x.Reverse(q, p)
+		newRev, err2 := x.Query(ctx, q, QueryOptions{Mode: ModeReverse, Params: p})
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if !idsEqual(oldRev.IDs, newRev.IDs) || golden(oldRev.Stats) != golden(newRev.Stats) {
+			t.Fatalf("attr %d: Reverse wrapper deviates from Query", i)
+		}
+
+		oldTop, err1 := x.TopK(q, p.Delta, p.Weight, 4)
+		newTop, err2 := x.Query(ctx, q, QueryOptions{Mode: ModeTopK, Params: core.Params{Delta: p.Delta, Weight: p.Weight}, K: 4})
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if len(oldTop) != len(newTop.Ranked) {
+			t.Fatalf("attr %d: TopK wrapper returned %d, Query %d", i, len(oldTop), len(newTop.Ranked))
+		}
+		for j := range oldTop {
+			if oldTop[j] != newTop.Ranked[j] {
+				t.Fatalf("attr %d rank %d: %+v vs %+v", i, j, oldTop[j], newTop.Ranked[j])
+			}
+		}
+	}
+}
+
+func TestQueryTimingsAlwaysPopulated(t *testing.T) {
+	ds, x := queryTestIndex(t, 13, 30)
+	p := core.DefaultDays(ds.Horizon())
+	q := ds.Attr(0)
+	for _, o := range []QueryOptions{
+		{Mode: ModeForward, Params: p},
+		{Mode: ModeReverse, Params: p},
+		{Mode: ModeTopK, Params: core.Params{Delta: p.Delta, Weight: p.Weight}, K: 3},
+	} {
+		res, err := x.Query(context.Background(), q, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Stats.Timings.Total <= 0 {
+			t.Fatalf("mode %v: Timings.Total not populated: %+v", o.Mode, res.Stats.Timings)
+		}
+		if res.Stats.Timings.Total != res.Stats.Elapsed {
+			t.Fatalf("mode %v: Timings.Total %v != Elapsed %v", o.Mode,
+				res.Stats.Timings.Total, res.Stats.Elapsed)
+		}
+		if res.Stats.Trace != nil {
+			t.Fatalf("mode %v: trace recorded without Trace option", o.Mode)
+		}
+	}
+}
+
+func TestQueryTraceSpans(t *testing.T) {
+	ds, x := queryTestIndex(t, 14, 30)
+	p := core.DefaultDays(ds.Horizon())
+	res, err := x.Query(context.Background(), ds.Attr(0), QueryOptions{Mode: ModeForward, Params: p, Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{phaseMTPrune, phaseSlicePrune, phaseSubsetCheck, phaseValidate}
+	if len(res.Stats.Trace) != len(want) {
+		t.Fatalf("trace spans: %v", res.Stats.Trace)
+	}
+	for i, sp := range res.Stats.Trace {
+		if sp.Name != want[i] {
+			t.Fatalf("span %d: %q, want %q", i, sp.Name, want[i])
+		}
+		if sp.End < sp.Start {
+			t.Fatalf("span %q ends before it starts: %+v", sp.Name, sp)
+		}
+		if i > 0 && sp.Start < res.Stats.Trace[i-1].End {
+			t.Fatalf("span %q overlaps predecessor", sp.Name)
+		}
+	}
+}
+
+func TestQueryRejectsBadOptions(t *testing.T) {
+	ds, x := queryTestIndex(t, 15, 10)
+	p := core.DefaultDays(ds.Horizon())
+	q := ds.Attr(0)
+	cases := []QueryOptions{
+		{Mode: Mode(99), Params: p},
+		{Mode: Mode(-1), Params: p},
+		{Mode: ModeTopK, Params: p, K: 0},
+		{Mode: ModeTopK, Params: p, K: -3},
+	}
+	for _, o := range cases {
+		if _, err := x.Query(context.Background(), q, o); !errors.Is(err, ErrInvalidOptions) {
+			t.Errorf("options %+v: err %v, want ErrInvalidOptions", o, err)
+		}
+	}
+}
+
+func TestModeString(t *testing.T) {
+	for m, want := range map[Mode]string{
+		ModeForward: "forward", ModeReverse: "reverse", ModeTopK: "topk", Mode(7): "Mode(7)",
+	} {
+		if got := m.String(); got != want {
+			t.Errorf("Mode(%d).String() = %q, want %q", int(m), got, want)
+		}
+	}
+}

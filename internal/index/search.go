@@ -19,7 +19,7 @@ import (
 const subsetCheckEvery = 512
 
 // QueryStats records how a single query was answered, feeding the
-// runtime-distribution experiments.
+// runtime-distribution experiments and the /metrics exposition.
 type QueryStats struct {
 	InitialCandidates int           // after M_T (or full set when M_T unusable)
 	AfterSlices       int           // after time-slice pruning
@@ -28,6 +28,12 @@ type QueryStats struct {
 	Results           int           // valid tINDs
 	SlicesUsed        int           // slice indices consulted
 	Elapsed           time.Duration // total query time
+	// Timings breaks Elapsed down by pruning phase. Total is populated
+	// (non-zero) on every Query return, successful or aborted.
+	Timings Timings
+	// Trace holds the per-phase spans when QueryOptions.Trace was set;
+	// nil otherwise. Top-k escalations append one span set per round.
+	Trace []TraceSpan
 }
 
 // Result is the answer to a tIND (or reverse tIND) search. When a query
@@ -36,6 +42,10 @@ type QueryStats struct {
 type Result struct {
 	IDs   []history.AttrID // attributes satisfying the dependency, ascending
 	Stats QueryStats
+	// Ranked is populated for ModeTopK only: the top K attributes by
+	// ascending exact violation weight (ties by id). IDs stays nil in
+	// that mode.
+	Ranked []Ranked
 }
 
 // Search returns all A ∈ D with Q ⊆_{w,ε,δ} A (Definition 3.7),
@@ -43,8 +53,10 @@ type Result struct {
 // index parameters: results stay exact for any ε and w, and for any
 // δ ≤ the index δ. A larger query δ disables slice pruning (Section 4.4)
 // but still returns exact results via M_T and validation.
+//
+// Deprecated: use Query with ModeForward, which this wraps.
 func (x *Index) Search(q *history.History, p core.Params) (Result, error) {
-	return x.SearchContext(context.Background(), q, p)
+	return x.Query(context.Background(), q, QueryOptions{Mode: ModeForward, Params: p})
 }
 
 // SearchContext is Search under a context: the query polls ctx between
@@ -53,68 +65,29 @@ func (x *Index) Search(q *history.History, p core.Params) (Result, error) {
 // periodically within a single candidate). Once ctx is done the query
 // returns ErrCanceled or ErrDeadlineExceeded (wrapped) together with the
 // partial statistics gathered so far.
+//
+// Deprecated: use Query with ModeForward, which this wraps.
 func (x *Index) SearchContext(ctx context.Context, q *history.History, p core.Params) (Result, error) {
-	start := time.Now()
-	if err := p.Validate(); err != nil {
-		return Result{}, err
-	}
-	var st QueryStats
-	abort := func(err error) (Result, error) {
-		st.Elapsed = time.Since(start)
-		return Result{Stats: st}, err
-	}
-	if err := ctxErr(ctx); err != nil {
-		return abort(err)
-	}
+	return x.Query(ctx, q, QueryOptions{Mode: ModeForward, Params: p})
+}
 
-	// Line 2: prune via required values against M_T.
-	req := core.RequiredValues(q, p.Epsilon, p.Weight)
-	var cand *bitmatrix.Vec
-	if x.opt.DisableRequiredValues {
-		cand = bitmatrix.NewVecFull(x.ds.Len())
-	} else {
-		qf := bloom.FromSet(x.opt.Bloom, req)
-		cand = x.mT.Supersets(qf, nil)
-	}
-	x.excludeSelf(q, cand)
-	st.InitialCandidates = cand.Count()
+// Reverse returns all A ∈ D with A ⊆_{w,ε,δ} Q (Definition 3.8). The index
+// must have been built with Reverse enabled. Results are exact for any
+// query ε ≤ index ε and δ ≤ index δ under the index weight function; a
+// larger ε disables M_R pruning, a larger δ disables slice pruning — both
+// fall back to exhaustive validation and remain exact.
+//
+// Deprecated: use Query with ModeReverse, which this wraps.
+func (x *Index) Reverse(q *history.History, p core.Params) (Result, error) {
+	return x.Query(context.Background(), q, QueryOptions{Mode: ModeReverse, Params: p})
+}
 
-	// Lines 4-15: time-slice pruning with violation tracking. Only sound
-	// when the query δ does not exceed the index δ.
-	if p.Delta <= x.opt.Params.Delta && st.InitialCandidates > 0 {
-		vio := make(map[int]float64)
-		for _, ts := range x.slices {
-			if err := ctxErr(ctx); err != nil {
-				return abort(err)
-			}
-			st.SlicesUsed++
-			x.pruneSlice(q, p, ts, cand, vio)
-			if cand.Count() == 0 {
-				break
-			}
-		}
-	}
-	st.AfterSlices = cand.Count()
-
-	// Line 16: discard Bloom false positives by checking the required
-	// values against the actual full value sets.
-	if err := x.subsetCheck(ctx, cand, func(c history.AttrID) bool {
-		return req.SubsetOf(x.ds.Attr(c).AllValues())
-	}); err != nil {
-		return abort(err)
-	}
-	st.AfterSubsetCheck = cand.Count()
-
-	// Lines 17-19: exact validation (Algorithm 2), in parallel.
-	ids, err := x.validate(ctx, cand, &st, func(c history.AttrID) (bool, error) {
-		return core.HoldsContext(ctx, q, x.ds.Attr(c), p)
-	})
-	if err != nil {
-		return abort(err)
-	}
-	st.Results = len(ids)
-	st.Elapsed = time.Since(start)
-	return Result{IDs: ids, Stats: st}, nil
+// ReverseContext is Reverse under a context, with the same cancellation
+// points and typed errors as SearchContext.
+//
+// Deprecated: use Query with ModeReverse, which this wraps.
+func (x *Index) ReverseContext(ctx context.Context, q *history.History, p core.Params) (Result, error) {
+	return x.Query(ctx, q, QueryOptions{Mode: ModeReverse, Params: p})
 }
 
 // subsetCheck clears every candidate failing the exact check, polling the
@@ -185,104 +158,6 @@ func (x *Index) pruneSlice(q *history.History, p core.Params, ts timeSlice,
 			return true
 		})
 	}
-}
-
-// Reverse returns all A ∈ D with A ⊆_{w,ε,δ} Q (Definition 3.8). The index
-// must have been built with Reverse enabled. Results are exact for any
-// query ε ≤ index ε and δ ≤ index δ under the index weight function; a
-// larger ε disables M_R pruning, a larger δ disables slice pruning — both
-// fall back to exhaustive validation and remain exact.
-func (x *Index) Reverse(q *history.History, p core.Params) (Result, error) {
-	return x.ReverseContext(context.Background(), q, p)
-}
-
-// ReverseContext is Reverse under a context, with the same cancellation
-// points and typed errors as SearchContext.
-func (x *Index) ReverseContext(ctx context.Context, q *history.History, p core.Params) (Result, error) {
-	start := time.Now()
-	if err := p.Validate(); err != nil {
-		return Result{}, err
-	}
-	var st QueryStats
-	abort := func(err error) (Result, error) {
-		st.Elapsed = time.Since(start)
-		return Result{Stats: st}, err
-	}
-	if err := ctxErr(ctx); err != nil {
-		return abort(err)
-	}
-
-	// Candidates: attributes whose required values are contained in Q[T].
-	var cand *bitmatrix.Vec
-	if x.mR != nil && p.Epsilon <= x.opt.Params.Epsilon {
-		qf := bloom.FromSet(x.opt.Bloom, q.AllValues())
-		cand = x.mR.Subsets(qf, nil)
-	} else {
-		cand = bitmatrix.NewVecFull(x.ds.Len())
-	}
-	x.excludeSelf(q, cand)
-	st.InitialCandidates = cand.Count()
-
-	// Slice pruning: a candidate's window set not contained in Q's doubly
-	// expanded window is provably violated by at least its cheapest
-	// version in the slice (Section 4.5). The paper caps the number of
-	// slices used for reverse search (more hurt, Figure 14).
-	if p.Delta <= x.opt.Params.Delta && st.InitialCandidates > 0 &&
-		sameWeight(p.Weight, x.opt.Params.Weight) {
-		vio := make(map[int]float64)
-		used := 0
-		for _, ts := range x.slices {
-			if err := ctxErr(ctx); err != nil {
-				return abort(err)
-			}
-			if ts.minVio == nil {
-				continue // index not built for reverse
-			}
-			if used >= x.opt.ReverseSlices {
-				break
-			}
-			used++
-			st.SlicesUsed++
-			qWin := q.Union(ts.iv.Expand(2 * x.opt.Params.Delta))
-			violators := ts.matrix.Violators(bloom.FromSet(x.opt.Bloom, qWin), cand)
-			if x.dirty != nil {
-				violators.AndNot(x.dirty)
-			}
-			violators.ForEach(func(c int) bool {
-				vio[c] += ts.minVio[c]
-				if vio[c] > p.Epsilon {
-					cand.Clear(c)
-				}
-				return true
-			})
-			if cand.Count() == 0 {
-				break
-			}
-		}
-	}
-	st.AfterSlices = cand.Count()
-
-	// Exact subset pre-check mirroring line 16: the candidate's required
-	// values under the *query* parameters must truly appear in Q's full
-	// history — a necessary condition of A ⊆ Q for any parameters.
-	qAll := q.AllValues()
-	if err := x.subsetCheck(ctx, cand, func(c history.AttrID) bool {
-		req := core.RequiredValues(x.ds.Attr(c), p.Epsilon, p.Weight)
-		return req.SubsetOf(qAll)
-	}); err != nil {
-		return abort(err)
-	}
-	st.AfterSubsetCheck = cand.Count()
-
-	ids, err := x.validate(ctx, cand, &st, func(c history.AttrID) (bool, error) {
-		return core.HoldsContext(ctx, x.ds.Attr(c), q, p)
-	})
-	if err != nil {
-		return abort(err)
-	}
-	st.Results = len(ids)
-	st.Elapsed = time.Since(start)
-	return Result{IDs: ids, Stats: st}, nil
 }
 
 // sameWeight reports whether the query weight function is the one the
@@ -397,12 +272,15 @@ type Pair struct {
 // every attribute against the index (Section 3.5). Queries run in
 // parallel; per-query validation is sequential, the superior split per
 // Section 4.2.2. workers ≤ 0 is clamped to GOMAXPROCS.
+//
+// Deprecated: use AllPairsContext, which this wraps with
+// context.Background().
 func (x *Index) AllPairs(p core.Params, workers int) ([]Pair, error) {
 	return x.AllPairsContext(context.Background(), p, workers)
 }
 
 // AllPairsContext is AllPairs under a context. Cancellation propagates
-// through every per-attribute SearchContext, so an n²-sized discovery run
+// through every per-attribute forward query, so an n²-sized discovery run
 // stops within one validation-batch boundary of the context ending and
 // returns the typed ErrCanceled/ErrDeadlineExceeded.
 func (x *Index) AllPairsContext(ctx context.Context, p core.Params, workers int) ([]Pair, error) {
@@ -412,6 +290,7 @@ func (x *Index) AllPairsContext(ctx context.Context, p core.Params, workers int)
 	if err := ctxErr(ctx); err != nil {
 		return nil, err
 	}
+	start := time.Now()
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -439,7 +318,8 @@ func (x *Index) AllPairsContext(ctx context.Context, p core.Params, workers int)
 				if i >= n || stop {
 					return
 				}
-				res, e := seq.SearchContext(ctx, x.ds.Attr(history.AttrID(i)), p)
+				res, e := seq.Query(ctx, x.ds.Attr(history.AttrID(i)),
+					QueryOptions{Mode: ModeForward, Params: p})
 				if e != nil {
 					mu.Lock()
 					if err == nil {
@@ -453,6 +333,7 @@ func (x *Index) AllPairsContext(ctx context.Context, p core.Params, workers int)
 		}()
 	}
 	wg.Wait()
+	mAllPairsSeconds.ObserveDuration(time.Since(start))
 	if err != nil {
 		return nil, err
 	}

@@ -2,7 +2,6 @@ package index
 
 import (
 	"context"
-	"sort"
 
 	"tind/internal/core"
 	"tind/internal/history"
@@ -21,63 +20,29 @@ type Ranked struct {
 // search, analogous to the top-k domain search of related work ([23, 24]
 // in the paper). Results are ordered by ascending violation, ties by id.
 //
-// The search escalates the violation budget: it runs the normal pruned
-// search at growing ε until at least k results fit the budget. Everything
-// the index pruned at budget ε is proven to violate more than ε, so once
-// k results lie at or below ε they are exactly the global top k.
+// Deprecated: use Query with ModeTopK, which this wraps.
 func (x *Index) TopK(q *history.History, delta timeline.Time, w timeline.WeightFunc, k int) ([]Ranked, error) {
 	return x.TopKContext(context.Background(), q, delta, w, k)
 }
 
 // TopKContext is TopK under a context. The context is polled at every
-// budget escalation, inside each underlying SearchContext, and during the
-// exact violation-weight ranking of the results, so even the escalating
-// search (which may re-run the query several times) aborts promptly with
-// the typed ErrCanceled/ErrDeadlineExceeded.
+// budget escalation, inside each underlying search, and during the exact
+// violation-weight ranking of the results, so even the escalating search
+// (which may re-run the query several times) aborts promptly with the
+// typed ErrCanceled/ErrDeadlineExceeded.
+//
+// Deprecated: use Query with ModeTopK, which this wraps.
 func (x *Index) TopKContext(ctx context.Context, q *history.History, delta timeline.Time, w timeline.WeightFunc, k int) ([]Ranked, error) {
 	if k <= 0 {
 		return nil, nil
 	}
-	total := w.Sum(timeline.NewInterval(0, w.Horizon()))
-	eps := x.opt.Params.Epsilon
-	if eps <= 0 {
-		eps = 1
+	res, err := x.Query(ctx, q, QueryOptions{
+		Mode:   ModeTopK,
+		Params: core.Params{Delta: delta, Weight: w},
+		K:      k,
+	})
+	if err != nil {
+		return nil, err
 	}
-	for {
-		if err := ctxErr(ctx); err != nil {
-			return nil, err
-		}
-		p := core.Params{Epsilon: eps, Delta: delta, Weight: w}
-		res, err := x.SearchContext(ctx, q, p)
-		if err != nil {
-			return nil, err
-		}
-		ranked := make([]Ranked, 0, len(res.IDs))
-		for _, id := range res.IDs {
-			// Exact weight for ranking (Search only certifies ≤ ε).
-			v, err := core.ViolationWeightContext(ctx, q, x.ds.Attr(id), p)
-			if err != nil {
-				return nil, typedErr(ctx, err)
-			}
-			ranked = append(ranked, Ranked{ID: id, Violation: v})
-		}
-		sort.Slice(ranked, func(i, j int) bool {
-			if ranked[i].Violation != ranked[j].Violation {
-				return ranked[i].Violation < ranked[j].Violation
-			}
-			return ranked[i].ID < ranked[j].ID
-		})
-		if len(ranked) >= k {
-			return ranked[:k], nil
-		}
-		if eps >= total {
-			// Budget covers every timestamp: nothing was pruned, so this
-			// is the complete ranking (fewer than k attributes exist).
-			return ranked, nil
-		}
-		eps *= 4
-		if eps > total {
-			eps = total
-		}
-	}
+	return res.Ranked, nil
 }

@@ -22,7 +22,22 @@ import (
 	"tind/internal/bloom"
 	"tind/internal/core"
 	"tind/internal/history"
+	"tind/internal/obs"
 	"tind/internal/timeline"
+)
+
+// Baseline cost accounting, mirroring the index's query metrics so the
+// experiment binaries can compare the tIND index against MANY/k-MANY
+// from one /metrics scrape or stats dump.
+var (
+	mStaticQueries = obs.Default().Counter("tind_many_queries_total",
+		"Baseline queries answered, by baseline.", obs.L("baseline", "static"))
+	mKManyQueries = obs.Default().Counter("tind_many_queries_total",
+		"Baseline queries answered, by baseline.", obs.L("baseline", "kmany"))
+	mKManySeconds = obs.Default().Histogram("tind_many_query_seconds",
+		"k-MANY query latency.", obs.LatencyBuckets)
+	mKManyOOM = obs.Default().Counter("tind_many_oom_total",
+		"k-MANY queries rejected by the memory budget.")
 )
 
 // Static is a MANY index over one snapshot of the dataset.
@@ -54,6 +69,7 @@ func (s *Static) Snapshot() timeline.Time { return s.t }
 // Search returns all attributes A with Q[t] ⊆ A[t] (Definition 3.1),
 // excluding Q itself.
 func (s *Static) Search(q *history.History) []history.AttrID {
+	mStaticQueries.Inc()
 	qv := q.At(s.t)
 	cand := s.m.Supersets(bloom.FromSet(s.bp, qv), nil)
 	if id := int(q.ID()); id >= 0 && id < s.ds.Len() && s.ds.Attr(q.ID()) == q {
@@ -176,10 +192,13 @@ type Result struct {
 // query δ must not exceed the δ the baseline was built with.
 func (k *KMany) Search(q *history.History, p core.Params) (Result, error) {
 	start := time.Now()
+	mKManyQueries.Inc()
+	defer func() { mKManySeconds.ObserveDuration(time.Since(start)) }()
 	if err := p.Validate(); err != nil {
 		return Result{}, err
 	}
 	if k.MemoryBudget > 0 && k.trackingBytes()+k.MemoryBytes() > k.MemoryBudget {
+		mKManyOOM.Inc()
 		return Result{}, fmt.Errorf("%w: need %d bytes for violation tracking over %d attributes",
 			ErrOutOfMemory, k.trackingBytes()+k.MemoryBytes(), k.ds.Len())
 	}

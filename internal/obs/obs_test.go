@@ -1,0 +1,183 @@
+package obs
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "a counter")
+	c.Inc()
+	c.Add(4)
+	c.Add(-7) // ignored: counters are monotone
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if again := r.Counter("c_total", "a counter"); again != c {
+		t.Fatal("re-registration must return the same counter")
+	}
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("g", "a gauge")
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %g, want 1.5", got)
+	}
+}
+
+func TestHistogramBucketMath(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "a histogram", []float64{1, 2, 5})
+	// Edges are inclusive upper bounds; 7 lands in +Inf.
+	for _, v := range []float64{0.5, 1, 1.5, 2, 5, 7} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 6 {
+		t.Fatalf("count = %d, want 6", got)
+	}
+	if got, want := h.Sum(), 0.5+1+1.5+2+5+7; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("sum = %g, want %g", got, want)
+	}
+	// Cumulative per bound: ≤1: {0.5,1}=2; ≤2: +{1.5,2}=4; ≤5: +{5}=5; +Inf: 6.
+	want := []int64{2, 4, 5, 6}
+	got := h.BucketCounts()
+	if len(got) != len(want) {
+		t.Fatalf("bucket count slice %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("cumulative buckets = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "", []float64{10})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 || h.Sum() != 8000 {
+		t.Fatalf("count=%d sum=%g, want 8000/8000", h.Count(), h.Sum())
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(1, 10, 4)
+	want := []float64{1, 10, 100, 1000}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ExpBuckets = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestWritePrometheus checks the text exposition end to end: HELP/TYPE
+// lines, label rendering, histogram _bucket/_sum/_count series, and that
+// every sample line parses as name{labels} float.
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("req_total", "requests", L("mode", "forward")).Add(3)
+	r.Gauge("fill_ratio", "bloom fill", L("matrix", "m_t")).Set(0.25)
+	h := r.Histogram("lat_seconds", "latency", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(2)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	for _, want := range []string{
+		"# TYPE req_total counter",
+		`req_total{mode="forward"} 3`,
+		"# TYPE fill_ratio gauge",
+		`fill_ratio{matrix="m_t"} 0.25`,
+		"# TYPE lat_seconds histogram",
+		`lat_seconds_bucket{le="0.1"} 1`,
+		`lat_seconds_bucket{le="1"} 2`,
+		`lat_seconds_bucket{le="+Inf"} 3`,
+		"lat_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	checkExposition(t, out)
+}
+
+// checkExposition validates that every non-comment line of a text
+// exposition is `name{labels} value` with a parseable value.
+func checkExposition(t *testing.T, out string) {
+	t.Helper()
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		name, val := line[:sp], line[sp+1:]
+		if name == "" || strings.ContainsAny(name, " \t") {
+			t.Fatalf("malformed metric name in %q", line)
+		}
+		if val != "+Inf" && val != "-Inf" {
+			if _, err := strconv.ParseFloat(val, 64); err != nil {
+				t.Fatalf("unparseable value in %q: %v", line, err)
+			}
+		}
+	}
+}
+
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering m as gauge after counter must panic")
+		}
+	}()
+	r.Gauge("m", "")
+}
+
+func TestTrace(t *testing.T) {
+	tr := NewTrace()
+	end := tr.Span("phase1")
+	time.Sleep(time.Millisecond)
+	end()
+	spans := tr.Spans()
+	if len(spans) != 1 || spans[0].Name != "phase1" {
+		t.Fatalf("spans = %v", spans)
+	}
+	if spans[0].Duration() <= 0 {
+		t.Fatal("span duration must be positive")
+	}
+
+	var nilTrace *Trace
+	nilTrace.Span("x")() // must not panic
+	if nilTrace.Spans() != nil {
+		t.Fatal("nil trace must have no spans")
+	}
+	if nilTrace.String() != "(no spans)" {
+		t.Fatalf("nil trace string: %q", nilTrace.String())
+	}
+}

@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Span is one timed phase of a query, with offsets relative to the start
+// of its trace. Spans from a single trace never overlap in the query
+// path's usage, but nothing in the model forbids it.
+type Span struct {
+	Name  string
+	Start time.Duration // offset from trace start
+	End   time.Duration // offset from trace start
+}
+
+// Duration returns the span's length.
+func (s Span) Duration() time.Duration { return s.End - s.Start }
+
+// String renders the span for logs: "validate +1.2ms 3.4ms".
+func (s Span) String() string {
+	return fmt.Sprintf("%s +%v %v", s.Name, s.Start, s.Duration())
+}
+
+// Trace collects the spans of one query. The zero value and the nil
+// pointer are both valid no-op traces, so instrumented code can thread a
+// *Trace unconditionally and callers only pay when they opt in.
+//
+// A Trace is meant for one goroutine — the query path records spans
+// sequentially; it is not synchronized.
+type Trace struct {
+	t0    time.Time
+	spans []Span
+}
+
+// NewTrace starts an empty trace clocked from now.
+func NewTrace() *Trace { return &Trace{t0: time.Now()} }
+
+// Span starts a span and returns the func that ends it. Safe on a nil
+// trace, where it is a no-op.
+func (t *Trace) Span(name string) func() {
+	if t == nil {
+		return func() {}
+	}
+	start := time.Since(t.t0)
+	return func() {
+		t.spans = append(t.spans, Span{Name: name, Start: start, End: time.Since(t.t0)})
+	}
+}
+
+// Spans returns the recorded spans in completion order. Safe on nil.
+func (t *Trace) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	return append([]Span(nil), t.spans...)
+}
+
+// String renders the whole trace on one line for slow-query logs.
+func (t *Trace) String() string {
+	if t == nil || len(t.spans) == 0 {
+		return "(no spans)"
+	}
+	parts := make([]string, len(t.spans))
+	for i, s := range t.spans {
+		parts[i] = s.String()
+	}
+	return strings.Join(parts, " | ")
+}

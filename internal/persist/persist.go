@@ -28,10 +28,28 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"time"
 
 	"tind/internal/history"
+	"tind/internal/obs"
 	"tind/internal/timeline"
 	"tind/internal/values"
+)
+
+// Persist I/O instruments: corpus (de)serialization is the startup cost
+// of every serving process, so its time and volume are first-class
+// metrics.
+var (
+	mWriteSeconds = obs.Default().Histogram("tind_persist_write_seconds",
+		"Wall time of dataset serializations.", obs.ExpBuckets(0.001, 4, 10))
+	mReadSeconds = obs.Default().Histogram("tind_persist_read_seconds",
+		"Wall time of dataset deserializations.", obs.ExpBuckets(0.001, 4, 10))
+	mWriteBytes = obs.Default().Counter("tind_persist_write_bytes_total",
+		"Bytes written by dataset serializations.")
+	mReadBytes = obs.Default().Counter("tind_persist_read_bytes_total",
+		"Bytes consumed by dataset deserializations.")
+	mReadErrors = obs.Default().Counter("tind_persist_read_errors_total",
+		"Failed dataset reads (corrupt, truncated or malformed input).")
 )
 
 const (
@@ -53,22 +71,27 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 type writer struct {
 	bw      *bufio.Writer
 	crc     uint32
+	bytes   int64
 	scratch [binary.MaxVarintLen64]byte
 }
 
 func (w *writer) Write(p []byte) (int, error) {
 	w.crc = crc32.Update(w.crc, castagnoli, p)
+	w.bytes += int64(len(p))
 	return w.bw.Write(p)
 }
 
 func (w *writer) WriteString(s string) (int, error) {
 	w.crc = crc32.Update(w.crc, castagnoli, []byte(s))
+	w.bytes += int64(len(s))
 	return w.bw.WriteString(s)
 }
 
 // Write serializes the dataset in the current format version, appending
 // the checksum footer.
 func Write(ds *history.Dataset, w io.Writer) error {
+	start := time.Now()
+	defer func() { mWriteSeconds.ObserveDuration(time.Since(start)) }()
 	bw := &writer{bw: bufio.NewWriter(w)}
 	if _, err := bw.WriteString(magic); err != nil {
 		return err
@@ -110,6 +133,7 @@ func Write(ds *history.Dataset, w io.Writer) error {
 	if _, err := bw.bw.Write(foot[:]); err != nil {
 		return err
 	}
+	mWriteBytes.Add(bw.bytes + footerSize)
 	return bw.bw.Flush()
 }
 
@@ -117,14 +141,16 @@ func Write(ds *history.Dataset, w io.Writer) error {
 // over every byte handed to the parser, so that after the last attribute
 // the sum covers exactly the payload the footer signs.
 type reader struct {
-	br  *bufio.Reader
-	crc uint32
+	br    *bufio.Reader
+	crc   uint32
+	bytes int64
 }
 
 func (r *reader) ReadByte() (byte, error) {
 	b, err := r.br.ReadByte()
 	if err == nil {
 		r.crc = crc32.Update(r.crc, castagnoli, []byte{b})
+		r.bytes++
 	}
 	return b, err
 }
@@ -132,14 +158,23 @@ func (r *reader) ReadByte() (byte, error) {
 func (r *reader) Read(p []byte) (int, error) {
 	n, err := r.br.Read(p)
 	r.crc = crc32.Update(r.crc, castagnoli, p[:n])
+	r.bytes += int64(n)
 	return n, err
 }
 
 // Read deserializes a dataset written by Write. Version-2 inputs are
 // verified against the checksum footer: a truncated or corrupted file
 // that still parses structurally is rejected with a checksum mismatch.
-func Read(r io.Reader) (*history.Dataset, error) {
+func Read(r io.Reader) (ds *history.Dataset, err error) {
+	start := time.Now()
 	br := &reader{br: bufio.NewReader(r)}
+	defer func() {
+		mReadSeconds.ObserveDuration(time.Since(start))
+		mReadBytes.Add(br.bytes)
+		if err != nil {
+			mReadErrors.Inc()
+		}
+	}()
 	head := make([]byte, len(magic))
 	if _, err := io.ReadFull(br, head); err != nil {
 		return nil, fmt.Errorf("persist: reading magic: %w", err)
@@ -158,7 +193,7 @@ func Read(r io.Reader) (*history.Dataset, error) {
 	if err != nil {
 		return nil, err
 	}
-	ds := history.NewDataset(timeline.Time(horizon))
+	ds = history.NewDataset(timeline.Time(horizon))
 
 	nDict, err := binary.ReadUvarint(br)
 	if err != nil {

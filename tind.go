@@ -42,6 +42,7 @@ import (
 	"tind/internal/history"
 	"tind/internal/index"
 	"tind/internal/many"
+	"tind/internal/obs"
 	"tind/internal/opendata"
 	"tind/internal/persist"
 	"tind/internal/preprocess"
@@ -185,10 +186,18 @@ type (
 	IndexOptions = index.Options
 	// Index answers tIND search and reverse search queries.
 	Index = index.Index
+	// QueryMode selects the direction of an Index.Query call.
+	QueryMode = index.Mode
+	// QueryOptions parameterizes one Index.Query call.
+	QueryOptions = index.QueryOptions
 	// SearchResult is a query answer with statistics.
 	SearchResult = index.Result
 	// QueryStats records how a query was answered.
 	QueryStats = index.QueryStats
+	// QueryTimings is the per-phase latency breakdown in QueryStats.
+	QueryTimings = index.Timings
+	// QueryTraceSpan is one recorded query phase (QueryStats.Trace).
+	QueryTraceSpan = index.TraceSpan
 	// SliceStrategy selects time-slice intervals.
 	SliceStrategy = index.SliceStrategy
 	// Pair is a discovered tIND (LHS ⊆ RHS).
@@ -205,6 +214,14 @@ const (
 	WeightedRandomSlices = index.WeightedRandom
 )
 
+// Query modes: Index.Query(ctx, q, QueryOptions{Mode: ...}) subsumes the
+// deprecated Search/Reverse/TopK method pairs.
+const (
+	ModeForward = index.ModeForward
+	ModeReverse = index.ModeReverse
+	ModeTopK    = index.ModeTopK
+)
+
 // Typed query-abort errors. Context-aware queries (SearchContext,
 // ReverseContext, TopKContext, AllPairsContext on Index) return an error
 // matching ErrQueryCanceled or ErrQueryDeadlineExceeded via errors.Is when
@@ -214,6 +231,17 @@ var (
 	ErrQueryCanceled         = index.ErrCanceled
 	ErrQueryDeadlineExceeded = index.ErrDeadlineExceeded
 )
+
+// ErrInvalidIndexOptions matches (via errors.Is) every rejection of
+// malformed IndexOptions by BuildIndex or IndexOptions.Validate, and of
+// malformed QueryOptions by Index.Query.
+var ErrInvalidIndexOptions = index.ErrInvalidOptions
+
+// WriteMetrics writes every metric collected by this process — index
+// build and query-phase histograms, Bloom fill ratios, parse and persist
+// throughput — in the Prometheus text exposition format. tindserve's
+// /metrics endpoint serves exactly this.
+func WriteMetrics(w io.Writer) error { return obs.Default().WritePrometheus(w) }
 
 // BuildIndex constructs the tIND index over a dataset (Section 4.2).
 func BuildIndex(ds *Dataset, opt IndexOptions) (*Index, error) { return index.Build(ds, opt) }

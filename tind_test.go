@@ -1,6 +1,10 @@
 package tind_test
 
 import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
 	"testing"
 	"time"
 
@@ -201,5 +205,37 @@ func TestPublicAPICorpusAndEval(t *testing.T) {
 	}
 	if len(pairs) == 0 {
 		t.Fatal("all-pairs discovery found nothing")
+	}
+}
+
+func TestPublicAPIQueryAndMetrics(t *testing.T) {
+	ds, lh, ch, _ := buildGamesDataset(t)
+	idx, err := tind.BuildIndex(ds, tind.DefaultOptions(ds.Horizon()).ForReverse())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := tind.DefaultParams(ds.Horizon())
+
+	res, err := idx.Query(context.Background(), ch, tind.QueryOptions{Mode: tind.ModeForward, Params: p, Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.IDs) != 1 || res.IDs[0] != lh.ID() {
+		t.Fatalf("unified Query must match Search: %v", res.IDs)
+	}
+	if res.Stats.Timings.Total <= 0 || len(res.Stats.Trace) == 0 {
+		t.Fatalf("timings/trace not populated: %+v", res.Stats)
+	}
+
+	if _, err := idx.Query(context.Background(), ch, tind.QueryOptions{Mode: tind.ModeTopK, Params: p}); !errors.Is(err, tind.ErrInvalidIndexOptions) {
+		t.Fatalf("topk without K: err %v, want ErrInvalidIndexOptions", err)
+	}
+
+	var buf bytes.Buffer
+	if err := tind.WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "tind_query_phase_seconds") {
+		t.Fatal("WriteMetrics exposition missing query-phase histogram")
 	}
 }
