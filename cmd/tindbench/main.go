@@ -1,0 +1,140 @@
+// Command tindbench is the repository's macro-benchmark harness: it
+// generates seeded synthetic corpora, runs the full pipeline — corpus
+// generation, index build, forward/reverse/top-k queries, all-pairs
+// discovery and a persist round-trip — over a matrix of corpus sizes,
+// and writes a structured BENCH_<label>.json with per-scenario wall
+// time, ns/op, allocation counts, peak heap and a scenario-scoped
+// obs-registry diff (candidate funnels, Bloom fill ratios, pruning
+// power).
+//
+// Usage:
+//
+//	tindbench -sizes 500,2000 -seed 1 -label dev
+//	tindbench -sizes 500,2000 -baseline BENCH_seed.json -tolerance 10%
+//	tindbench -list
+//
+// With -baseline, the run is compared scenario by scenario against a
+// previous report: wall-time regressions beyond the tolerance (default
+// -tolerance, overridable per scenario pattern with
+// -tolerance-override) and drifts in the machine-independent work
+// counters (exact validations, emitted results) exit nonzero, so CI can
+// gate on a committed baseline. Scenario sets are deterministic in
+// (-sizes, -seed): two runs with the same flags always produce the same
+// scenario names, and the same counter values.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+)
+
+func main() {
+	var (
+		sizes       = flag.String("sizes", "500,2000", "comma-separated corpus sizes (attributes)")
+		seed        = flag.Int64("seed", 1, "random seed for corpora, index and query sampling")
+		horizon     = flag.Int("horizon", 1500, "corpus horizon (days)")
+		label       = flag.String("label", "local", "report label; default output is BENCH_<label>.json")
+		out         = flag.String("out", "", `output path ("-" = stdout; default BENCH_<label>.json)`)
+		queries     = flag.Int("queries", 40, "forward/reverse queries per corpus size")
+		topkQueries = flag.Int("topk-queries", 8, "top-k queries per corpus size")
+		k           = flag.Int("k", 10, "K for the top-k scenario")
+		eps         = flag.Float64("eps", 3, "ε in days")
+		delta       = flag.Int("delta", 7, "δ in days")
+		repeat      = flag.Int("repeat", 1, "runs per scenario; the fastest is reported")
+		allpairsMax = flag.Int("allpairs-max", 2000, "run the all-pairs scenario only up to this corpus size (0 = never)")
+		list        = flag.Bool("list", false, "print the scenario names this flag set would run, then exit")
+		baseline    = flag.String("baseline", "", "compare against a previous report and gate on regressions")
+		tolerance   = flag.String("tolerance", "10%", "allowed ns/op regression vs the baseline (e.g. 10% or 0.1)")
+		overrides   = flag.String("tolerance-override", "", `per-scenario tolerances, e.g. "allpairs/*=25%,query/*=20%"`)
+		minWall     = flag.Duration("min-wall", 2*time.Millisecond, "scenarios faster than this in either run are not wall-gated (noise floor)")
+	)
+	flag.Parse()
+
+	cfg, err := parseConfig(*sizes, *seed, *horizon, *queries, *topkQueries, *k, *eps, *delta, *repeat, *allpairsMax)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *list {
+		for _, name := range scenarioNames(cfg) {
+			fmt.Println(name)
+		}
+		return
+	}
+
+	gate, err := parseGate(*tolerance, *overrides, int64(*minWall))
+	if err != nil {
+		fatal(err)
+	}
+
+	rep, err := runBench(cfg, *label, os.Stderr)
+	if err != nil {
+		fatal(err)
+	}
+
+	path := *out
+	if path == "" {
+		path = "BENCH_" + *label + ".json"
+	}
+	if err := writeReport(rep, path); err != nil {
+		fatal(err)
+	}
+	if path != "-" {
+		fmt.Fprintf(os.Stderr, "tindbench: wrote %s (%d scenarios)\n", path, len(rep.Scenarios))
+	}
+
+	if *baseline != "" {
+		base, err := readReport(*baseline)
+		if err != nil {
+			fatal(fmt.Errorf("baseline: %w", err))
+		}
+		regressions, notes := compare(rep, base, gate)
+		for _, n := range notes {
+			fmt.Fprintln(os.Stderr, "tindbench: note:", n)
+		}
+		for _, r := range regressions {
+			fmt.Fprintln(os.Stderr, "tindbench: REGRESSION:", r)
+		}
+		if len(regressions) > 0 {
+			fmt.Fprintf(os.Stderr, "tindbench: %d scenario(s) regressed beyond tolerance vs %s\n",
+				len(regressions), *baseline)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "tindbench: no regressions vs %s\n", *baseline)
+	}
+}
+
+// parseConfig validates the benchmark matrix flags.
+func parseConfig(sizesCSV string, seed int64, horizon, queries, topkQueries, k int,
+	eps float64, delta, repeat, allpairsMax int) (benchConfig, error) {
+	cfg := benchConfig{
+		Seed: seed, Horizon: horizon, Queries: queries, TopKQueries: topkQueries,
+		K: k, Eps: eps, Delta: delta, Repeat: repeat, AllPairsMax: allpairsMax,
+	}
+	for _, f := range strings.Split(sizesCSV, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		var n int
+		if _, err := fmt.Sscanf(f, "%d", &n); err != nil || n <= 0 {
+			return cfg, fmt.Errorf("bad size %q in -sizes", f)
+		}
+		cfg.Sizes = append(cfg.Sizes, n)
+	}
+	if len(cfg.Sizes) == 0 {
+		return cfg, fmt.Errorf("-sizes is empty")
+	}
+	if horizon <= 0 || queries <= 0 || topkQueries < 0 || k <= 0 || repeat <= 0 {
+		return cfg, fmt.Errorf("non-positive matrix flag")
+	}
+	return cfg, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tindbench:", err)
+	os.Exit(2)
+}

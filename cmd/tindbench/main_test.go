@@ -1,0 +1,233 @@
+package main
+
+import (
+	"io"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"tind/internal/obs"
+)
+
+func tinyConfig() benchConfig {
+	return benchConfig{
+		Sizes: []int{60}, Seed: 7, Horizon: 300,
+		Queries: 5, TopKQueries: 2, K: 3,
+		Eps: 3, Delta: 7, Repeat: 1, AllPairsMax: 100,
+	}
+}
+
+// TestScenarioNamesMatchRun pins the contract that scenarioNames (used
+// by -list and by the determinism guarantee) mirrors what runBench
+// actually executes.
+func TestScenarioNamesMatchRun(t *testing.T) {
+	cfg := tinyConfig()
+	rep, err := runBench(cfg, "test", io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, sc := range rep.Scenarios {
+		got = append(got, sc.Name)
+	}
+	if want := scenarioNames(cfg); !reflect.DeepEqual(got, want) {
+		t.Fatalf("run produced %v, scenarioNames says %v", got, want)
+	}
+
+	for _, sc := range rep.Scenarios {
+		if sc.Ops <= 0 || sc.WallNs <= 0 || sc.NsPerOp <= 0 {
+			t.Errorf("%s: empty measurement %+v", sc.Name, sc)
+		}
+		if sc.PeakHeapBytes == 0 {
+			t.Errorf("%s: peak heap not tracked", sc.Name)
+		}
+		if sc.Obs == nil {
+			t.Errorf("%s: no scenario-scoped obs diff", sc.Name)
+		}
+		// datagen touches none of the kept metric families, so its diff
+		// is legitimately empty; everything downstream must report work.
+		if !strings.HasPrefix(sc.Name, "datagen/") && len(sc.Obs.Metrics) == 0 {
+			t.Errorf("%s: empty obs diff", sc.Name)
+		}
+	}
+	// Query scenarios must carry the gated work counters.
+	for _, name := range []string{"query/forward/60", "allpairs/60"} {
+		sc := findScenario(t, rep, name)
+		if _, ok := obsSum(sc, "tind_query_exact_checks_total"); !ok {
+			t.Errorf("%s: missing exact-check counter in obs diff", name)
+		}
+	}
+	// The persist scenario must see the persist byte counters.
+	sc := findScenario(t, rep, "persist/roundtrip/60")
+	if v, ok := obsSum(sc, "tind_persist_write_bytes_total"); !ok || v <= 0 {
+		t.Errorf("persist scenario obs = (%g, %v), want positive write bytes", v, ok)
+	}
+}
+
+func findScenario(t *testing.T, rep *Report, name string) Scenario {
+	t.Helper()
+	for _, sc := range rep.Scenarios {
+		if sc.Name == name {
+			return sc
+		}
+	}
+	t.Fatalf("scenario %s missing from report", name)
+	return Scenario{}
+}
+
+// TestScenarioNamesDeterministic: the -allpairs-max and -topk-queries
+// gates change the set predictably, nothing else does.
+func TestScenarioNamesDeterministic(t *testing.T) {
+	cfg := tinyConfig()
+	a, b := scenarioNames(cfg), scenarioNames(cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("scenarioNames not deterministic")
+	}
+	cfg.AllPairsMax = 0
+	for _, n := range scenarioNames(cfg) {
+		if n == "allpairs/60" {
+			t.Fatal("allpairs scenario present despite -allpairs-max 0")
+		}
+	}
+	cfg.TopKQueries = 0
+	for _, n := range scenarioNames(cfg) {
+		if n == "query/topk/60" {
+			t.Fatal("topk scenario present despite -topk-queries 0")
+		}
+	}
+}
+
+func TestParseTolerance(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want float64
+		ok   bool
+	}{
+		{"10%", 0.10, true},
+		{"0.1", 0.1, true},
+		{" 25% ", 0.25, true},
+		{"0", 0, true},
+		{"-5%", 0, false},
+		{"abc", 0, false},
+	} {
+		got, err := parseTolerance(tc.in)
+		if (err == nil) != tc.ok || (tc.ok && got != tc.want) {
+			t.Errorf("parseTolerance(%q) = %g, %v; want %g ok=%v", tc.in, got, err, tc.want, tc.ok)
+		}
+	}
+}
+
+func TestGateOverrides(t *testing.T) {
+	g, err := parseGate("10%", "allpairs/*=25%,query/*=0.5", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tol := g.toleranceFor("allpairs/500"); tol != 0.25 {
+		t.Fatalf("allpairs tolerance = %g, want 0.25", tol)
+	}
+	if tol := g.toleranceFor("query/forward/500"); tol != 0.5 {
+		t.Fatalf("query tolerance = %g, want 0.5", tol)
+	}
+	if tol := g.toleranceFor("index_build/500"); tol != 0.10 {
+		t.Fatalf("default tolerance = %g, want 0.10", tol)
+	}
+	if _, err := parseGate("10%", "missing-equals", 0); err == nil {
+		t.Fatal("malformed override must be rejected")
+	}
+}
+
+// report builds a minimal report with one scenario of the given timing
+// and gated-counter value.
+func mkReport(ns int64, exactChecks float64) *Report {
+	snap := &obs.Snapshot{Metrics: []obs.Metric{
+		{Name: "tind_query_exact_checks_total", Kind: "counter", Value: exactChecks},
+	}}
+	return &Report{
+		Format: reportFormat,
+		Scenarios: []Scenario{
+			{Name: "query/forward/500", Ops: 10, WallNs: ns * 10, NsPerOp: ns, Obs: snap},
+		},
+	}
+}
+
+func TestCompareGate(t *testing.T) {
+	g := gateConfig{tolerance: 0.10}
+
+	// Within tolerance: clean.
+	if regs, _ := compare(mkReport(105, 50), mkReport(100, 50), g); len(regs) != 0 {
+		t.Fatalf("5%% slower flagged at 10%% tolerance: %v", regs)
+	}
+	// Beyond tolerance: regression.
+	if regs, _ := compare(mkReport(150, 50), mkReport(100, 50), g); len(regs) != 1 {
+		t.Fatalf("50%% slower not flagged: %v", regs)
+	}
+	// Much faster than baseline (the doctored-slower-baseline case):
+	// never a regression, only a note.
+	regs, notes := compare(mkReport(50, 50), mkReport(200, 50), g)
+	if len(regs) != 0 || len(notes) != 1 {
+		t.Fatalf("improvement handled wrong: regs=%v notes=%v", regs, notes)
+	}
+	// Counter drift is a regression even when timing is fine.
+	if regs, _ := compare(mkReport(100, 80), mkReport(100, 50), g); len(regs) != 1 {
+		t.Fatalf("counter drift not flagged: %v", regs)
+	}
+	// Noise floor: sub-threshold scenarios are not wall-gated.
+	gFloor := gateConfig{tolerance: 0.10, minWallNs: 1e9}
+	if regs, _ := compare(mkReport(150, 50), mkReport(100, 50), gFloor); len(regs) != 0 {
+		t.Fatalf("noise-floor scenario still wall-gated: %v", regs)
+	}
+	// Scenario-set drift: notes, not regressions.
+	extra := mkReport(100, 50)
+	extra.Scenarios = append(extra.Scenarios, Scenario{Name: "allpairs/500", Ops: 1, WallNs: 1, NsPerOp: 1})
+	_, notes = compare(extra, mkReport(100, 50), g)
+	if len(notes) != 1 {
+		t.Fatalf("new scenario not noted: %v", notes)
+	}
+	_, notes = compare(mkReport(100, 50), extra, g)
+	if len(notes) != 1 {
+		t.Fatalf("vanished scenario not noted: %v", notes)
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "BENCH_test.json")
+	rep := mkReport(123, 7)
+	rep.Label, rep.Sizes, rep.Seed = "test", []int{500}, 3
+	if err := writeReport(rep, p); err != nil {
+		t.Fatal(err)
+	}
+	back, err := readReport(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep, back) {
+		t.Fatalf("report round-trip changed:\n%+v\n%+v", rep, back)
+	}
+
+	// A foreign format must be rejected, not silently compared.
+	rep.Format = "go-bench-text"
+	bad := filepath.Join(dir, "BENCH_bad.json")
+	if err := writeReport(rep, bad); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readReport(bad); err == nil {
+		t.Fatal("foreign report format accepted")
+	}
+}
+
+func TestParseConfig(t *testing.T) {
+	cfg, err := parseConfig("500, 2000", 1, 1500, 40, 8, 10, 3, 7, 1, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cfg.Sizes, []int{500, 2000}) {
+		t.Fatalf("sizes = %v", cfg.Sizes)
+	}
+	for _, bad := range []string{"", "abc", "0", "-5"} {
+		if _, err := parseConfig(bad, 1, 1500, 40, 8, 10, 3, 7, 1, 2000); err == nil {
+			t.Errorf("parseConfig(%q) accepted", bad)
+		}
+	}
+}

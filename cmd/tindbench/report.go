@@ -1,0 +1,248 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"tind/internal/obs"
+)
+
+// reportFormat versions the JSON schema; bump on incompatible changes so
+// a gate never silently compares across schemas.
+const reportFormat = "tindbench/1"
+
+// Report is the structured output of one tindbench run. The schema is
+// documented in DESIGN.md §7.3.
+type Report struct {
+	Format     string     `json:"format"`
+	Label      string     `json:"label"`
+	GoVersion  string     `json:"go"`
+	GOOS       string     `json:"goos"`
+	GOARCH     string     `json:"goarch"`
+	GOMAXPROCS int        `json:"gomaxprocs"`
+	Seed       int64      `json:"seed"`
+	Horizon    int        `json:"horizon_days"`
+	Sizes      []int      `json:"sizes"`
+	Scenarios  []Scenario `json:"scenarios"`
+}
+
+// Scenario is one measured pipeline stage at one corpus size.
+type Scenario struct {
+	Name          string `json:"name"`
+	Ops           int64  `json:"ops"`
+	WallNs        int64  `json:"wall_ns"`
+	NsPerOp       int64  `json:"ns_per_op"`
+	BytesPerOp    int64  `json:"bytes_per_op"`
+	AllocsPerOp   int64  `json:"allocs_per_op"`
+	PeakHeapBytes uint64 `json:"peak_heap_bytes"`
+	// Obs is the scenario-scoped diff of the process metric registry:
+	// what this scenario alone did to the candidate funnels, fill
+	// ratios, persist volume and GC activity.
+	Obs *obs.Snapshot `json:"obs,omitempty"`
+}
+
+func writeReport(rep *Report, pathOrDash string) error {
+	var w *os.File
+	if pathOrDash == "-" {
+		w = os.Stdout
+	} else {
+		f, err := os.Create(pathOrDash)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+func readReport(path string) (*Report, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return nil, err
+	}
+	if rep.Format != reportFormat {
+		return nil, fmt.Errorf("%s: format %q, want %q", path, rep.Format, reportFormat)
+	}
+	return &rep, nil
+}
+
+// gateConfig is the regression policy of a -baseline comparison.
+type gateConfig struct {
+	tolerance float64    // default allowed fractional ns/op growth
+	overrides []override // per-scenario-pattern tolerances, first match wins
+	minWallNs int64      // runs faster than this in either report are not wall-gated
+}
+
+type override struct {
+	pattern   string
+	tolerance float64
+}
+
+// counterTolerance bounds drift of the machine-independent work
+// counters. With identical seed and sizes the pipeline does identical
+// work, so these should match exactly; the slack only absorbs
+// scheduling-dependent double-counting (e.g. a retryable batch).
+const counterTolerance = 0.05
+
+// gatedCounters are obs counters whose per-scenario delta is gated
+// machine-independently, summed over label sets. Exact checks growing
+// means the pruning stages lost power; emitted results changing means
+// the answer itself changed.
+var gatedCounters = []string{
+	"tind_query_exact_checks_total",
+	"tind_query_results_total",
+}
+
+// parseGate builds the gate from the -tolerance / -tolerance-override /
+// -min-wall flags.
+func parseGate(tolerance, overrides string, minWallNs int64) (gateConfig, error) {
+	g := gateConfig{minWallNs: minWallNs}
+	tol, err := parseTolerance(tolerance)
+	if err != nil {
+		return g, err
+	}
+	g.tolerance = tol
+	if overrides != "" {
+		for _, part := range strings.Split(overrides, ",") {
+			pat, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+			if !ok {
+				return g, fmt.Errorf("bad -tolerance-override entry %q (want pattern=pct)", part)
+			}
+			tol, err := parseTolerance(val)
+			if err != nil {
+				return g, err
+			}
+			if pat == "" {
+				return g, fmt.Errorf("empty -tolerance-override pattern in %q", part)
+			}
+			g.overrides = append(g.overrides, override{pattern: pat, tolerance: tol})
+		}
+	}
+	return g, nil
+}
+
+// parseTolerance accepts "10%" or a bare fraction like "0.1".
+func parseTolerance(s string) (float64, error) {
+	s = strings.TrimSpace(s)
+	pct := strings.HasSuffix(s, "%")
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("bad tolerance %q", s)
+	}
+	if pct {
+		v /= 100
+	}
+	return v, nil
+}
+
+// toleranceFor resolves the tolerance of one scenario name.
+func (g gateConfig) toleranceFor(name string) float64 {
+	for _, o := range g.overrides {
+		if globMatch(o.pattern, name) {
+			return o.tolerance
+		}
+	}
+	return g.tolerance
+}
+
+// globMatch matches name against a pattern where '*' spans any run of
+// characters, slashes included — so "query/*" covers "query/forward/500".
+// (path.Match would stop '*' at '/', making the natural patterns useless
+// for two-level scenario names.)
+func globMatch(pat, name string) bool {
+	parts := strings.Split(pat, "*")
+	if len(parts) == 1 {
+		return pat == name
+	}
+	if !strings.HasPrefix(name, parts[0]) {
+		return false
+	}
+	name = name[len(parts[0]):]
+	for _, mid := range parts[1 : len(parts)-1] {
+		idx := strings.Index(name, mid)
+		if idx < 0 {
+			return false
+		}
+		name = name[idx+len(mid):]
+	}
+	return strings.HasSuffix(name, parts[len(parts)-1])
+}
+
+// compare gates cur against base scenario by scenario. It returns the
+// regressions (nonzero exit) and informational notes (improvements,
+// scenario-set drift). Wall time regresses when cur ns/op exceeds base
+// ns/op by more than the scenario's tolerance and both runs are above
+// the noise floor; the gated work counters regress when they drift
+// beyond counterTolerance in either direction.
+func compare(cur, base *Report, g gateConfig) (regressions, notes []string) {
+	baseByName := make(map[string]Scenario, len(base.Scenarios))
+	for _, sc := range base.Scenarios {
+		baseByName[sc.Name] = sc
+	}
+	seen := make(map[string]bool, len(cur.Scenarios))
+	for _, sc := range cur.Scenarios {
+		seen[sc.Name] = true
+		bs, ok := baseByName[sc.Name]
+		if !ok {
+			notes = append(notes, fmt.Sprintf("%s: not in baseline (new scenario)", sc.Name))
+			continue
+		}
+		tol := g.toleranceFor(sc.Name)
+		if sc.WallNs >= g.minWallNs && bs.WallNs >= g.minWallNs && bs.NsPerOp > 0 {
+			ratio := float64(sc.NsPerOp) / float64(bs.NsPerOp)
+			switch {
+			case ratio > 1+tol:
+				regressions = append(regressions, fmt.Sprintf(
+					"%s: %d ns/op vs baseline %d (%+.1f%%, tolerance %.0f%%)",
+					sc.Name, sc.NsPerOp, bs.NsPerOp, 100*(ratio-1), 100*tol))
+			case ratio < 1-tol:
+				notes = append(notes, fmt.Sprintf("%s: improved %d → %d ns/op (%.1f%%)",
+					sc.Name, bs.NsPerOp, sc.NsPerOp, 100*(1-ratio)))
+			}
+		}
+		for _, cname := range gatedCounters {
+			curV, ok1 := obsSum(sc, cname)
+			baseV, ok2 := obsSum(bs, cname)
+			if !ok1 || !ok2 || baseV == 0 {
+				continue
+			}
+			if curV > baseV*(1+counterTolerance) || curV < baseV*(1-counterTolerance) {
+				regressions = append(regressions, fmt.Sprintf(
+					"%s: %s drifted %.0f → %.0f (seeded work must be stable)",
+					sc.Name, cname, baseV, curV))
+			}
+		}
+	}
+	for _, sc := range base.Scenarios {
+		if !seen[sc.Name] {
+			notes = append(notes, fmt.Sprintf("%s: in baseline but not in this run (matrix changed?)", sc.Name))
+		}
+	}
+	return regressions, notes
+}
+
+// obsSum totals a metric family over all its label sets in a scenario's
+// registry diff.
+func obsSum(sc Scenario, name string) (float64, bool) {
+	if sc.Obs == nil {
+		return 0, false
+	}
+	total, found := 0.0, false
+	for _, m := range sc.Obs.Metrics {
+		if m.Name == name {
+			total += m.Value
+			found = true
+		}
+	}
+	return total, found
+}

@@ -1,0 +1,247 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"tind/internal/core"
+	"tind/internal/datagen"
+	"tind/internal/history"
+	"tind/internal/index"
+	"tind/internal/obs"
+	"tind/internal/persist"
+	"tind/internal/timeline"
+)
+
+// benchConfig is the benchmark matrix: which corpus sizes to run and how
+// much work each scenario does. Everything that influences the measured
+// work is seeded, so a (config, seed) pair names a reproducible run.
+type benchConfig struct {
+	Sizes       []int
+	Seed        int64
+	Horizon     int
+	Queries     int
+	TopKQueries int
+	K           int
+	Eps         float64
+	Delta       int
+	Repeat      int
+	AllPairsMax int
+}
+
+// obsKeepPrefixes limits the per-scenario registry diff to the metric
+// families that describe pipeline work — funnels, fill ratios, pruning
+// power, persist volume and GC activity — keeping the report readable.
+var obsKeepPrefixes = []string{
+	"tind_query_", "tind_index_", "tind_persist_", "tind_allpairs_", "tind_runtime_gc",
+}
+
+// bench carries the run-wide measurement state.
+type bench struct {
+	cfg     benchConfig
+	sampler *obs.RuntimeSampler
+	log     io.Writer
+}
+
+// runBench executes the whole matrix and assembles the report.
+func runBench(cfg benchConfig, label string, log io.Writer) (*Report, error) {
+	rep := &Report{
+		Format:     reportFormat,
+		Label:      label,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Seed:       cfg.Seed,
+		Horizon:    cfg.Horizon,
+		Sizes:      cfg.Sizes,
+	}
+	b := &bench{cfg: cfg, sampler: obs.NewRuntimeSampler(obs.Default()), log: log}
+	// The sampler's background ticks are what turns "peak heap" from a
+	// single end-of-scenario reading into an actual high-water mark.
+	stop := b.sampler.Start(5 * time.Millisecond)
+	defer stop()
+	for _, n := range cfg.Sizes {
+		scs, err := b.runSize(n)
+		if err != nil {
+			return nil, fmt.Errorf("size %d: %w", n, err)
+		}
+		rep.Scenarios = append(rep.Scenarios, scs...)
+	}
+	return rep, nil
+}
+
+// runSize runs every scenario of one corpus size. Kept in sync with
+// scenarioNames — TestScenarioNamesMatchRun pins the correspondence.
+func (b *bench) runSize(n int) ([]Scenario, error) {
+	cfg := b.cfg
+	var out []Scenario
+	add := func(sc Scenario, err error) error {
+		if err != nil {
+			return err
+		}
+		out = append(out, sc)
+		fmt.Fprintf(b.log, "tindbench: %-24s %12d ns/op  (%d ops, peak heap %.1f MB)\n",
+			sc.Name, sc.NsPerOp, sc.Ops, float64(sc.PeakHeapBytes)/(1<<20))
+		return nil
+	}
+
+	var corpus *datagen.Corpus
+	err := add(b.scenario(fmt.Sprintf("datagen/%d", n), 1, func() error {
+		c, err := datagen.Generate(datagen.Config{
+			Seed: cfg.Seed, Attributes: n, Horizon: timeline.Time(cfg.Horizon),
+		})
+		corpus = c
+		return err
+	}))
+	if err != nil {
+		return nil, err
+	}
+	ds := corpus.Dataset
+	p := core.Params{Epsilon: cfg.Eps, Delta: timeline.Time(cfg.Delta), Weight: timeline.Uniform(ds.Horizon())}
+
+	var idx *index.Index
+	err = add(b.scenario(fmt.Sprintf("index_build/%d", n), 1, func() error {
+		opt := index.DefaultOptions(ds.Horizon())
+		opt.Params = p
+		opt.Reverse = true
+		opt.Seed = cfg.Seed
+		var err error
+		idx, err = index.Build(ds, opt)
+		return err
+	}))
+	if err != nil {
+		return nil, err
+	}
+
+	// The query sample is drawn from a seed derived from (seed, size), so
+	// it is stable across runs and independent of the other sizes.
+	rng := rand.New(rand.NewSource(cfg.Seed<<16 + int64(n)))
+	qids := rng.Perm(ds.Len())
+	nq := min(cfg.Queries, len(qids))
+	ctx := context.Background()
+
+	runQueries := func(mode index.Mode, ids []int, o index.QueryOptions) func() error {
+		return func() error {
+			for _, id := range ids {
+				o.Mode = mode
+				if _, err := idx.Query(ctx, ds.Attr(history.AttrID(id)), o); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+	}
+	err = add(b.scenario(fmt.Sprintf("query/forward/%d", n), int64(nq),
+		runQueries(index.ModeForward, qids[:nq], index.QueryOptions{Params: p})))
+	if err != nil {
+		return nil, err
+	}
+	err = add(b.scenario(fmt.Sprintf("query/reverse/%d", n), int64(nq),
+		runQueries(index.ModeReverse, qids[:nq], index.QueryOptions{Params: p})))
+	if err != nil {
+		return nil, err
+	}
+	if cfg.TopKQueries > 0 {
+		nt := min(cfg.TopKQueries, len(qids))
+		err = add(b.scenario(fmt.Sprintf("query/topk/%d", n), int64(nt),
+			runQueries(index.ModeTopK, qids[:nt], index.QueryOptions{
+				Params: core.Params{Delta: p.Delta, Weight: p.Weight}, K: cfg.K,
+			})))
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	if cfg.AllPairsMax > 0 && n <= cfg.AllPairsMax {
+		err = add(b.scenario(fmt.Sprintf("allpairs/%d", n), 1, func() error {
+			_, err := idx.AllPairsContext(ctx, p, 0)
+			return err
+		}))
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	err = add(b.scenario(fmt.Sprintf("persist/roundtrip/%d", n), 1, func() error {
+		var buf bytes.Buffer
+		if err := persist.Write(ds, &buf); err != nil {
+			return err
+		}
+		_, err := persist.Read(bytes.NewReader(buf.Bytes()))
+		return err
+	}))
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// scenarioNames returns the scenario set a config produces, in run
+// order, without running anything — the contract behind "two runs with
+// the same flags produce identical scenario sets".
+func scenarioNames(cfg benchConfig) []string {
+	var names []string
+	for _, n := range cfg.Sizes {
+		names = append(names,
+			fmt.Sprintf("datagen/%d", n),
+			fmt.Sprintf("index_build/%d", n),
+			fmt.Sprintf("query/forward/%d", n),
+			fmt.Sprintf("query/reverse/%d", n),
+		)
+		if cfg.TopKQueries > 0 {
+			names = append(names, fmt.Sprintf("query/topk/%d", n))
+		}
+		if cfg.AllPairsMax > 0 && n <= cfg.AllPairsMax {
+			names = append(names, fmt.Sprintf("allpairs/%d", n))
+		}
+		names = append(names, fmt.Sprintf("persist/roundtrip/%d", n))
+	}
+	return names
+}
+
+// scenario measures fn: wall time, allocation deltas, peak heap and the
+// scenario-scoped obs diff. With Repeat > 1 the fastest repetition is
+// reported — each repetition is measured in full, including its own
+// registry diff, so the obs counters always describe exactly one
+// execution of the scenario regardless of -repeat.
+func (b *bench) scenario(name string, ops int64, fn func() error) (Scenario, error) {
+	best := Scenario{Name: name, Ops: ops}
+	for rep := 0; rep < b.cfg.Repeat; rep++ {
+		// Settle the heap so one scenario's garbage is not billed to the
+		// next, and the peak watermark starts from a clean floor.
+		runtime.GC()
+		b.sampler.ResetPeak()
+		b.sampler.Sample()
+		before := obs.Default().Snapshot()
+		var ms0 runtime.MemStats
+		runtime.ReadMemStats(&ms0)
+
+		start := time.Now()
+		err := fn()
+		wall := time.Since(start)
+		if err != nil {
+			return Scenario{}, fmt.Errorf("%s: %w", name, err)
+		}
+
+		var ms1 runtime.MemStats
+		runtime.ReadMemStats(&ms1)
+		b.sampler.Sample()
+
+		if rep > 0 && wall.Nanoseconds() >= best.WallNs {
+			continue
+		}
+		best.WallNs = wall.Nanoseconds()
+		best.NsPerOp = wall.Nanoseconds() / ops
+		best.BytesPerOp = int64(ms1.TotalAlloc-ms0.TotalAlloc) / ops
+		best.AllocsPerOp = int64(ms1.Mallocs-ms0.Mallocs) / ops
+		best.PeakHeapBytes = b.sampler.PeakHeapBytes()
+		best.Obs = obs.Default().Snapshot().Diff(before).FilterPrefix(obsKeepPrefixes...)
+	}
+	return best, nil
+}

@@ -34,6 +34,7 @@ import (
 	"tind/internal/datagen"
 	"tind/internal/history"
 	"tind/internal/index"
+	"tind/internal/obs"
 	"tind/internal/persist"
 	"tind/internal/preprocess"
 	"tind/internal/timeline"
@@ -49,8 +50,12 @@ func main() {
 		corpusF   = flag.String("corpus", "", "load a binary dataset (.tind, from cmd/wikiparse or cmd/datagen)")
 		eps       = flag.Float64("eps", 3, "ε in days")
 		delta     = flag.Int("delta", 7, "δ in days")
+		metrics   = flag.Bool("metrics", false, "dump the collected metrics to stderr on exit (Prometheus text format)")
 	)
 	flag.Parse()
+	if *metrics {
+		defer dumpMetrics()
+	}
 
 	ds, err := loadDataset(*corpusF, *revisions, *attrs, *horizon, *seed)
 	if err != nil {
@@ -264,6 +269,17 @@ func resolve(ds *history.Dataset, arg string) *history.History {
 	}
 	fmt.Printf("no attribute matches %q\n", arg)
 	return nil
+}
+
+// dumpMetrics writes the final state of every instrument — index build
+// times, Bloom fill ratios, the phase histograms of the session's queries
+// — so an exploration session leaves the same numbers a scraped server
+// would. Mirrors the -metrics flag of cmd/allpairs and cmd/experiments.
+func dumpMetrics() {
+	fmt.Fprintln(os.Stderr, "--- metrics ---")
+	if err := obs.Default().WritePrometheus(os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "tindsearch: writing metrics:", err)
+	}
 }
 
 func fatal(err error) {

@@ -32,10 +32,13 @@
 // in-flight requests for up to -drain-timeout before exiting.
 //
 // Observability: /metrics serves the process-wide obs registry (query
-// phase latencies, candidate funnels, Bloom fill ratios, HTTP counters)
-// in the Prometheus text format; queries slower than
-// -slow-query-threshold are logged with their per-phase trace; -pprof
-// opt-in exposes the standard /debug/pprof endpoints.
+// phase latencies, candidate funnels, Bloom fill ratios, HTTP counters,
+// runtime gauges) in the Prometheus text format; /healthz reports
+// p50/p95/p99 query latency since start. Logs are structured (log/slog);
+// every admitted query gets an ID, echoed in the X-Query-ID response
+// header, and queries slower than -slow-query-threshold are logged with
+// that ID and their per-phase trace. -pprof opt-in exposes the standard
+// /debug/pprof endpoints.
 package main
 
 import (
@@ -44,7 +47,8 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
+	"math"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -80,6 +84,11 @@ var (
 	}
 	mSlowQueries = obs.Default().Counter("tind_http_slow_queries_total",
 		"Queries that exceeded -slow-query-threshold.")
+	// mQuerySeconds aggregates admitted query latency across endpoints;
+	// /healthz and the slow-query log derive their p50/p95/p99 from it.
+	mQuerySeconds = obs.Default().Histogram("tind_http_query_seconds",
+		"Wall time of admitted query requests, all endpoints combined.",
+		obs.LatencyBuckets)
 )
 
 func mHTTPRequests(endpoint string, code int) *obs.Counter {
@@ -127,22 +136,27 @@ func main() {
 		pprof:        *pprofF,
 	}
 
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	slog.SetDefault(logger)
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		log.Fatal(err)
+		logger.Error("listen", "err", err)
+		os.Exit(1)
 	}
-	log.Printf("listening on %s (index building in background)", ln.Addr())
+	logger.Info("listening, index building in background", "addr", ln.Addr().String())
 
 	load := func() (*history.Dataset, *index.Index, error) {
 		return loadCorpus(*corpusF, *attrs, *horizon, *seed)
 	}
 	if err := run(ctx, cfg, ln, load); err != nil {
-		log.Fatal(err)
+		logger.Error("serve", "err", err)
+		os.Exit(1)
 	}
-	log.Print("drained, bye")
+	logger.Info("drained, bye")
 }
 
 // config holds the robustness and observability knobs of the service.
@@ -160,6 +174,11 @@ type config struct {
 // from the first moment; a load failure tears the server down.
 func run(ctx context.Context, cfg config, ln net.Listener, load func() (*history.Dataset, *index.Index, error)) error {
 	s := newServer(cfg)
+
+	// Periodic runtime sampling keeps goroutine count, heap watermark and
+	// GC pauses on /metrics for the whole life of the process.
+	stopSampler := obs.NewRuntimeSampler(obs.Default()).Start(10 * time.Second)
+	defer stopSampler()
 
 	writeTimeout := time.Minute
 	if cfg.queryTimeout > 0 {
@@ -189,8 +208,8 @@ func run(ctx context.Context, cfg config, ln net.Listener, load func() (*history
 			return
 		}
 		s.install(ds, idx)
-		log.Printf("ready: %d attributes (index built in %v)",
-			ds.Len(), time.Since(start).Round(time.Millisecond))
+		s.log.Info("ready", "attributes", ds.Len(),
+			"build_time", time.Since(start).Round(time.Millisecond))
 	}()
 
 	select {
@@ -200,7 +219,7 @@ func run(ctx context.Context, cfg config, ln net.Listener, load func() (*history
 	case <-ctx.Done():
 	}
 
-	log.Printf("shutdown requested, draining for up to %v", cfg.drainTimeout)
+	s.log.Info("shutdown requested, draining", "grace", cfg.drainTimeout)
 	drainCtx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
 	defer cancel()
 	if err := httpSrv.Shutdown(drainCtx); err != nil {
@@ -273,8 +292,13 @@ type server struct {
 	queryTimeout time.Duration
 	slowQuery    time.Duration
 	pprof        bool
-	// logf receives the slow-query log lines; tests substitute a capture.
-	logf func(format string, args ...interface{})
+	// log receives the structured service log (slow queries, lifecycle);
+	// tests substitute a handler writing to a capture buffer.
+	log *slog.Logger
+	// queryID numbers admitted query requests; the ID is returned in the
+	// X-Query-ID response header and attached to the slow-query log so a
+	// client-reported request can be matched to its trace.
+	queryID atomic.Uint64
 }
 
 func newServer(cfg config) *server {
@@ -287,7 +311,7 @@ func newServer(cfg config) *server {
 		queryTimeout: cfg.queryTimeout,
 		slowQuery:    cfg.slowQuery,
 		pprof:        cfg.pprof,
-		logf:         log.Printf,
+		log:          slog.Default(),
 	}
 }
 
@@ -329,7 +353,7 @@ func (s *server) routes() http.Handler {
 func handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	if err := obs.Default().WritePrometheus(w); err != nil {
-		log.Printf("tindserve: writing metrics: %v", err)
+		slog.Error("writing metrics", "err", err)
 	}
 }
 
@@ -416,6 +440,8 @@ func (s *server) query(weight int64, h queryHandler) http.Handler {
 			defer cancel()
 			r = r.WithContext(ctx)
 		}
+		qid := s.queryID.Add(1)
+		w.Header().Set("X-Query-ID", strconv.FormatUint(qid, 10))
 		note := &queryNote{}
 		r = r.WithContext(context.WithValue(r.Context(), noteKey{}, note))
 		sr := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
@@ -424,15 +450,26 @@ func (s *server) query(weight int64, h queryHandler) http.Handler {
 		elapsed := time.Since(start)
 		mHTTPRequests(endpoint, sr.status).Inc()
 		mHTTPSeconds(endpoint).ObserveDuration(elapsed)
+		mQuerySeconds.ObserveDuration(elapsed)
 		if s.slowQuery > 0 && elapsed >= s.slowQuery {
 			mSlowQueries.Inc()
-			detail := ""
-			if note.stats != nil {
-				detail = " " + traceSummary(note.stats)
+			attrs := []any{
+				"qid", qid,
+				"method", r.Method,
+				"url", r.URL.RequestURI(),
+				"status", sr.status,
+				"elapsed", elapsed.Round(time.Microsecond),
+				"threshold", s.slowQuery,
+				// Process-lifetime latency estimates put this one query in
+				// context: a slow query near p99 is the tail behaving as
+				// measured, one far beyond it is an outlier worth a look.
+				"p95_ms", quantileMillis(0.95),
+				"p99_ms", quantileMillis(0.99),
 			}
-			s.logf("tindserve: slow query: %s %s -> %d in %v (threshold %v)%s",
-				r.Method, r.URL.RequestURI(), sr.status,
-				elapsed.Round(time.Microsecond), s.slowQuery, detail)
+			if note.stats != nil {
+				attrs = append(attrs, "trace", traceSummary(note.stats))
+			}
+			s.log.Warn("slow query", attrs...)
 		}
 	})
 }
@@ -450,15 +487,36 @@ func recoverJSON(next http.Handler) http.Handler {
 			if rec == http.ErrAbortHandler {
 				panic(rec)
 			}
-			log.Printf("tindserve: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+			slog.Error("panic serving request", "method", r.Method, "path", r.URL.Path,
+				"panic", rec, "stack", string(debug.Stack()))
 			httpError(w, http.StatusInternalServerError, fmt.Errorf("internal error: %v", rec))
 		}()
 		next.ServeHTTP(w, r)
 	})
 }
 
+// quantileMillis estimates a process-lifetime query latency quantile in
+// milliseconds, rounded to the microsecond. Callers must guard against
+// an empty histogram (the estimate would be NaN, which JSON and the log
+// both handle badly).
+func quantileMillis(q float64) float64 {
+	return math.Round(1e6*mQuerySeconds.Quantile(q)) / 1e3
+}
+
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, map[string]interface{}{"status": "ok"})
+	body := map[string]interface{}{"status": "ok"}
+	// Latency quantiles since process start, from the aggregate query
+	// histogram. Only present once a query has been served: quantiles of
+	// an empty histogram are NaN, which won't marshal.
+	if n := mQuerySeconds.Count(); n > 0 {
+		body["queries_served"] = n
+		body["query_latency_ms"] = map[string]float64{
+			"p50": quantileMillis(0.50),
+			"p95": quantileMillis(0.95),
+			"p99": quantileMillis(0.99),
+		}
+	}
+	writeJSON(w, body)
 }
 
 func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
@@ -712,7 +770,7 @@ func queryError(w http.ResponseWriter, err error) {
 func writeJSON(w http.ResponseWriter, v interface{}) {
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(v); err != nil {
-		log.Printf("tindserve: encoding response: %v", err)
+		slog.Error("encoding response", "err", err)
 	}
 }
 

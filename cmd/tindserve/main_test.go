@@ -112,6 +112,28 @@ func TestStatsEndpoint(t *testing.T) {
 	}
 }
 
+func TestHealthzLatencyQuantiles(t *testing.T) {
+	_, ts := testServer(t)
+	// The aggregate latency histogram is process-global, so after one
+	// query the quantile block must be present and ordered.
+	getJSON(t, ts.URL+"/search?attr=0", http.StatusOK)
+	out := getJSON(t, ts.URL+"/healthz", http.StatusOK)
+	if out["status"] != "ok" {
+		t.Fatalf("healthz: %v", out)
+	}
+	if out["queries_served"].(float64) < 1 {
+		t.Fatalf("queries_served missing: %v", out)
+	}
+	lat, ok := out["query_latency_ms"].(map[string]interface{})
+	if !ok {
+		t.Fatalf("query_latency_ms missing: %v", out)
+	}
+	p50, p95, p99 := lat["p50"].(float64), lat["p95"].(float64), lat["p99"].(float64)
+	if p50 < 0 || p50 > p95 || p95 > p99 {
+		t.Fatalf("quantiles out of order: p50=%g p95=%g p99=%g", p50, p95, p99)
+	}
+}
+
 func TestErrorResponses(t *testing.T) {
 	_, ts := testServer(t)
 	cases := []string{

@@ -2,8 +2,9 @@ package main
 
 import (
 	"bufio"
-	"fmt"
+	"bytes"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"regexp"
@@ -15,9 +16,39 @@ import (
 
 	"tind/internal/history"
 	"tind/internal/index"
+	"tind/internal/obs"
 	"tind/internal/timeline"
 	"tind/internal/values"
 )
+
+// logCapture is a goroutine-safe sink for the server's slog output.
+type logCapture struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (c *logCapture) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.buf.Write(p)
+}
+
+func (c *logCapture) lines() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := strings.TrimSpace(c.buf.String())
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, "\n")
+}
+
+// captureLog points the server's structured log at a buffer.
+func captureLog(s *server) *logCapture {
+	c := &logCapture{}
+	s.log = slog.New(slog.NewTextHandler(c, nil))
+	return c
+}
 
 // sampleLine matches one Prometheus text-format sample:
 // name{optional labels} value.
@@ -25,9 +56,24 @@ var sampleLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? (.+)$
 
 func TestMetricsEndpoint(t *testing.T) {
 	_, ts := testServer(t)
-	// Exercise the query path so the phase histograms have samples.
+	// Exercise the query path so the phase histograms have samples. The
+	// registry diff across the two requests is checked below — other
+	// tests share the process registry, so absolute values are unusable.
+	before := obs.Default().Snapshot()
 	getJSON(t, ts.URL+"/search?attr=0&eps=3&delta=7", http.StatusOK)
 	getJSON(t, ts.URL+"/topk?attr=0&k=3", http.StatusOK)
+	d := obs.Default().Snapshot().Diff(before)
+
+	if v := d.Value("tind_queries_total", obs.L("mode", "forward")); v != 1 {
+		t.Errorf("forward queries delta = %g, want 1", v)
+	}
+	if v := d.Value("tind_http_requests_total",
+		obs.L("endpoint", "/search"), obs.L("code", "200")); v != 1 {
+		t.Errorf("/search 200s delta = %g, want 1", v)
+	}
+	if c := d.Count("tind_http_query_seconds"); c != 2 {
+		t.Errorf("aggregate query latency samples delta = %d, want 2", c)
+	}
 
 	resp, err := http.Get(ts.URL + "/metrics")
 	if err != nil {
@@ -74,6 +120,7 @@ func TestMetricsEndpoint(t *testing.T) {
 		"tind_queries_total{mode=\"forward\"}",
 		"tind_http_requests_total{endpoint=\"/search\",code=\"200\"}",
 		"tind_http_request_seconds_bucket",
+		"tind_http_query_seconds_bucket",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("exposition missing %q", want)
@@ -82,13 +129,9 @@ func TestMetricsEndpoint(t *testing.T) {
 
 	// The fill-ratio gauge of the required-values matrix must carry a
 	// real value: the test corpus is non-empty, so some bits are set.
-	for _, line := range strings.Split(text, "\n") {
-		if strings.HasPrefix(line, "tind_index_bloom_fill_ratio{matrix=\"m_t\"}") {
-			v, err := strconv.ParseFloat(strings.Fields(line)[1], 64)
-			if err != nil || v <= 0 || v > 1 {
-				t.Fatalf("m_t fill ratio %q out of (0,1]: %v", line, err)
-			}
-		}
+	snap := obs.Default().Snapshot()
+	if v := snap.Value("tind_index_bloom_fill_ratio", obs.L("matrix", "m_t")); v <= 0 || v > 1 {
+		t.Fatalf("m_t fill ratio %g out of (0,1]", v)
 	}
 }
 
@@ -128,24 +171,30 @@ func TestSlowQueryLog(t *testing.T) {
 	// Threshold of 1ns: every query is slow, so one request must produce
 	// one log line carrying the per-phase breakdown.
 	s, ts := testServerConfig(t, config{slowQuery: time.Nanosecond})
-	var mu sync.Mutex
-	var lines []string
-	s.logf = func(format string, args ...interface{}) {
-		mu.Lock()
-		defer mu.Unlock()
-		lines = append(lines, fmt.Sprintf(format, args...))
+	cap := captureLog(s)
+
+	resp, err := http.Get(ts.URL + "/search?attr=0&eps=3&delta=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	qid := resp.Header.Get("X-Query-ID")
+	if qid == "" {
+		t.Fatal("response missing X-Query-ID header")
 	}
 
-	getJSON(t, ts.URL+"/search?attr=0&eps=3&delta=7", http.StatusOK)
-
-	mu.Lock()
-	defer mu.Unlock()
+	lines := cap.lines()
 	if len(lines) != 1 {
 		t.Fatalf("slow-query log lines: %d, want 1: %q", len(lines), lines)
 	}
 	line := lines[0]
 	for _, want := range []string{
-		"slow query", "GET /search", "-> 200",
+		`msg="slow query"`, "qid=" + qid, "method=GET", "/search",
+		"status=200", "p95_ms=", "p99_ms=",
 		"phases[", "mt_prune=", "validate=", "trace[",
 	} {
 		if !strings.Contains(line, want) {
@@ -156,17 +205,9 @@ func TestSlowQueryLog(t *testing.T) {
 
 func TestSlowQueryLogDisabled(t *testing.T) {
 	s, ts := testServerConfig(t, config{}) // threshold 0 = disabled
-	var mu sync.Mutex
-	var lines []string
-	s.logf = func(format string, args ...interface{}) {
-		mu.Lock()
-		defer mu.Unlock()
-		lines = append(lines, fmt.Sprintf(format, args...))
-	}
+	cap := captureLog(s)
 	getJSON(t, ts.URL+"/search?attr=0", http.StatusOK)
-	mu.Lock()
-	defer mu.Unlock()
-	if len(lines) != 0 {
+	if lines := cap.lines(); len(lines) != 0 {
 		t.Fatalf("disabled slow-query log still logged: %q", lines)
 	}
 }

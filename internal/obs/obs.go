@@ -112,6 +112,51 @@ func (h *Histogram) BucketCounts() []int64 {
 	return out
 }
 
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) of the observed values
+// from the cumulative buckets, interpolating linearly within the bucket
+// the rank falls into — the same estimate Prometheus's
+// histogram_quantile computes server-side. The first bucket interpolates
+// from a lower bound of 0; ranks landing in the +Inf bucket are clamped
+// to the highest finite bound. Returns NaN for an empty histogram or q
+// outside [0, 1].
+func (h *Histogram) Quantile(q float64) float64 {
+	bounds := h.bounds
+	cum := h.BucketCounts()
+	count := cum[len(cum)-1]
+	return quantileFromBuckets(bounds, cum[:len(bounds)], count, q)
+}
+
+// quantileFromBuckets is the shared estimation core: bounds are the
+// finite upper edges, cum the cumulative counts at those edges, count
+// the total including the implicit +Inf bucket.
+func quantileFromBuckets(bounds []float64, cum []int64, count int64, q float64) float64 {
+	if count == 0 || q < 0 || q > 1 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	if len(bounds) == 0 {
+		return math.NaN() // all mass in +Inf: no finite estimate exists
+	}
+	rank := q * float64(count)
+	for i, c := range cum {
+		if float64(c) >= rank {
+			lower := 0.0
+			var prev int64
+			if i > 0 {
+				lower = bounds[i-1]
+				prev = cum[i-1]
+			}
+			in := c - prev
+			if in == 0 {
+				return bounds[i]
+			}
+			return lower + (bounds[i]-lower)*(rank-float64(prev))/float64(in)
+		}
+	}
+	// Rank falls into the +Inf bucket: the honest answer is "beyond the
+	// highest bound"; clamp to it like Prometheus does.
+	return bounds[len(bounds)-1]
+}
+
 // LatencyBuckets spans 100µs to 10s in a 1-2.5-5 progression — the
 // default for query-phase and request latencies.
 var LatencyBuckets = []float64{

@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// gcPauseBuckets spans 10µs to 160ms — GC stop-the-world pauses are
+// usually well under a millisecond, so LatencyBuckets would lump them
+// all into its first bucket.
+var gcPauseBuckets = ExpBuckets(1e-5, 4, 8)
+
+// RuntimeSampler exports Go runtime health — goroutine count, heap and
+// GC statistics, and a GC pause histogram — into a Registry, so the
+// serving binaries' /metrics and tindbench's per-scenario snapshots see
+// the process next to the query pipeline.
+//
+// Metrics: tind_runtime_goroutines, tind_runtime_heap_alloc_bytes,
+// tind_runtime_heap_sys_bytes, tind_runtime_heap_objects,
+// tind_runtime_gc_total and tind_runtime_gc_pause_seconds.
+//
+// The sampler also tracks the peak heap seen across samples, which
+// tindbench resets per scenario to report peak memory per workload.
+type RuntimeSampler struct {
+	goroutines  *Gauge
+	heapAlloc   *Gauge
+	heapSys     *Gauge
+	heapObjects *Gauge
+	gcRuns      *Counter
+	gcPause     *Histogram
+
+	mu        sync.Mutex
+	lastNumGC uint32
+	peakHeap  uint64
+
+	stopOnce sync.Once
+	stopCh   chan struct{}
+}
+
+// NewRuntimeSampler registers the runtime metrics in r and returns a
+// sampler. Registration is idempotent, so multiple samplers against the
+// same registry share instruments (but keep separate peak/GC cursors).
+func NewRuntimeSampler(r *Registry) *RuntimeSampler {
+	s := &RuntimeSampler{
+		goroutines:  r.Gauge("tind_runtime_goroutines", "Live goroutines at the last runtime sample."),
+		heapAlloc:   r.Gauge("tind_runtime_heap_alloc_bytes", "Heap bytes in use at the last runtime sample."),
+		heapSys:     r.Gauge("tind_runtime_heap_sys_bytes", "Heap bytes obtained from the OS at the last runtime sample."),
+		heapObjects: r.Gauge("tind_runtime_heap_objects", "Live heap objects at the last runtime sample."),
+		gcRuns:      r.Counter("tind_runtime_gc_total", "Completed GC cycles observed by the sampler."),
+		gcPause:     r.Histogram("tind_runtime_gc_pause_seconds", "GC stop-the-world pause durations.", gcPauseBuckets),
+		stopCh:      make(chan struct{}),
+	}
+	// Prime the GC cursor so the first Sample reports only cycles that
+	// happen after the sampler exists, not process history.
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	s.lastNumGC = m.NumGC
+	return s
+}
+
+// Sample takes one sample now: updates the gauges, advances the GC
+// counter and pause histogram by the cycles since the previous sample,
+// and folds the current heap into the peak. Safe for concurrent use.
+func (s *RuntimeSampler) Sample() {
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	s.goroutines.Set(float64(runtime.NumGoroutine()))
+	s.heapAlloc.Set(float64(m.HeapAlloc))
+	s.heapSys.Set(float64(m.HeapSys))
+	s.heapObjects.Set(float64(m.HeapObjects))
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if m.HeapAlloc > s.peakHeap {
+		s.peakHeap = m.HeapAlloc
+	}
+	if n := m.NumGC - s.lastNumGC; n > 0 {
+		s.gcRuns.Add(int64(n))
+		// PauseNs is a ring of the last 256 pause times; replay only the
+		// cycles this sampler has not yet seen.
+		if n > uint32(len(m.PauseNs)) {
+			n = uint32(len(m.PauseNs))
+		}
+		// Cycle c (1-based) pauses live at PauseNs[(c+255)%256]; the loop
+		// variable runs over c-1, so the index reduces to i mod 256.
+		for i := m.NumGC - n; i < m.NumGC; i++ {
+			s.gcPause.Observe(float64(m.PauseNs[i%uint32(len(m.PauseNs))]) / 1e9)
+		}
+		s.lastNumGC = m.NumGC
+	}
+}
+
+// Start samples every interval until the returned stop function is
+// called (idempotent). One final sample is taken on stop so short-lived
+// processes still export their last state.
+func (s *RuntimeSampler) Start(interval time.Duration) (stop func()) {
+	s.Sample()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				s.Sample()
+			case <-s.stopCh:
+				s.Sample()
+				return
+			}
+		}
+	}()
+	return func() {
+		s.stopOnce.Do(func() { close(s.stopCh) })
+		<-done
+	}
+}
+
+// PeakHeapBytes returns the largest HeapAlloc seen by Sample since the
+// sampler was created or the peak was last reset.
+func (s *RuntimeSampler) PeakHeapBytes() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.peakHeap
+}
+
+// ResetPeak clears the peak-heap watermark, e.g. between benchmark
+// scenarios.
+func (s *RuntimeSampler) ResetPeak() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.peakHeap = 0
+}

@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRuntimeSamplerSample(t *testing.T) {
+	r := NewRegistry()
+	s := NewRuntimeSampler(r)
+	s.Sample()
+
+	snap := r.Snapshot()
+	if g := snap.Value("tind_runtime_goroutines"); g < 1 {
+		t.Fatalf("goroutines = %g, want ≥ 1", g)
+	}
+	if h := snap.Value("tind_runtime_heap_alloc_bytes"); h <= 0 {
+		t.Fatalf("heap alloc = %g, want > 0", h)
+	}
+	if s.PeakHeapBytes() == 0 {
+		t.Fatal("peak heap must be tracked by Sample")
+	}
+
+	// Forced GC cycles must advance the counter and feed the pause
+	// histogram.
+	runtime.GC()
+	runtime.GC()
+	s.Sample()
+	snap = r.Snapshot()
+	if c := snap.Value("tind_runtime_gc_total"); c < 2 {
+		t.Fatalf("gc cycles = %g, want ≥ 2", c)
+	}
+	if n := snap.Count("tind_runtime_gc_pause_seconds"); n < 2 {
+		t.Fatalf("gc pauses observed = %d, want ≥ 2", n)
+	}
+
+	s.ResetPeak()
+	if s.PeakHeapBytes() != 0 {
+		t.Fatal("ResetPeak must clear the watermark")
+	}
+}
+
+func TestRuntimeSamplerStartStop(t *testing.T) {
+	r := NewRegistry()
+	s := NewRuntimeSampler(r)
+	stop := s.Start(time.Millisecond)
+	time.Sleep(5 * time.Millisecond)
+	stop()
+	stop() // idempotent
+
+	if r.Snapshot().Value("tind_runtime_goroutines") < 1 {
+		t.Fatal("sampler never sampled")
+	}
+	// The runtime metrics must render in the exposition format.
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "tind_runtime_heap_alloc_bytes") {
+		t.Fatalf("exposition missing runtime gauges:\n%s", b.String())
+	}
+}

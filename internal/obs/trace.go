@@ -3,6 +3,7 @@ package obs
 import (
 	"fmt"
 	"strings"
+	"sync"
 	"time"
 )
 
@@ -27,10 +28,12 @@ func (s Span) String() string {
 // pointer are both valid no-op traces, so instrumented code can thread a
 // *Trace unconditionally and callers only pay when they opt in.
 //
-// A Trace is meant for one goroutine — the query path records spans
-// sequentially; it is not synchronized.
+// Span completion is synchronized, so phases that fan work out (e.g. a
+// future parallel validation stage) may record spans from several
+// goroutines; spans are kept in completion order.
 type Trace struct {
 	t0    time.Time
+	mu    sync.Mutex
 	spans []Span
 }
 
@@ -45,7 +48,10 @@ func (t *Trace) Span(name string) func() {
 	}
 	start := time.Since(t.t0)
 	return func() {
-		t.spans = append(t.spans, Span{Name: name, Start: start, End: time.Since(t.t0)})
+		end := time.Since(t.t0)
+		t.mu.Lock()
+		t.spans = append(t.spans, Span{Name: name, Start: start, End: end})
+		t.mu.Unlock()
 	}
 }
 
@@ -54,16 +60,22 @@ func (t *Trace) Spans() []Span {
 	if t == nil {
 		return nil
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	return append([]Span(nil), t.spans...)
 }
 
 // String renders the whole trace on one line for slow-query logs.
 func (t *Trace) String() string {
-	if t == nil || len(t.spans) == 0 {
+	if t == nil {
 		return "(no spans)"
 	}
-	parts := make([]string, len(t.spans))
-	for i, s := range t.spans {
+	spans := t.Spans()
+	if len(spans) == 0 {
+		return "(no spans)"
+	}
+	parts := make([]string, len(spans))
+	for i, s := range spans {
 		parts[i] = s.String()
 	}
 	return strings.Join(parts, " | ")
