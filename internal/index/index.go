@@ -143,8 +143,13 @@ type timeSlice struct {
 
 // Index is the chained index structure of Section 4.2: M_T followed by the
 // time-slice matrices, optionally extended for reverse search. It is
-// immutable after Build and safe for concurrent queries.
+// immutable after Build — except through Refresh — and safe for concurrent
+// queries; Refresh blocks queries for its duration via mu.
 type Index struct {
+	// mu serializes Refresh (writer) against queries and stats readers.
+	// A pointer so the shallow Index copy AllPairsContext takes shares the
+	// lock instead of copying it.
+	mu           *sync.RWMutex
 	ds           *history.Dataset
 	opt          Options
 	mT           *bitmatrix.Matrix // columns: Bloom(A[T])
@@ -177,8 +182,8 @@ type BuildStats struct {
 	// Bloom fill ratios (fraction of set bits) per matrix; the knob the
 	// paper's m sizing trades against pruning power (§5.4). MRFillRatio
 	// is zero for forward-only indices.
-	MTFillRatio  float64
-	MRFillRatio  float64
+	MTFillRatio     float64
+	MRFillRatio     float64
 	SliceFillRatios []float64
 	// SlicePruningPower is the estimate p(I) = Σ_A |A[I]| / |I| of
 	// Section 4.4.2 for each chosen slice interval.
@@ -198,7 +203,7 @@ func Build(ds *history.Dataset, opt Options) (*Index, error) {
 			ErrInvalidOptions, opt.Params.Weight.Horizon(), ds.Horizon())
 	}
 
-	idx := &Index{ds: ds, opt: opt}
+	idx := &Index{mu: &sync.RWMutex{}, ds: ds, opt: opt}
 	n := ds.Len()
 
 	// Filter construction (value-set unions + hashing) dominates build
@@ -371,6 +376,8 @@ func minViolationWeights(ds *history.Dataset, expanded timeline.Interval, w time
 
 // Stats summarizes the built index.
 func (x *Index) Stats() BuildStats {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
 	s := BuildStats{Attributes: x.ds.Len(), Slices: len(x.slices)}
 	s.MemoryBytes = x.mT.MemoryBytes()
 	for _, ts := range x.slices {
@@ -391,5 +398,10 @@ func (x *Index) Stats() BuildStats {
 // Dataset returns the indexed dataset.
 func (x *Index) Dataset() *history.Dataset { return x.ds }
 
-// Options returns the options the index was built with.
-func (x *Index) Options() Options { return x.opt }
+// Options returns the options the index was built with (including the
+// current weight horizon, which Refresh advances).
+func (x *Index) Options() Options {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	return x.opt
+}

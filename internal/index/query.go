@@ -98,6 +98,11 @@ func (x *Index) Query(ctx context.Context, q *history.History, o QueryOptions) (
 	if err := o.Params.Validate(); err != nil {
 		return Result{}, err
 	}
+	// Shared lock for the whole query: Refresh mutates M_T/M_R columns,
+	// the dirty mask and the option weight in place, so it must not
+	// interleave with a running query. Queries among themselves share.
+	x.mu.RLock()
+	defer x.mu.RUnlock()
 	qm[o.Mode].queries.Inc()
 
 	r := &queryRun{x: x, mode: o.Mode, start: time.Now()}
@@ -325,7 +330,13 @@ func (x *Index) reverseSlicePrune(ctx context.Context, q *history.History, p cor
 func (r *queryRun) topK(ctx context.Context, q *history.History, o QueryOptions) (Result, error) {
 	x, k := r.x, o.K
 	w := o.Params.Weight
+	// The terminal budget must admit every attribute, but a violation
+	// weight is summed interval by interval while the total is one closed
+	// form, so an all-violated pair can land a few ULPs above the exact
+	// total under decaying or relative weights. Give the cap the same
+	// relative headroom, or the "complete ranking" comes back short.
 	total := w.Sum(timeline.NewInterval(0, w.Horizon()))
+	total += 1e-9 * (1 + total)
 	eps := o.Params.Epsilon
 	if eps <= 0 {
 		eps = x.opt.Params.Epsilon

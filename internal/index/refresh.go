@@ -33,9 +33,17 @@ import (
 // to have been built with a timeline.Constant weight function; rebuild
 // for decaying weights (whose per-day weights shift with the horizon).
 //
-// newHorizon must match the dataset's (already extended) horizon. Refresh
-// must not run concurrently with queries.
+// newHorizon must match the dataset's (already extended) horizon.
+//
+// Refresh is safe to call concurrently with queries: it takes the index's
+// write lock, blocking until in-flight queries drain and holding new ones
+// back until the matrices are consistent again. The underlying history
+// appends remain the caller's to serialize — Append/ExtendObservation
+// mutate version slices that running queries read, so apply them before
+// queries can observe the new horizon (or while no queries are in flight).
 func (x *Index) Refresh(changed []history.AttrID, newHorizon timeline.Time) error {
+	x.mu.Lock()
+	defer x.mu.Unlock()
 	c, ok := x.opt.Params.Weight.(timeline.Constant)
 	if !ok {
 		return fmt.Errorf("index: Refresh requires a constant index weighting (have %v); rebuild instead",

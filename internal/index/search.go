@@ -294,7 +294,12 @@ func (x *Index) AllPairsContext(ctx context.Context, p core.Params, workers int)
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	// The shallow copy shares the lock pointer, so the per-query RLock in
+	// seq.Query still excludes Refresh; the copy itself must happen under
+	// the lock too since Refresh mutates opt and dirty in place.
+	x.mu.RLock()
 	seq := *x
+	x.mu.RUnlock()
 	seq.opt.ValidationWorkers = 1
 
 	n := x.ds.Len()

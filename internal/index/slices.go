@@ -138,11 +138,14 @@ func selectSlices(ds *history.Dataset, w timeline.WeightFunc, epsilon float64, d
 func candidateStarts(ds *history.Dataset, w timeline.WeightFunc, epsilon float64,
 	strategy SliceStrategy) (starts []timeline.Time, weights []float64) {
 	n := ds.Horizon()
-	// Cap the number of candidate start positions.
+	// Cap the number of candidate start positions. The step must round up:
+	// floor division would admit up to 2·maxCandidates−1 starts (n = 1023
+	// gives step 1, i.e. 1023 candidates) and make weighted selection pay
+	// for twice the pruning-power estimates it is budgeted for.
 	const maxCandidates = 512
 	step := timeline.Time(1)
 	if int(n) > maxCandidates {
-		step = n / maxCandidates
+		step = (n + maxCandidates - 1) / maxCandidates
 	}
 	for s := timeline.Time(0); s < n; s += step {
 		starts = append(starts, s)

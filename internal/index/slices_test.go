@@ -1,0 +1,115 @@
+package index
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tind/internal/history"
+	"tind/internal/timeline"
+)
+
+// TestCandidateStartsCap pins the documented bound of 512 candidate start
+// positions. The floor-division regression admitted up to 1023 starts at
+// n = 1023 (step stayed 1 for every n < 1024).
+func TestCandidateStartsCap(t *testing.T) {
+	const maxCandidates = 512
+	for _, n := range []timeline.Time{1, 7, 511, 512, 513, 1023, 1024, 1025, 4096, 5000, 100000} {
+		ds := history.NewDataset(n)
+		w := timeline.Uniform(n)
+		starts, weights := candidateStarts(ds, w, 1, Random)
+		if len(starts) > maxCandidates {
+			t.Errorf("n=%d: %d candidate starts, cap is %d", n, len(starts), maxCandidates)
+		}
+		if weights != nil {
+			t.Errorf("n=%d: Random strategy must not compute weights", n)
+		}
+		if n <= maxCandidates && len(starts) != int(n) {
+			t.Errorf("n=%d: want every timestamp as a start, got %d", n, len(starts))
+		}
+		if len(starts) == 0 || starts[0] != 0 {
+			t.Errorf("n=%d: starts must begin at 0, got %v", n, starts[:min(len(starts), 3)])
+		}
+		for _, s := range starts {
+			if s < 0 || s >= n {
+				t.Errorf("n=%d: start %d out of range", n, s)
+			}
+		}
+	}
+}
+
+// TestCandidateStartsWeightedCap repeats the cap check for the weighted
+// strategy, whose per-start pruning-power estimates are exactly what the
+// cap exists to bound.
+func TestCandidateStartsWeightedCap(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	ds := randDataset(r, 6, 1023)
+	starts, weights := candidateStarts(ds, timeline.Uniform(1023), 2, WeightedRandom)
+	if len(starts) > 512 {
+		t.Errorf("weighted: %d candidate starts, cap is 512", len(starts))
+	}
+	if len(weights) != len(starts) {
+		t.Errorf("weighted: %d weights for %d starts", len(weights), len(starts))
+	}
+}
+
+// TestSelectSlicesInvariants is the §4.5 precondition check: every chosen
+// interval carries weight at least ε+1, fits the horizon, and the
+// δ-expanded forms are pairwise disjoint — under all three closed-form
+// weight families and both strategies.
+func TestSelectSlicesInvariants(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		horizon := timeline.Time(40 + r.Intn(120))
+		ds := randDataset(r, 4+r.Intn(10), horizon)
+
+		var w timeline.WeightFunc
+		switch r.Intn(3) {
+		case 0:
+			w = timeline.Uniform(horizon)
+		case 1:
+			ed, err := timeline.NewExponentialDecay(horizon, 0.8+0.19*r.Float64())
+			if err != nil {
+				return false
+			}
+			w = ed
+		default:
+			w = timeline.LinearDecay{N: horizon, W0: 0.05 + r.Float64(), W1: 0.5 + 2*r.Float64()}
+		}
+		epsilon := r.Float64() * 6
+		delta := timeline.Time(r.Intn(8))
+		k := 1 + r.Intn(8)
+		strategy := SliceStrategy(r.Intn(2))
+
+		ivs := selectSlices(ds, w, epsilon, delta, k, strategy, r)
+		if len(ivs) > k {
+			t.Logf("seed %d: %d slices exceed k=%d", seed, len(ivs), k)
+			return false
+		}
+		const tol = 1e-9
+		for i, iv := range ivs {
+			if iv.Start < 0 || iv.End > horizon || iv.IsEmpty() {
+				t.Logf("seed %d: slice %v outside [0,%d)", seed, iv, horizon)
+				return false
+			}
+			if got := w.Sum(iv); got < epsilon+1-tol {
+				t.Logf("seed %d: w(%v)=%g below ε+1=%g under %v", seed, iv, got, epsilon+1, w)
+				return false
+			}
+			if i > 0 && ivs[i-1].Start >= iv.Start {
+				t.Logf("seed %d: slices not sorted", seed)
+				return false
+			}
+			for j := 0; j < i; j++ {
+				if ivs[j].Expand(delta).Overlaps(iv.Expand(delta)) {
+					t.Logf("seed %d: δ-expanded slices %v and %v overlap (δ=%d)", seed, ivs[j], iv, delta)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

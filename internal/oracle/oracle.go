@@ -1,0 +1,139 @@
+// Package oracle is the correctness reference for the tIND semantics: a
+// deliberately naive, per-timestamp implementation of Definitions 3.1–3.6
+// and the σ-partial extension, plus exhaustive ground-truth enumerators
+// for forward, reverse, top-k and all-pairs discovery.
+//
+// Nothing here shares machinery with the optimized paths. Where
+// internal/core partitions time into constant intervals and slides a
+// version cursor, and internal/index prunes candidates through Bloom
+// matrices, the oracle walks every timestamp and materializes every
+// δ-window by unioning single-day snapshots. That redundancy is the
+// point: the differential tests (and the fuzz targets in this package)
+// hold the optimized pipeline — validation, pruning, index queries,
+// incremental refresh — to the answer the definitions prescribe, so a
+// silent completeness bug in any pruning stage surfaces as a diff instead
+// of a quietly wrong benchmark.
+//
+// The oracle is O(n) timestamps per pair with O(δ·|values|) work per
+// timestamp, versus the optimized O(change points). Keep it on small
+// corpora; it exists to be obviously correct, not fast.
+package oracle
+
+import (
+	"tind/internal/core"
+	"tind/internal/history"
+	"tind/internal/timeline"
+	"tind/internal/values"
+)
+
+// WindowUnion materializes A[[t−δ, t+δ]] the definitional way: one
+// snapshot lookup per timestamp of the closed window, unioned.
+func WindowUnion(a *history.History, t, delta timeline.Time) values.Set {
+	var out values.Set
+	for u := t - delta; u <= t+delta; u++ {
+		out = out.Union(a.At(u))
+	}
+	return out
+}
+
+// StaticIND reports whether Q[t] ⊆ A[t] (Definition 3.1).
+func StaticIND(q, a *history.History, t timeline.Time) bool {
+	return q.At(t).SubsetOf(a.At(t))
+}
+
+// HoldsStrict reports the strict tIND Q ⊆ A (Definition 3.2): the static
+// IND must hold at every timestamp of the observation period.
+func HoldsStrict(q, a *history.History, n timeline.Time) bool {
+	for t := timeline.Time(0); t < n; t++ {
+		if !StaticIND(q, a, t) {
+			return false
+		}
+	}
+	return true
+}
+
+// DeltaContained reports whether Q[t] ⊆ A[[t−δ, t+δ]] (Definition 3.4).
+// An unobservable (empty) Q[t] is trivially contained.
+func DeltaContained(q, a *history.History, t, delta timeline.Time) bool {
+	qv := q.At(t)
+	if qv.IsEmpty() {
+		return true
+	}
+	return qv.SubsetOf(WindowUnion(a, t, delta))
+}
+
+// ViolationWeight sums w(t) over every timestamp at which Q[t] is not
+// δ-contained in A — the quantity Definitions 3.3–3.6 compare against ε.
+// No early exit, no interval grouping: one containment check per day.
+func ViolationWeight(q, a *history.History, p core.Params) float64 {
+	n := p.Weight.Horizon()
+	var v float64
+	for t := timeline.Time(0); t < n; t++ {
+		if !DeltaContained(q, a, t, p.Delta) {
+			v += p.Weight.Weight(t)
+		}
+	}
+	return v
+}
+
+// Holds reports Q ⊆_{w,ε,δ} A (Definition 3.6; Definitions 3.2, 3.3 and
+// 3.5 are the special cases reachable through core's Params constructors).
+func Holds(q, a *history.History, p core.Params) bool {
+	return ViolationWeight(q, a, p) <= p.Epsilon
+}
+
+// ContainedShare returns the fraction of Q[t]'s values present in
+// A[[t−δ, t+δ]]; 1 for an empty Q[t].
+func ContainedShare(q, a *history.History, t, delta timeline.Time) float64 {
+	qv := q.At(t)
+	if qv.IsEmpty() {
+		return 1
+	}
+	win := WindowUnion(a, t, delta)
+	return float64(qv.Intersect(win).Len()) / float64(qv.Len())
+}
+
+// ViolationWeightPartial sums w(t) over the timestamps at which less than
+// sigma of Q[t] is δ-contained in A (the σ-partial relaxation of §3.3).
+func ViolationWeightPartial(q, a *history.History, p core.Params, sigma float64) float64 {
+	n := p.Weight.Horizon()
+	var v float64
+	for t := timeline.Time(0); t < n; t++ {
+		if ContainedShare(q, a, t, p.Delta) < sigma {
+			v += p.Weight.Weight(t)
+		}
+	}
+	return v
+}
+
+// HoldsPartial reports Q ⊆^σ_{w,ε,δ} A.
+func HoldsPartial(q, a *history.History, p core.Params, sigma float64) bool {
+	return ViolationWeightPartial(q, a, p, sigma) <= p.Epsilon
+}
+
+// Violation is one maximal run of violated timestamps with its summed
+// weight — the oracle counterpart of core.Explain's intervals.
+type Violation struct {
+	Interval timeline.Interval
+	Weight   float64
+}
+
+// Violations returns the maximal violated runs of Q ⊆_{w,·,δ} A in time
+// order, built by scanning timestamps one at a time and merging neighbors.
+func Violations(q, a *history.History, p core.Params) []Violation {
+	n := p.Weight.Horizon()
+	var out []Violation
+	for t := timeline.Time(0); t < n; t++ {
+		if DeltaContained(q, a, t, p.Delta) {
+			continue
+		}
+		w := p.Weight.Weight(t)
+		if len(out) > 0 && out[len(out)-1].Interval.End == t {
+			out[len(out)-1].Interval.End = t + 1
+			out[len(out)-1].Weight += w
+			continue
+		}
+		out = append(out, Violation{Interval: timeline.NewInterval(t, t+1), Weight: w})
+	}
+	return out
+}

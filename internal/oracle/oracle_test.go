@@ -1,0 +1,176 @@
+package oracle
+
+import (
+	"math"
+	"testing"
+
+	"tind/internal/core"
+	"tind/internal/history"
+	"tind/internal/timeline"
+	"tind/internal/values"
+)
+
+// mkHistory builds a history from (start, values...) pairs.
+func mkHistory(t *testing.T, end timeline.Time, versions ...history.Version) *history.History {
+	t.Helper()
+	h, err := history.New(history.Meta{Page: "p"}, versions, end)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+// TestOracleByHand pins the oracle to hand-computed values on a scenario
+// small enough to verify on paper: Q switches from {1,2} to {3} at day 5,
+// A drops 3 at day 6, both observed over [0, 10).
+func TestOracleByHand(t *testing.T) {
+	q := mkHistory(t, 10,
+		history.Version{Start: 0, Values: values.NewSet(1, 2)},
+		history.Version{Start: 5, Values: values.NewSet(3)},
+	)
+	a := mkHistory(t, 10,
+		history.Version{Start: 0, Values: values.NewSet(1, 2, 3)},
+		history.Version{Start: 6, Values: values.NewSet(1, 2)},
+	)
+
+	if !StaticIND(q, a, 0) {
+		t.Error("Q[0] ⊆ A[0] must hold")
+	}
+	if StaticIND(q, a, 6) {
+		t.Error("Q[6] = {3} ⊄ A[6] = {1,2}")
+	}
+	if HoldsStrict(q, a, 10) {
+		t.Error("strict tIND must fail (violated from day 6)")
+	}
+	if !HoldsStrict(q, a, 6) {
+		t.Error("strict tIND holds on the first six days")
+	}
+
+	// δ = 1: day 6 is rescued by A[5] still holding 3; days 7–9 are not.
+	if !DeltaContained(q, a, 6, 1) {
+		t.Error("day 6 must be 1-contained via A[5]")
+	}
+	for _, day := range []timeline.Time{7, 8, 9} {
+		if DeltaContained(q, a, day, 1) {
+			t.Errorf("day %d must not be 1-contained", day)
+		}
+	}
+	p := core.Params{Epsilon: 3, Delta: 1, Weight: timeline.Uniform(10)}
+	if got := ViolationWeight(q, a, p); got != 3 {
+		t.Errorf("ViolationWeight = %g, want 3 (days 7, 8, 9)", got)
+	}
+	if !Holds(q, a, p) {
+		t.Error("ε = 3 absorbs the three violated days")
+	}
+	if Holds(q, a, core.Params{Epsilon: 2.5, Delta: 1, Weight: timeline.Uniform(10)}) {
+		t.Error("ε = 2.5 must not absorb three violated days")
+	}
+
+	vs := Violations(q, a, p)
+	if len(vs) != 1 || vs[0].Interval != timeline.NewInterval(7, 10) || vs[0].Weight != 3 {
+		t.Errorf("Violations = %+v, want one run [7,10) of weight 3", vs)
+	}
+
+	// σ-partial with δ = 0: from day 6, Q[t] = {3} and A[t] = {1,2} share
+	// nothing, so no positive σ is satisfied there; through day 5 the
+	// containment is full.
+	if got := ContainedShare(q, a, 7, 0); got != 0 {
+		t.Errorf("ContainedShare(day 7) = %g, want 0", got)
+	}
+	if got := ContainedShare(q, a, 2, 0); got != 1 {
+		t.Errorf("ContainedShare(day 2) = %g, want 1", got)
+	}
+	pp := core.Params{Epsilon: 0, Delta: 0, Weight: timeline.Uniform(10)}
+	if HoldsPartial(q, a, pp, 0.5) {
+		t.Error("σ = 0.5, ε = 0 must fail (days 6–9 contain nothing)")
+	}
+	if got := ViolationWeightPartial(q, a, pp, 0.5); got != 4 {
+		t.Errorf("partial violation weight = %g, want 4 (days 6–9)", got)
+	}
+}
+
+// TestOracleUnobservable: timestamps outside an attribute's lifespan have
+// an empty snapshot, which is trivially contained (and weightless for the
+// left-hand side) — matching core's reading of the definitions.
+func TestOracleUnobservable(t *testing.T) {
+	q := mkHistory(t, 8, history.Version{Start: 4, Values: values.NewSet(9)})
+	a := mkHistory(t, 10, history.Version{Start: 0, Values: values.NewSet(9)})
+	p := core.Params{Epsilon: 0, Delta: 0, Weight: timeline.Uniform(10)}
+	if !Holds(q, a, p) {
+		t.Error("Q unobservable before day 4 and after day 8 must not violate")
+	}
+	// The reverse direction: A holds 9 on days where Q is unobservable
+	// (empty), so A ⊄ Q there.
+	if got := ViolationWeight(a, q, p); got != 6 {
+		t.Errorf("A ⊆ Q violation weight = %g, want 6 (days 0–3, 8, 9)", got)
+	}
+}
+
+// TestTruthEnumerators checks the ground-truth enumerators on a three
+// attribute dataset where containments are obvious by construction.
+func TestTruthEnumerators(t *testing.T) {
+	ds := history.NewDataset(6)
+	add := func(vals values.Set) *history.History {
+		h := mkHistory(t, 6, history.Version{Start: 0, Values: vals})
+		if _, err := ds.Add(h); err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+	small := add(values.NewSet(1))     // id 0: {1}
+	mid := add(values.NewSet(1, 2))    // id 1: {1,2}
+	big := add(values.NewSet(1, 2, 3)) // id 2: {1,2,3}
+	p := core.Params{Epsilon: 0, Delta: 0, Weight: timeline.Uniform(6)}
+
+	if got := ForwardSet(ds, small, p); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("ForwardSet(small) = %v, want [1 2]", got)
+	}
+	if got := ReverseSet(ds, big, p); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("ReverseSet(big) = %v, want [0 1]", got)
+	}
+	if got := ForwardSet(ds, big, p); got != nil {
+		t.Errorf("ForwardSet(big) = %v, want none", got)
+	}
+
+	ranked := TopK(ds, mid, p, 2)
+	if len(ranked) != 2 || ranked[0].ID != 2 || ranked[0].Violation != 0 {
+		t.Errorf("TopK(mid) = %+v, want big first with zero violation", ranked)
+	}
+	if ranked[1].ID != 0 || ranked[1].Violation != 6 {
+		t.Errorf("TopK(mid)[1] = %+v, want small with weight 6", ranked)
+	}
+
+	pairs := AllPairs(ds, p)
+	want := []Pair{{0, 1}, {0, 2}, {1, 2}}
+	if len(pairs) != len(want) {
+		t.Fatalf("AllPairs = %v, want %v", pairs, want)
+	}
+	for i := range want {
+		if pairs[i] != want[i] {
+			t.Fatalf("AllPairs = %v, want %v", pairs, want)
+		}
+	}
+}
+
+// TestViolationsSumToWeight: the merged runs must partition the violated
+// weight exactly.
+func TestViolationsSumToWeight(t *testing.T) {
+	q := mkHistory(t, 20,
+		history.Version{Start: 0, Values: values.NewSet(1)},
+		history.Version{Start: 8, Values: values.NewSet(2)},
+		history.Version{Start: 14, Values: values.NewSet(1)},
+	)
+	a := mkHistory(t, 20, history.Version{Start: 0, Values: values.NewSet(1)})
+	ed, err := timeline.NewExponentialDecay(20, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := core.Params{Epsilon: 0, Delta: 1, Weight: ed}
+	var sum float64
+	for _, v := range Violations(q, a, p) {
+		sum += v.Weight
+	}
+	if total := ViolationWeight(q, a, p); math.Abs(sum-total) > 1e-12 {
+		t.Errorf("violation runs sum to %g, ViolationWeight = %g", sum, total)
+	}
+}

@@ -1,0 +1,326 @@
+package oracle
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"testing"
+
+	"tind/internal/bloom"
+	"tind/internal/core"
+	"tind/internal/history"
+	"tind/internal/index"
+	"tind/internal/timeline"
+)
+
+// This file holds the index-vs-oracle half of the differential harness:
+// Index.Query (forward, reverse, top-k) and AllPairsContext against the
+// exhaustive enumerators, across slice strategies, slice counts, ε/δ
+// grids and every weight family. The claim under test is that the whole
+// pruning chain — M_T/M_R Bloom pruning, time-slice pruning, the exact
+// subset pre-check — is lossless: Bloom false positives may add
+// candidates (removed by validation) but pruning must never drop a true
+// result.
+//
+// Because core and the oracle sum weights in different orders, a pair
+// whose exact violation weight lies within diffTol of ε is "borderline":
+// either answer is acceptable there. The comparators therefore check the
+// result against two oracle sets — it must contain everything strictly
+// below ε−tol and nothing strictly above ε+tol.
+
+// vioMatrix computes the oracle violation weight for every ordered
+// attribute pair, the shared ground truth for all query modes.
+func vioMatrix(ds *history.Dataset, p core.Params) [][]float64 {
+	n := ds.Len()
+	m := make([][]float64, n)
+	for qi := 0; qi < n; qi++ {
+		m[qi] = make([]float64, n)
+		for ai := 0; ai < n; ai++ {
+			if ai == qi {
+				continue
+			}
+			m[qi][ai] = ViolationWeight(ds.Attr(history.AttrID(qi)), ds.Attr(history.AttrID(ai)), p)
+		}
+	}
+	return m
+}
+
+// checkIDSet asserts got ⊇ {a : vio[a] < ε−tol} and got ⊆ {a : vio[a] ≤
+// ε+tol}, i.e. exactness modulo the borderline band.
+func checkIDSet(t *testing.T, label string, got []history.AttrID, self history.AttrID,
+	vio []float64, eps, tol float64) {
+	t.Helper()
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Fatalf("%s: result ids not ascending: %v", label, got)
+	}
+	in := make(map[history.AttrID]bool, len(got))
+	for _, id := range got {
+		if id == self {
+			t.Fatalf("%s: result contains the query attribute %d", label, self)
+		}
+		in[id] = true
+		if vio[id] > eps+tol {
+			t.Fatalf("%s: false positive %d (violation %g > ε %g)", label, id, vio[id], eps)
+		}
+	}
+	for a := range vio {
+		id := history.AttrID(a)
+		if id == self {
+			continue
+		}
+		if vio[a] < eps-tol && !in[id] {
+			t.Fatalf("%s: pruning dropped true result %d (violation %g < ε %g)", label, id, vio[a], eps)
+		}
+	}
+}
+
+// checkTopK asserts the ranking is ascending, reports violation weights
+// agreeing with the oracle, and is a true top-k modulo ties within tol.
+func checkTopK(t *testing.T, label string, got []index.Ranked, self history.AttrID,
+	vio []float64, k int, tol float64) {
+	t.Helper()
+	want := make([]float64, 0, len(vio)-1)
+	for a := range vio {
+		if history.AttrID(a) != self {
+			want = append(want, vio[a])
+		}
+	}
+	sort.Float64s(want)
+	n := k
+	if n > len(want) {
+		n = len(want)
+	}
+	if len(got) != n {
+		t.Fatalf("%s: got %d ranked results, want %d", label, len(got), n)
+	}
+	for i, r := range got {
+		if r.ID == self {
+			t.Fatalf("%s: ranking contains the query attribute %d", label, self)
+		}
+		if math.Abs(r.Violation-vio[r.ID]) > tol {
+			t.Fatalf("%s: rank %d reports violation %g for %d, oracle says %g",
+				label, i, r.Violation, r.ID, vio[r.ID])
+		}
+		if i > 0 && got[i-1].Violation > r.Violation+tol {
+			t.Fatalf("%s: ranking not ascending at %d: %g after %g", label, i, r.Violation, got[i-1].Violation)
+		}
+		if r.Violation > want[i]+tol {
+			t.Fatalf("%s: rank %d has violation %g, true %d-th smallest is %g",
+				label, i, r.Violation, i, want[i])
+		}
+	}
+}
+
+// queryScenario fixes one corpus × index shape × relaxation combination.
+type queryScenario struct {
+	seed    int64
+	attrs   int
+	horizon timeline.Time
+
+	strategy index.SliceStrategy
+	slices   int // k
+	weight   string
+	share    float64 // index ε as a share of total weight
+	delta    timeline.Time
+
+	// Query-side overrides; zero means "query with the index params".
+	// qDelta > delta and qShare > share exercise the documented fallback
+	// paths where slice (or M_R) pruning is unsound and must disengage.
+	qShare float64
+	qDelta timeline.Time
+}
+
+func (s queryScenario) name() string {
+	return fmt.Sprintf("seed%d/%v/k%d/%s/share%g/delta%d", s.seed, s.strategy, s.slices, s.weight, s.share, s.delta)
+}
+
+// queryScenarios spans strategies {Random, WeightedRandom}, k ∈ 1..8,
+// ε/δ grids and all weight families, per the correctness-harness spec.
+var queryScenarios = []queryScenario{
+	// Random strategy, k sweeping 1..8 across weight families and ε/δ.
+	{seed: 101, attrs: 12, horizon: 96, strategy: index.Random, slices: 1, weight: "uniform", share: 0, delta: 0},
+	{seed: 102, attrs: 12, horizon: 96, strategy: index.Random, slices: 2, weight: "uniform", share: 0.03, delta: 2},
+	{seed: 103, attrs: 12, horizon: 96, strategy: index.Random, slices: 3, weight: "relative", share: 0.05, delta: 1},
+	{seed: 104, attrs: 12, horizon: 96, strategy: index.Random, slices: 4, weight: "expdecay", share: 0.02, delta: 3},
+	{seed: 105, attrs: 12, horizon: 96, strategy: index.Random, slices: 5, weight: "lineardecay", share: 0.04, delta: 2},
+	{seed: 106, attrs: 12, horizon: 96, strategy: index.Random, slices: 6, weight: "prefixsum", share: 0.05, delta: 1},
+	{seed: 107, attrs: 12, horizon: 96, strategy: index.Random, slices: 7, weight: "uniform", share: 0.1, delta: 7},
+	{seed: 108, attrs: 12, horizon: 96, strategy: index.Random, slices: 8, weight: "relative", share: 0.02, delta: 0},
+	// WeightedRandom strategy, k sweeping 1..8 again.
+	{seed: 109, attrs: 12, horizon: 96, strategy: index.WeightedRandom, slices: 1, weight: "relative", share: 0.03, delta: 1},
+	{seed: 110, attrs: 12, horizon: 96, strategy: index.WeightedRandom, slices: 2, weight: "expdecay", share: 0.05, delta: 2},
+	{seed: 111, attrs: 12, horizon: 96, strategy: index.WeightedRandom, slices: 3, weight: "uniform", share: 0, delta: 3},
+	{seed: 112, attrs: 12, horizon: 96, strategy: index.WeightedRandom, slices: 4, weight: "prefixsum", share: 0.04, delta: 2},
+	{seed: 113, attrs: 12, horizon: 96, strategy: index.WeightedRandom, slices: 5, weight: "uniform", share: 0.08, delta: 5},
+	{seed: 114, attrs: 12, horizon: 96, strategy: index.WeightedRandom, slices: 6, weight: "lineardecay", share: 0.03, delta: 1},
+	{seed: 115, attrs: 12, horizon: 96, strategy: index.WeightedRandom, slices: 7, weight: "relative", share: 0.06, delta: 4},
+	{seed: 116, attrs: 12, horizon: 96, strategy: index.WeightedRandom, slices: 8, weight: "expdecay", share: 0.02, delta: 2},
+	// Different corpus shapes: more attributes, longer horizons.
+	{seed: 117, attrs: 18, horizon: 80, strategy: index.Random, slices: 4, weight: "uniform", share: 0.04, delta: 2},
+	{seed: 118, attrs: 18, horizon: 80, strategy: index.WeightedRandom, slices: 4, weight: "lineardecay", share: 0.05, delta: 3},
+	{seed: 119, attrs: 10, horizon: 150, strategy: index.Random, slices: 6, weight: "prefixsum", share: 0.03, delta: 2},
+	{seed: 120, attrs: 10, horizon: 150, strategy: index.WeightedRandom, slices: 6, weight: "uniform", share: 0.06, delta: 7},
+	// Fallback paths: query δ above the index δ (slice pruning must
+	// disengage) and query ε above the index ε (reverse M_R pruning and
+	// slice pruning must disengage). Results must stay exact either way.
+	{seed: 121, attrs: 12, horizon: 96, strategy: index.Random, slices: 4, weight: "uniform", share: 0.03, delta: 1, qDelta: 5},
+	{seed: 122, attrs: 12, horizon: 96, strategy: index.WeightedRandom, slices: 4, weight: "uniform", share: 0.02, delta: 2, qShare: 0.08},
+	{seed: 123, attrs: 12, horizon: 96, strategy: index.Random, slices: 2, weight: "relative", share: 0.02, delta: 0, qShare: 0.07, qDelta: 3},
+	// Tight Bloom filters (m = 64) to force heavy false-positive load
+	// through the exact stages.
+	{seed: 124, attrs: 14, horizon: 96, strategy: index.WeightedRandom, slices: 3, weight: "uniform", share: 0.04, delta: 2},
+}
+
+// TestQueryMatchesOracle is the pruning-losslessness check: for every
+// scenario, build the index, compute the oracle's violation matrix, and
+// compare every mode's answers for every attribute.
+func TestQueryMatchesOracle(t *testing.T) {
+	for _, s := range queryScenarios {
+		s := s
+		t.Run(s.name(), func(t *testing.T) {
+			t.Parallel()
+			ds := genDataset(t, s.seed, s.attrs, s.horizon)
+			w := diffWeights(t, s.horizon)[s.weight]
+			total := w.Sum(timeline.NewInterval(0, s.horizon))
+			tol := diffTol(w)
+			idxP := core.Params{Epsilon: s.share * total, Delta: s.delta, Weight: w}
+			m := bloom.Params{M: 256, K: 2}
+			if s.seed == 124 {
+				m = bloom.Params{M: 64, K: 2}
+			}
+			idx, err := index.Build(ds, index.Options{
+				Bloom:    m,
+				Slices:   s.slices,
+				Strategy: s.strategy,
+				Params:   idxP,
+				Reverse:  true,
+				Seed:     s.seed,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			qP := idxP
+			if s.qShare != 0 {
+				qP.Epsilon = s.qShare * total
+			}
+			if s.qDelta != 0 {
+				qP.Delta = s.qDelta
+			}
+			vio := vioMatrix(ds, qP)
+			ctx := context.Background()
+
+			for qi := 0; qi < ds.Len(); qi++ {
+				self := history.AttrID(qi)
+				q := ds.Attr(self)
+
+				res, err := idx.Query(ctx, q, index.QueryOptions{Mode: index.ModeForward, Params: qP})
+				if err != nil {
+					t.Fatal(err)
+				}
+				checkIDSet(t, fmt.Sprintf("forward q=%d", qi), res.IDs, self, vio[qi], qP.Epsilon, tol)
+
+				res, err = idx.Query(ctx, q, index.QueryOptions{Mode: index.ModeReverse, Params: qP})
+				if err != nil {
+					t.Fatal(err)
+				}
+				rvio := make([]float64, ds.Len())
+				for a := 0; a < ds.Len(); a++ {
+					rvio[a] = vio[a][qi]
+				}
+				checkIDSet(t, fmt.Sprintf("reverse q=%d", qi), res.IDs, self, rvio, qP.Epsilon, tol)
+			}
+
+			// Top-k for a sample of query attributes and k values.
+			for _, qi := range []int{0, ds.Len() / 2, ds.Len() - 1} {
+				self := history.AttrID(qi)
+				for _, k := range []int{1, 3, ds.Len()} {
+					res, err := idx.Query(ctx, ds.Attr(self), index.QueryOptions{
+						Mode: index.ModeTopK, Params: qP, K: k,
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					checkTopK(t, fmt.Sprintf("topk q=%d k=%d", qi, k), res.Ranked, self, vio[qi], k, tol)
+				}
+			}
+
+			// All-pairs discovery against the exhaustive enumeration.
+			pairs, err := idx.AllPairsContext(ctx, qP, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := make(map[index.Pair]bool, len(pairs))
+			for _, pr := range pairs {
+				if pr.LHS == pr.RHS {
+					t.Fatalf("all-pairs: self pair %v", pr)
+				}
+				if got[pr] {
+					t.Fatalf("all-pairs: duplicate pair %v", pr)
+				}
+				got[pr] = true
+				if vio[pr.LHS][pr.RHS] > qP.Epsilon+tol {
+					t.Fatalf("all-pairs: false positive %v (violation %g > ε %g)",
+						pr, vio[pr.LHS][pr.RHS], qP.Epsilon)
+				}
+			}
+			for qi := range vio {
+				for ai := range vio[qi] {
+					if ai == qi {
+						continue
+					}
+					pr := index.Pair{LHS: history.AttrID(qi), RHS: history.AttrID(ai)}
+					if vio[qi][ai] < qP.Epsilon-tol && !got[pr] {
+						t.Fatalf("all-pairs: pruning dropped true pair %v (violation %g < ε %g)",
+							pr, vio[qi][ai], qP.Epsilon)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestTruthEnumeratorsAgreeWithIndex cross-checks the enumerators of
+// truth.go directly against the index on one scenario — the enumerators
+// are what the fuzz targets trust, so they get their own differential.
+func TestTruthEnumeratorsAgreeWithIndex(t *testing.T) {
+	const horizon = timeline.Time(96)
+	ds := genDataset(t, 55, 12, horizon)
+	w := timeline.Uniform(horizon)
+	p := core.Params{Epsilon: 3, Delta: 2, Weight: w}
+	idx, err := index.Build(ds, index.Options{
+		Bloom:   bloom.Params{M: 256, K: 2},
+		Slices:  4,
+		Params:  p,
+		Reverse: true,
+		Seed:    55,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tol := diffTol(w)
+	vio := vioMatrix(ds, p)
+	borderline := func(qi int) bool {
+		for ai := range vio[qi] {
+			if ai != qi && math.Abs(vio[qi][ai]-p.Epsilon) <= tol {
+				return true
+			}
+		}
+		return false
+	}
+	for qi := 0; qi < ds.Len(); qi++ {
+		if borderline(qi) {
+			continue
+		}
+		q := ds.Attr(history.AttrID(qi))
+		res, err := idx.Search(q, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := ForwardSet(ds, q, p)
+		if fmt.Sprint(res.IDs) != fmt.Sprint(want) {
+			t.Fatalf("q=%d: index forward %v, enumerator %v", qi, res.IDs, want)
+		}
+	}
+}

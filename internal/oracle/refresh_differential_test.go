@@ -1,0 +1,156 @@
+package oracle
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"tind/internal/bloom"
+	"tind/internal/core"
+	"tind/internal/history"
+	"tind/internal/index"
+	"tind/internal/timeline"
+	"tind/internal/values"
+)
+
+// TestRefreshMatchesRebuild: appending new observation days and calling
+// Index.Refresh must answer every subsequent query exactly like a fresh
+// Build over the extended dataset — and both must match the oracle. The
+// appended versions deliberately mix value drops, foreign-value
+// injections (new violations) and pure observation extensions, across
+// several seeds.
+func TestRefreshMatchesRebuild(t *testing.T) {
+	for _, seed := range []int64{5, 19, 77} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			const (
+				oldHorizon = timeline.Time(80)
+				newHorizon = timeline.Time(100)
+			)
+			ds := genDataset(t, seed, 12, oldHorizon)
+			opt := index.Options{
+				Bloom:   bloom.Params{M: 256, K: 2},
+				Slices:  4,
+				Params:  core.Params{Epsilon: 3, Delta: 2, Weight: timeline.Uniform(oldHorizon)},
+				Reverse: true,
+				Seed:    seed,
+			}
+			refreshed, err := index.Build(ds, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Evolve the dataset: extend the horizon, then append a new
+			// version (or just more observation days) to a changing subset
+			// of attributes. Injecting a neighbor's values creates fresh
+			// containments; dropping values creates fresh violations.
+			if err := ds.ExtendHorizon(newHorizon); err != nil {
+				t.Fatal(err)
+			}
+			r := rand.New(rand.NewSource(seed))
+			var changed []history.AttrID
+			for id := 0; id < ds.Len(); id++ {
+				h := ds.Attr(history.AttrID(id))
+				if r.Intn(3) == 0 {
+					continue // left alone: unobservable on the new days
+				}
+				start := h.ObservedUntil()
+				switch r.Intn(3) {
+				case 0:
+					if err := h.ExtendObservation(newHorizon); err != nil {
+						t.Fatal(err)
+					}
+				case 1:
+					vals := h.At(start - 1)
+					donor := ds.Attr(history.AttrID(r.Intn(ds.Len()))).AllValues()
+					if donor.Len() > 0 {
+						vals = vals.Union(values.NewSet(donor[r.Intn(donor.Len())]))
+					}
+					if err := h.Append(start, vals, newHorizon); err != nil {
+						t.Fatal(err)
+					}
+				default:
+					vals := h.At(start - 1)
+					if vals.Len() > 1 {
+						vals = vals[:vals.Len()-1]
+					}
+					if err := h.Append(start, vals, newHorizon); err != nil {
+						t.Fatal(err)
+					}
+				}
+				changed = append(changed, history.AttrID(id))
+			}
+			if err := refreshed.Refresh(changed, newHorizon); err != nil {
+				t.Fatal(err)
+			}
+
+			opt.Params.Weight = timeline.Uniform(newHorizon)
+			rebuilt, err := index.Build(ds, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Queries after Refresh use the refreshed weighting, which is
+			// value-equal to Uniform(newHorizon) (Constant is comparable),
+			// so reverse slice pruning stays engaged on both indexes.
+			p := core.Params{Epsilon: 3, Delta: 2, Weight: timeline.Uniform(newHorizon)}
+			tol := diffTol(p.Weight)
+			vio := vioMatrix(ds, p)
+			ctx := context.Background()
+			for qi := 0; qi < ds.Len(); qi++ {
+				self := history.AttrID(qi)
+				q := ds.Attr(self)
+				for _, mode := range []index.Mode{index.ModeForward, index.ModeReverse} {
+					a, err := refreshed.Query(ctx, q, index.QueryOptions{Mode: mode, Params: p})
+					if err != nil {
+						t.Fatal(err)
+					}
+					b, err := rebuilt.Query(ctx, q, index.QueryOptions{Mode: mode, Params: p})
+					if err != nil {
+						t.Fatal(err)
+					}
+					// Refresh-vs-rebuild is exact: both validate with the
+					// same core code, so not even borderline float noise
+					// may separate them.
+					if fmt.Sprint(a.IDs) != fmt.Sprint(b.IDs) {
+						t.Fatalf("q=%d %v: refreshed %v, rebuilt %v", qi, mode, a.IDs, b.IDs)
+					}
+					dir := vio[qi]
+					if mode == index.ModeReverse {
+						dir = make([]float64, ds.Len())
+						for ai := 0; ai < ds.Len(); ai++ {
+							dir[ai] = vio[ai][qi]
+						}
+					}
+					checkIDSet(t, fmt.Sprintf("refreshed q=%d %v", qi, mode), a.IDs, self, dir, p.Epsilon, tol)
+				}
+			}
+
+			// Top-k parity on a sample.
+			for _, qi := range []int{0, ds.Len() - 1} {
+				q := ds.Attr(history.AttrID(qi))
+				a, err := refreshed.Query(ctx, q, index.QueryOptions{Mode: index.ModeTopK, Params: p, K: 5})
+				if err != nil {
+					t.Fatal(err)
+				}
+				b, err := rebuilt.Query(ctx, q, index.QueryOptions{Mode: index.ModeTopK, Params: p, K: 5})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(a.Ranked) != len(b.Ranked) {
+					t.Fatalf("q=%d topk: refreshed %d results, rebuilt %d", qi, len(a.Ranked), len(b.Ranked))
+				}
+				for i := range a.Ranked {
+					if a.Ranked[i].ID != b.Ranked[i].ID ||
+						math.Abs(a.Ranked[i].Violation-b.Ranked[i].Violation) > tol {
+						t.Fatalf("q=%d topk rank %d: refreshed %+v, rebuilt %+v",
+							qi, i, a.Ranked[i], b.Ranked[i])
+					}
+				}
+			}
+		})
+	}
+}

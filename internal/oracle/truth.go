@@ -1,0 +1,98 @@
+package oracle
+
+import (
+	"sort"
+
+	"tind/internal/core"
+	"tind/internal/history"
+)
+
+// This file enumerates ground truth the exhaustive way: every attribute
+// (or attribute pair) is validated with the per-timestamp oracle, with no
+// candidate pruning of any kind. The enumerators mirror the index's
+// query modes so differential tests can demand bit-for-bit agreement:
+// self-pairs are excluded exactly like index.Index does (an attribute
+// registered with the dataset never matches itself; an ad-hoc query
+// history matches everything).
+
+// Pair is a discovered dependency LHS ⊆_{w,ε,δ} RHS.
+type Pair struct {
+	LHS, RHS history.AttrID
+}
+
+// Ranked is one top-k entry: an attribute and the exact violation weight
+// of Q ⊆_{w,·,δ} A.
+type Ranked struct {
+	ID        history.AttrID
+	Violation float64
+}
+
+// ForwardSet returns every A ∈ D \ {Q} with Q ⊆_{w,ε,δ} A, ascending —
+// the ground truth for forward search (Definition 3.7).
+func ForwardSet(ds *history.Dataset, q *history.History, p core.Params) []history.AttrID {
+	var out []history.AttrID
+	for _, a := range ds.Attrs() {
+		if a == q {
+			continue
+		}
+		if Holds(q, a, p) {
+			out = append(out, a.ID())
+		}
+	}
+	return out
+}
+
+// ReverseSet returns every A ∈ D \ {Q} with A ⊆_{w,ε,δ} Q, ascending —
+// the ground truth for reverse search (Definition 3.8).
+func ReverseSet(ds *history.Dataset, q *history.History, p core.Params) []history.AttrID {
+	var out []history.AttrID
+	for _, a := range ds.Attrs() {
+		if a == q {
+			continue
+		}
+		if Holds(a, q, p) {
+			out = append(out, a.ID())
+		}
+	}
+	return out
+}
+
+// TopK ranks every attribute by the exact violation weight of
+// Q ⊆_{w,·,δ} A (ascending, ties by id) and returns the first k. Epsilon
+// plays no role: the ranking is global.
+func TopK(ds *history.Dataset, q *history.History, p core.Params, k int) []Ranked {
+	var all []Ranked
+	for _, a := range ds.Attrs() {
+		if a == q {
+			continue
+		}
+		all = append(all, Ranked{ID: a.ID(), Violation: ViolationWeight(q, a, p)})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Violation != all[j].Violation {
+			return all[i].Violation < all[j].Violation
+		}
+		return all[i].ID < all[j].ID
+	})
+	if k < len(all) {
+		all = all[:k]
+	}
+	return all
+}
+
+// AllPairs enumerates the complete tIND set of the dataset by validating
+// all |D|·(|D|−1) ordered pairs, sorted by LHS then RHS.
+func AllPairs(ds *history.Dataset, p core.Params) []Pair {
+	var out []Pair
+	for _, q := range ds.Attrs() {
+		for _, a := range ds.Attrs() {
+			if a == q {
+				continue
+			}
+			if Holds(q, a, p) {
+				out = append(out, Pair{LHS: q.ID(), RHS: a.ID()})
+			}
+		}
+	}
+	return out
+}

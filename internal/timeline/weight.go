@@ -90,19 +90,35 @@ func (e ExponentialDecay) Weight(t Time) float64 {
 	if t < 0 || t >= e.N {
 		return 0
 	}
+	if e.A >= 1 { // degenerate constant-1 case, matching Sum
+		return 1
+	}
 	return math.Pow(e.A, float64(e.N-t))
 }
 
 // Sum implements WeightFunc in O(1) via the geometric closed form:
 //
 //	Σ_{t=i..j} a^(n−t) = a^(n−j) · (1 − a^(j−i+1)) / (1 − a)
+//
+// evaluated in log space. The naive factored form underflows for old
+// intervals at large horizons — a^(n−j) hits 0 even when the whole sum is
+// still representable — which made Sum disagree with Σ Weight(t) and let
+// weighted slice pruning drift from validation. Combining the exponents
+// before the single Exp keeps the result exact to rounding as long as the
+// mathematical value is representable; Expm1 avoids the 1 − a^len
+// cancellation for bases close to 1.
 func (e ExponentialDecay) Sum(i Interval) float64 {
 	i = i.Clamp(e.N)
 	if i.IsEmpty() {
 		return 0
 	}
-	lo, hi := float64(i.Start), float64(i.End-1) // closed [lo, hi]
-	return math.Pow(e.A, float64(e.N)-hi) * (1 - math.Pow(e.A, hi-lo+1)) / (1 - e.A)
+	if e.A >= 1 { // degenerate constant-1 case, matching Weight
+		return float64(i.Len())
+	}
+	lna := math.Log(e.A)
+	lead := float64(e.N-(i.End-1)) * lna                        // log a^(n−j)
+	ratio := math.Expm1(float64(i.Len())*lna) / math.Expm1(lna) // (1−a^len)/(1−a) ≥ 1
+	return math.Exp(lead + math.Log(ratio))
 }
 
 // Horizon implements WeightFunc.

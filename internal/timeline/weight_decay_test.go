@@ -1,0 +1,121 @@
+package timeline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// naiveSum is the oracle: Σ Weight(t) over the interval, one timestamp at
+// a time. Deliberately has nothing in common with the closed form.
+func naiveSum(w WeightFunc, i Interval) float64 {
+	var s float64
+	for t := i.Start; t < i.End; t++ {
+		s += w.Weight(t)
+	}
+	return s
+}
+
+func approxEqual(a, b float64) bool {
+	diff := math.Abs(a - b)
+	return diff <= 1e-9*(1+math.Max(math.Abs(a), math.Abs(b)))
+}
+
+// TestExponentialDecaySumMatchesWeights is the oracle-backed property the
+// satellite fix is pinned by: the closed-form Sum must agree with the
+// per-timestamp weight sum across horizons up to 10⁵, including the old
+// underflow regime (large n − End, where the factored form collapsed the
+// a^(n−j) lead factor to 0).
+func TestExponentialDecaySumMatchesWeights(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for _, n := range []Time{1, 17, 400, 1000, 10000, 100000} {
+		for _, a := range []float64{0.1, 0.5, 0.9, 0.99, 0.999, 0.9999} {
+			e, err := NewExponentialDecay(n, a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ivs := []Interval{
+				{Start: 0, End: n},           // full horizon
+				{Start: 0, End: 1},           // oldest timestamp alone
+				{Start: n - 1, End: n},       // newest timestamp alone
+				{Start: -5, End: n + 5},      // clamping
+				{Start: n / 2, End: n / 2},   // empty
+				{Start: 0, End: (n + 1) / 2}, // old half
+				{Start: n / 2, End: n},       // recent half
+			}
+			for k := 0; k < 6; k++ {
+				s := Time(r.Intn(int(n)))
+				ivs = append(ivs, Interval{Start: s, End: s + 1 + Time(r.Intn(int(n-s)))})
+			}
+			for _, iv := range ivs {
+				got := e.Sum(iv)
+				want := naiveSum(e, iv.Clamp(n))
+				if !approxEqual(got, want) {
+					t.Errorf("n=%d a=%g Sum(%v)=%g, Σ Weight=%g", n, a, iv, got, want)
+				}
+				if got < 0 || math.IsNaN(got) || math.IsInf(got, 0) {
+					t.Fatalf("n=%d a=%g Sum(%v)=%g not finite/non-negative", n, a, iv, got)
+				}
+			}
+		}
+	}
+}
+
+// TestExponentialDecaySumAdditive checks the property weighted pruning
+// leans on: violation weight accumulated over adjacent sub-intervals must
+// equal the weight of their union, so per-slice partial sums never
+// overshoot what validation would compute.
+func TestExponentialDecaySumAdditive(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for _, n := range []Time{100, 10000, 100000} {
+		for _, a := range []float64{0.5, 0.97, 0.9999} {
+			e, err := NewExponentialDecay(n, a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for trial := 0; trial < 40; trial++ {
+				s := Time(r.Intn(int(n)))
+				m := s + Time(r.Intn(int(n-s)+1))
+				end := m + Time(r.Intn(int(n-m)+1))
+				whole := e.Sum(NewInterval(s, end))
+				parts := e.Sum(NewInterval(s, m)) + e.Sum(NewInterval(m, end))
+				if !approxEqual(whole, parts) {
+					t.Errorf("n=%d a=%g: Sum[%d,%d)=%g but split at %d gives %g", n, a, s, end, whole, m, parts)
+				}
+			}
+		}
+	}
+}
+
+// TestExponentialDecaySumMonotone: Sum([s, e)) must be non-decreasing in e
+// — the invariant sliceLength's binary search assumes.
+func TestExponentialDecaySumMonotone(t *testing.T) {
+	e, err := NewExponentialDecay(100000, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0.0
+	for _, end := range []Time{1, 10, 100, 1000, 10000, 50000, 99999, 100000} {
+		got := e.Sum(NewInterval(0, end))
+		if got < prev {
+			t.Fatalf("Sum([0,%d))=%g decreased below %g", end, got, prev)
+		}
+		prev = got
+	}
+	if last := e.Sum(NewInterval(0, 100000)); last <= 0 {
+		t.Fatalf("full-horizon sum must be positive, got %g", last)
+	}
+}
+
+// TestExponentialDecayDegenerateBase: bases at or above 1 (only reachable
+// by constructing the struct directly) degrade to the documented constant
+// weighting, for Weight and Sum alike.
+func TestExponentialDecayDegenerateBase(t *testing.T) {
+	e := ExponentialDecay{N: 50, A: 1}
+	if w := e.Weight(10); w != 1 {
+		t.Errorf("Weight(10)=%g under a=1, want 1", w)
+	}
+	if s := e.Sum(NewInterval(5, 25)); s != 20 {
+		t.Errorf("Sum([5,25))=%g under a=1, want 20", s)
+	}
+}
