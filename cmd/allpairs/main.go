@@ -25,8 +25,16 @@ import (
 	"tind/internal/index"
 	"tind/internal/many"
 	"tind/internal/obs"
+	"tind/internal/shard"
 	"tind/internal/timeline"
 )
+
+// discoverer is the slice of the query contract this command needs; both
+// the monolithic index.Index and shard.ShardedIndex satisfy it.
+type discoverer interface {
+	AllPairsContext(ctx context.Context, p core.Params, workers int) ([]index.Pair, error)
+	Stats() index.BuildStats
+}
 
 func main() {
 	var (
@@ -36,6 +44,7 @@ func main() {
 		eps     = flag.Float64("eps", 3, "ε in days (uniform weighting)")
 		delta   = flag.Int("delta", 7, "δ in days")
 		workers = flag.Int("workers", 0, "query workers (0 = all cores)")
+		shards  = flag.Int("shards", 1, "discover through a sharded scatter-gather index with this many shards (1 = monolithic)")
 		doPrint = flag.Bool("print", false, "print every discovered tIND")
 		timeout = flag.Duration("timeout", 0, "abort discovery after this long (0 = no limit)")
 		metrics = flag.Bool("metrics", false, "dump the collected metrics to stderr on exit (Prometheus text format)")
@@ -69,12 +78,23 @@ func main() {
 	opt.Params = p
 	opt.Seed = *seed
 	start := time.Now()
-	idx, err := index.Build(ds, opt)
+	var idx discoverer
+	if *shards > 1 {
+		idx, err = shard.Build(ds, shard.Options{
+			Shards: *shards, Seed: *seed, Index: shard.PartitionOptions(opt, *shards),
+		})
+	} else {
+		idx, err = index.Build(ds, opt)
+	}
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "index built over %d attributes in %v (%.1f MB)\n",
-		ds.Len(), time.Since(start).Round(time.Millisecond),
+	engine := "index"
+	if *shards > 1 {
+		engine = fmt.Sprintf("%d-shard index", *shards)
+	}
+	fmt.Fprintf(os.Stderr, "%s built over %d attributes in %v (%.1f MB)\n",
+		engine, ds.Len(), time.Since(start).Round(time.Millisecond),
 		float64(idx.Stats().MemoryBytes)/(1<<20))
 
 	pairs, err := idx.AllPairsContext(ctx, p, *workers)

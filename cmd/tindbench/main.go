@@ -43,7 +43,8 @@ func main() {
 		k           = flag.Int("k", 10, "K for the top-k scenario")
 		eps         = flag.Float64("eps", 3, "ε in days")
 		delta       = flag.Int("delta", 7, "δ in days")
-		repeat      = flag.Int("repeat", 1, "runs per scenario; the fastest is reported")
+		repeat      = flag.Int("repeat", 1, "runs per scenario; timing reports the fastest, memory the worst")
+		shards      = flag.Int("shards", 4, "shard count for the shard_build/shard_query scenarios")
 		allpairsMax = flag.Int("allpairs-max", 2000, "run the all-pairs scenario only up to this corpus size (0 = never)")
 		list        = flag.Bool("list", false, "print the scenario names this flag set would run, then exit")
 		baseline    = flag.String("baseline", "", "compare against a previous report and gate on regressions")
@@ -53,7 +54,7 @@ func main() {
 	)
 	flag.Parse()
 
-	cfg, err := parseConfig(*sizes, *seed, *horizon, *queries, *topkQueries, *k, *eps, *delta, *repeat, *allpairsMax)
+	cfg, err := parseConfig(*sizes, *seed, *horizon, *queries, *topkQueries, *k, *eps, *delta, *repeat, *allpairsMax, *shards)
 	if err != nil {
 		fatal(err)
 	}
@@ -109,10 +110,11 @@ func main() {
 
 // parseConfig validates the benchmark matrix flags.
 func parseConfig(sizesCSV string, seed int64, horizon, queries, topkQueries, k int,
-	eps float64, delta, repeat, allpairsMax int) (benchConfig, error) {
+	eps float64, delta, repeat, allpairsMax, shards int) (benchConfig, error) {
 	cfg := benchConfig{
 		Seed: seed, Horizon: horizon, Queries: queries, TopKQueries: topkQueries,
 		K: k, Eps: eps, Delta: delta, Repeat: repeat, AllPairsMax: allpairsMax,
+		Shards: shards,
 	}
 	for _, f := range strings.Split(sizesCSV, ",") {
 		f = strings.TrimSpace(f)
@@ -128,7 +130,7 @@ func parseConfig(sizesCSV string, seed int64, horizon, queries, topkQueries, k i
 	if len(cfg.Sizes) == 0 {
 		return cfg, fmt.Errorf("-sizes is empty")
 	}
-	if horizon <= 0 || queries <= 0 || topkQueries < 0 || k <= 0 || repeat <= 0 {
+	if horizon <= 0 || queries <= 0 || topkQueries < 0 || k <= 0 || repeat <= 0 || shards <= 0 {
 		return cfg, fmt.Errorf("non-positive matrix flag")
 	}
 	return cfg, nil

@@ -6,6 +6,7 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+	"time"
 
 	"tind/internal/obs"
 )
@@ -14,7 +15,7 @@ func tinyConfig() benchConfig {
 	return benchConfig{
 		Sizes: []int{60}, Seed: 7, Horizon: 300,
 		Queries: 5, TopKQueries: 2, K: 3,
-		Eps: 3, Delta: 7, Repeat: 1, AllPairsMax: 100,
+		Eps: 3, Delta: 7, Repeat: 1, AllPairsMax: 100, Shards: 4,
 	}
 }
 
@@ -146,7 +147,7 @@ func mkReport(ns int64, exactChecks float64) *Report {
 	return &Report{
 		Format: reportFormat,
 		Scenarios: []Scenario{
-			{Name: "query/forward/500", Ops: 10, WallNs: ns * 10, NsPerOp: ns, Obs: snap},
+			{Name: "query/forward/500", Ops: 10, WallNs: ns * 10, NsPerOp: float64(ns), Obs: snap},
 		},
 	}
 }
@@ -218,7 +219,7 @@ func TestReportRoundTrip(t *testing.T) {
 }
 
 func TestParseConfig(t *testing.T) {
-	cfg, err := parseConfig("500, 2000", 1, 1500, 40, 8, 10, 3, 7, 1, 2000)
+	cfg, err := parseConfig("500, 2000", 1, 1500, 40, 8, 10, 3, 7, 1, 2000, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -226,8 +227,96 @@ func TestParseConfig(t *testing.T) {
 		t.Fatalf("sizes = %v", cfg.Sizes)
 	}
 	for _, bad := range []string{"", "abc", "0", "-5"} {
-		if _, err := parseConfig(bad, 1, 1500, 40, 8, 10, 3, 7, 1, 2000); err == nil {
+		if _, err := parseConfig(bad, 1, 1500, 40, 8, 10, 3, 7, 1, 2000, 4); err == nil {
 			t.Errorf("parseConfig(%q) accepted", bad)
 		}
+	}
+	if _, err := parseConfig("500", 1, 1500, 40, 8, 10, 3, 7, 1, 2000, 0); err == nil {
+		t.Error("parseConfig accepted a zero shard count")
+	}
+}
+
+// TestScenarioNsPerOpNotTruncated: with more ops than nanoseconds of
+// wall time, integer division would truncate ns/op to zero and every
+// downstream gate on it would silently pass. The per-op figure must stay
+// a positive float no matter the op count.
+func TestScenarioNsPerOpNotTruncated(t *testing.T) {
+	b := &bench{cfg: benchConfig{Repeat: 1}, sampler: obs.NewRuntimeSampler(obs.Default()), log: io.Discard}
+	sc, err := b.scenario("x", 1<<40, func() error {
+		time.Sleep(2 * time.Millisecond)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(sc.NsPerOp > 0) {
+		t.Fatalf("ns/op = %v for %d ops over %d ns wall; truncated to nothing", sc.NsPerOp, sc.Ops, sc.WallNs)
+	}
+}
+
+// TestCompareGatesZeroNsPerOpBaseline: a baseline row whose ns/op
+// truncated to zero (the bug above, as written by older runs) must not
+// disarm the wall gate — the comparison falls back to the wall-time
+// ratio. And when a row has no usable timing at all, the skip is printed,
+// never silent.
+func TestCompareGatesZeroNsPerOpBaseline(t *testing.T) {
+	g := gateConfig{tolerance: 0.10}
+	base := mkReport(100, 50)
+	base.Scenarios[0].NsPerOp = 0
+	cur := mkReport(150, 50)
+	cur.Scenarios[0].NsPerOp = 0
+	regs, _ := compare(cur, base, g)
+	if len(regs) != 1 {
+		t.Fatalf("50%% wall regression hidden behind zero ns/op: regs=%v", regs)
+	}
+
+	base = mkReport(100, 50)
+	base.Scenarios[0].NsPerOp = 0
+	base.Scenarios[0].WallNs = 0
+	regs, notes := compare(mkReport(150, 50), base, g)
+	if len(regs) != 0 {
+		t.Fatalf("untimeable baseline row must not regress: %v", regs)
+	}
+	skipNoted := false
+	for _, n := range notes {
+		if strings.Contains(n, "skip") {
+			skipNoted = true
+		}
+	}
+	if !skipNoted {
+		t.Fatalf("skipped wall gate not announced in notes: %v", notes)
+	}
+}
+
+// TestRepeatSplitsMinTimingMaxMemory: with -repeat N the timing columns
+// must come from the fastest repetition while the memory columns keep
+// the worst repetition — a fast run with a bloated heap must not launder
+// its footprint through another repetition's numbers.
+func TestRepeatSplitsMinTimingMaxMemory(t *testing.T) {
+	b := &bench{cfg: benchConfig{Repeat: 2}, sampler: obs.NewRuntimeSampler(obs.Default()), log: io.Discard}
+	var rep int
+	var sink []byte
+	sc, err := b.scenario("x", 1, func() error {
+		rep++
+		if rep == 1 {
+			sink = make([]byte, 32<<20) // slow, allocation-heavy repetition
+			time.Sleep(40 * time.Millisecond)
+		} else {
+			time.Sleep(2 * time.Millisecond)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = sink
+	if sc.WallNs >= (30 * time.Millisecond).Nanoseconds() {
+		t.Fatalf("wall %d ns reports the slow repetition, want the fastest", sc.WallNs)
+	}
+	if sc.BytesPerOp < 32<<20 {
+		t.Fatalf("bytes/op %d dropped the heavy repetition's allocations, want max across repeats", sc.BytesPerOp)
+	}
+	if sc.PeakHeapBytes < 32<<20 {
+		t.Fatalf("peak heap %d dropped the heavy repetition, want max across repeats", sc.PeakHeapBytes)
 	}
 }

@@ -26,18 +26,25 @@ type Report struct {
 	Seed       int64      `json:"seed"`
 	Horizon    int        `json:"horizon_days"`
 	Sizes      []int      `json:"sizes"`
+	Shards     int        `json:"shards,omitempty"`
 	Scenarios  []Scenario `json:"scenarios"`
 }
 
-// Scenario is one measured pipeline stage at one corpus size.
+// Scenario is one measured pipeline stage at one corpus size. With
+// -repeat N the timing fields (WallNs, NsPerOp, Obs) come from the
+// fastest repetition while the memory fields (BytesPerOp, AllocsPerOp,
+// PeakHeapBytes) keep the worst repetition — see DESIGN.md §7.3.
 type Scenario struct {
-	Name          string `json:"name"`
-	Ops           int64  `json:"ops"`
-	WallNs        int64  `json:"wall_ns"`
-	NsPerOp       int64  `json:"ns_per_op"`
-	BytesPerOp    int64  `json:"bytes_per_op"`
-	AllocsPerOp   int64  `json:"allocs_per_op"`
-	PeakHeapBytes uint64 `json:"peak_heap_bytes"`
+	Name string `json:"name"`
+	Ops  int64  `json:"ops"`
+	// WallNs is the fastest repetition's wall time; NsPerOp is that wall
+	// time divided per op as a float, so high-op scenarios never truncate
+	// to zero and disarm the gate.
+	WallNs        int64   `json:"wall_ns"`
+	NsPerOp       float64 `json:"ns_per_op"`
+	BytesPerOp    int64   `json:"bytes_per_op"`
+	AllocsPerOp   int64   `json:"allocs_per_op"`
+	PeakHeapBytes uint64  `json:"peak_heap_bytes"`
 	// Obs is the scenario-scoped diff of the process metric registry:
 	// what this scenario alone did to the candidate funnels, fill
 	// ratios, persist volume and GC activity.
@@ -198,16 +205,33 @@ func compare(cur, base *Report, g gateConfig) (regressions, notes []string) {
 			continue
 		}
 		tol := g.toleranceFor(sc.Name)
-		if sc.WallNs >= g.minWallNs && bs.WallNs >= g.minWallNs && bs.NsPerOp > 0 {
-			ratio := float64(sc.NsPerOp) / float64(bs.NsPerOp)
+		if sc.WallNs >= g.minWallNs && bs.WallNs >= g.minWallNs {
+			// Prefer the per-op ratio; fall back to the raw wall ratio when
+			// either side's ns/op is unusable (e.g. a baseline written by an
+			// older run whose integer division truncated it to zero). A row
+			// with no usable timing at all is skipped loudly, never silently.
+			ratio, metric := 0.0, ""
 			switch {
+			case bs.NsPerOp > 0 && sc.NsPerOp > 0:
+				ratio = sc.NsPerOp / bs.NsPerOp
+				metric = fmt.Sprintf("%.0f ns/op vs baseline %.0f", sc.NsPerOp, bs.NsPerOp)
+			case bs.WallNs > 0 && sc.WallNs > 0:
+				ratio = float64(sc.WallNs) / float64(bs.WallNs)
+				metric = fmt.Sprintf("%d ns wall vs baseline %d", sc.WallNs, bs.WallNs)
+			default:
+				notes = append(notes, fmt.Sprintf(
+					"%s: no usable timing (cur %d ns / baseline %d ns); wall gate skipped",
+					sc.Name, sc.WallNs, bs.WallNs))
+			}
+			switch {
+			case ratio == 0:
 			case ratio > 1+tol:
 				regressions = append(regressions, fmt.Sprintf(
-					"%s: %d ns/op vs baseline %d (%+.1f%%, tolerance %.0f%%)",
-					sc.Name, sc.NsPerOp, bs.NsPerOp, 100*(ratio-1), 100*tol))
+					"%s: %s (%+.1f%%, tolerance %.0f%%)",
+					sc.Name, metric, 100*(ratio-1), 100*tol))
 			case ratio < 1-tol:
-				notes = append(notes, fmt.Sprintf("%s: improved %d → %d ns/op (%.1f%%)",
-					sc.Name, bs.NsPerOp, sc.NsPerOp, 100*(1-ratio)))
+				notes = append(notes, fmt.Sprintf("%s: improved — %s (%.1f%%)",
+					sc.Name, metric, 100*(1-ratio)))
 			}
 		}
 		for _, cname := range gatedCounters {

@@ -69,6 +69,7 @@ import (
 	"tind/internal/obs"
 	"tind/internal/persist"
 	"tind/internal/sem"
+	"tind/internal/shard"
 	"tind/internal/timeline"
 )
 
@@ -120,6 +121,7 @@ func main() {
 		attrs        = flag.Int("attrs", 2000, "synthetic corpus size")
 		horizon      = flag.Int("horizon", 1500, "synthetic corpus horizon (days)")
 		seed         = flag.Int64("seed", 1, "random seed")
+		shards       = flag.Int("shards", 1, "serve through a sharded scatter-gather index with this many shards (1 = monolithic)")
 		queryTimeout = flag.Duration("query-timeout", 10*time.Second, "per-request query deadline (0 = none)")
 		maxInFlight  = flag.Int64("max-in-flight", 0, "concurrent query weight admitted before shedding with 503 (0 = 4×GOMAXPROCS)")
 		drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "grace period for in-flight requests on SIGINT/SIGTERM")
@@ -149,8 +151,8 @@ func main() {
 	}
 	logger.Info("listening, index building in background", "addr", ln.Addr().String())
 
-	load := func() (*history.Dataset, *index.Index, error) {
-		return loadCorpus(*corpusF, *attrs, *horizon, *seed)
+	load := func() (*history.Dataset, queryIndex, error) {
+		return loadCorpus(*corpusF, *attrs, *horizon, *seed, *shards)
 	}
 	if err := run(ctx, cfg, ln, load); err != nil {
 		logger.Error("serve", "err", err)
@@ -172,7 +174,7 @@ type config struct {
 // then drains in-flight requests for up to cfg.drainTimeout. The corpus
 // loads in a background goroutine so the process answers health probes
 // from the first moment; a load failure tears the server down.
-func run(ctx context.Context, cfg config, ln net.Listener, load func() (*history.Dataset, *index.Index, error)) error {
+func run(ctx context.Context, cfg config, ln net.Listener, load func() (*history.Dataset, queryIndex, error)) error {
 	s := newServer(cfg)
 
 	// Periodic runtime sampling keeps goroutine count, heap watermark and
@@ -229,10 +231,29 @@ func run(ctx context.Context, cfg config, ln net.Listener, load func() (*history
 	return nil
 }
 
-// loadCorpus reads or generates the dataset and builds the index.
-func loadCorpus(corpusF string, attrs, horizon int, seed int64) (*history.Dataset, *index.Index, error) {
+// queryIndex is the serving contract the handlers need: the monolithic
+// index.Index and the sharded scatter-gather shard.ShardedIndex both
+// satisfy it, so -shards swaps the engine without touching a handler.
+type queryIndex interface {
+	Query(ctx context.Context, q *history.History, o index.QueryOptions) (index.Result, error)
+	Stats() index.BuildStats
+}
+
+// loadCorpus reads or generates the dataset and builds the index — the
+// monolith by default, an N-shard partition with -shards N > 1. A
+// -corpus path may be a single-file dataset or a sharded persist
+// container directory (persist.IsSharded); the container's partitioning
+// is independent of -shards, which only picks the serving engine.
+func loadCorpus(corpusF string, attrs, horizon int, seed int64, shards int) (*history.Dataset, queryIndex, error) {
 	var ds *history.Dataset
-	if corpusF != "" {
+	switch {
+	case corpusF != "" && persist.IsSharded(corpusF):
+		var err error
+		ds, _, err = persist.ReadSharded(corpusF)
+		if err != nil {
+			return nil, nil, err
+		}
+	case corpusF != "":
 		f, err := os.Open(corpusF)
 		if err != nil {
 			return nil, nil, err
@@ -242,7 +263,7 @@ func loadCorpus(corpusF string, attrs, horizon int, seed int64) (*history.Datase
 		if err != nil {
 			return nil, nil, err
 		}
-	} else {
+	default:
 		c, err := datagen.Generate(datagen.Config{
 			Seed: seed, Attributes: attrs, Horizon: timeline.Time(horizon),
 		})
@@ -254,6 +275,15 @@ func loadCorpus(corpusF string, attrs, horizon int, seed int64) (*history.Datase
 	opt := index.DefaultOptions(ds.Horizon())
 	opt.Reverse = true
 	opt.Seed = seed
+	if shards > 1 {
+		sx, err := shard.Build(ds, shard.Options{
+			Shards: shards, Seed: seed, Index: shard.PartitionOptions(opt, shards),
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		return ds, sx, nil
+	}
 	idx, err := index.Build(ds, opt)
 	if err != nil {
 		return nil, nil, err
@@ -265,7 +295,7 @@ func loadCorpus(corpusF string, attrs, horizon int, seed int64) (*history.Datase
 // index build completes.
 type corpus struct {
 	ds  *history.Dataset
-	idx *index.Index
+	idx queryIndex
 	// pagesLower caches the lowercased page title per attribute so
 	// resolve's substring match does not re-lowercase every title on
 	// every request.
@@ -277,7 +307,7 @@ type corpus struct {
 // the cache here rather than at the install site means a future second
 // caller that swaps the corpus pointer cannot forget to invalidate it:
 // a corpus and its caches are created together or not at all.
-func newCorpus(ds *history.Dataset, idx *index.Index) *corpus {
+func newCorpus(ds *history.Dataset, idx queryIndex) *corpus {
 	pages := make([]string, ds.Len())
 	for i, h := range ds.Attrs() {
 		pages[i] = strings.ToLower(h.Meta().Page)
@@ -317,7 +347,7 @@ func newServer(cfg config) *server {
 
 // install publishes the corpus, flipping /readyz to 200 and letting
 // query endpoints through.
-func (s *server) install(ds *history.Dataset, idx *index.Index) {
+func (s *server) install(ds *history.Dataset, idx queryIndex) {
 	s.corpus.Store(newCorpus(ds, idx))
 }
 
@@ -742,15 +772,21 @@ func (s *server) handleAttr(c *corpus, w http.ResponseWriter, r *http.Request) {
 func (s *server) handleStats(c *corpus, w http.ResponseWriter, r *http.Request) {
 	st := c.ds.ComputeStats()
 	ist := c.idx.Stats()
-	writeJSON(w, map[string]interface{}{
-		"attributes":       st.Attributes,
-		"horizon_days":     int(c.ds.Horizon()),
-		"distinct_values":  st.DistinctValues,
-		"mean_changes":     st.MeanChanges,
-		"mean_cardinality": st.MeanCardinality,
-		"index_slices":     ist.Slices,
-		"index_bytes":      ist.MemoryBytes,
-	})
+	body := map[string]interface{}{
+		"attributes":             st.Attributes,
+		"horizon_days":           int(c.ds.Horizon()),
+		"distinct_values":        st.DistinctValues,
+		"mean_changes":           st.MeanChanges,
+		"mean_cardinality":       st.MeanCardinality,
+		"index_slices":           ist.Slices,
+		"index_bytes":            ist.MemoryBytes,
+		"dirty_attributes":       ist.DirtyAttributes,
+		"slice_pruning_coverage": ist.SlicePruningCoverage,
+	}
+	if sx, ok := c.idx.(*shard.ShardedIndex); ok {
+		body["shards"] = sx.NumShards()
+	}
+	writeJSON(w, body)
 }
 
 // queryError maps a failed query to its HTTP status: deadline expiry is

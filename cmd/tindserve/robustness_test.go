@@ -160,7 +160,7 @@ func TestRunDrainsInFlightRequestsOnShutdown(t *testing.T) {
 	runErr := make(chan error, 1)
 	go func() {
 		runErr <- run(ctx, config{drainTimeout: 5 * time.Second}, ln,
-			func() (*history.Dataset, *index.Index, error) { return ds, idx, nil })
+			func() (*history.Dataset, queryIndex, error) { return ds, idx, nil })
 	}()
 
 	base := "http://" + ln.Addr().String()
@@ -222,7 +222,7 @@ func TestRunShutsDownOnSIGTERM(t *testing.T) {
 	runErr := make(chan error, 1)
 	go func() {
 		runErr <- run(ctx, config{drainTimeout: 5 * time.Second}, ln,
-			func() (*history.Dataset, *index.Index, error) { return ds, idx, nil })
+			func() (*history.Dataset, queryIndex, error) { return ds, idx, nil })
 	}()
 	waitReady(t, "http://"+ln.Addr().String())
 
@@ -246,7 +246,7 @@ func TestRunFailsWhenCorpusLoadFails(t *testing.T) {
 	}
 	loadErr := errors.New("corrupt corpus")
 	err = run(context.Background(), config{drainTimeout: time.Second}, ln,
-		func() (*history.Dataset, *index.Index, error) { return nil, nil, loadErr })
+		func() (*history.Dataset, queryIndex, error) { return nil, nil, loadErr })
 	if err == nil || !errors.Is(err, loadErr) {
 		t.Fatalf("run must surface the load failure, got %v", err)
 	}

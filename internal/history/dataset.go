@@ -53,6 +53,34 @@ func (d *Dataset) Add(h *History) (AttrID, error) {
 	return id, nil
 }
 
+// Replace swaps the history registered under id for h, assigning h the
+// id in place. The replacement must satisfy the same invariants Add
+// enforces. Sharded refresh uses it to swap an updated clone of a
+// changed attribute into a shard's dataset; callers must hold whatever
+// lock protects readers of the dataset (index.RefreshWith does).
+func (d *Dataset) Replace(id AttrID, h *History) error {
+	if id < 0 || int(id) >= len(d.attrs) {
+		return fmt.Errorf("history: Replace id %d out of range [0, %d)", id, len(d.attrs))
+	}
+	if h.end > d.horizon {
+		return fmt.Errorf("history %s: observation end %d exceeds dataset horizon %d", h.meta, h.end, d.horizon)
+	}
+	if h.versions[0].Start < 0 {
+		return fmt.Errorf("history %s: negative first observation %d", h.meta, h.versions[0].Start)
+	}
+	h.id = id
+	d.attrs[id] = h
+	return nil
+}
+
+// Derive returns an empty dataset sharing the receiver's value
+// dictionary, with the given horizon. Shard partitioning and the sharded
+// persist format build per-shard datasets this way so value ids stay
+// compatible across shards (one global intern table).
+func (d *Dataset) Derive(horizon timeline.Time) *Dataset {
+	return &Dataset{dict: d.dict, horizon: horizon}
+}
+
 // Subset returns a new dataset view containing only the first n attributes,
 // sharing histories and dictionary with the receiver. Experiments use it to
 // sweep the number of indexed attributes over one generated corpus.

@@ -79,6 +79,20 @@ func New(meta Meta, versions []Version, end timeline.Time) (*History, error) {
 // never registered with a dataset (ad-hoc query attributes).
 func (h *History) ID() AttrID { return h.id }
 
+// Clone returns an unregistered shallow copy of the history: same meta,
+// versions and value sets (shared, per their immutability contract), but
+// id -1 so the clone can be registered with a different dataset. Sharded
+// serving clones histories into per-shard datasets because Dataset.Add
+// assigns ids in place — one History pointer cannot carry a global and a
+// shard-local id at once. Appends to the original do not affect a clone:
+// Append replaces the version-slice header and the value-set union
+// rather than mutating the elements a clone's headers reach.
+func (h *History) Clone() *History {
+	c := *h
+	c.id = -1
+	return &c
+}
+
 // Meta returns the attribute's provenance.
 func (h *History) Meta() Meta { return h.meta }
 

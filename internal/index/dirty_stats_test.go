@@ -1,0 +1,93 @@
+package index
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"tind/internal/bloom"
+	"tind/internal/core"
+	"tind/internal/history"
+	"tind/internal/timeline"
+)
+
+// TestStatsDirtyAttributes pins the refresh-degradation visibility:
+// Stats() must report how many attributes Refresh has exempted from
+// slice pruning and the remaining coverage, and the obs gauges must
+// move in lockstep so operators can watch the drift on /metrics.
+func TestStatsDirtyAttributes(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	const horizon = timeline.Time(50)
+	ds := randDataset(r, 8, horizon)
+	opts := Options{
+		Bloom:   bloom.Params{M: 128, K: 2},
+		Slices:  3,
+		Params:  core.Params{Epsilon: 2, Delta: 2, Weight: timeline.Uniform(horizon)},
+		Reverse: true,
+		Seed:    11,
+	}
+	idx, err := Build(ds, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := idx.Stats()
+	if st.DirtyAttributes != 0 || st.SlicePruningCoverage != 1 {
+		t.Fatalf("fresh build: dirty=%d coverage=%g, want 0 and 1",
+			st.DirtyAttributes, st.SlicePruningCoverage)
+	}
+	if g := mIndexDirtyAttributes.Value(); g != 0 {
+		t.Fatalf("fresh build: dirty gauge = %g, want 0", g)
+	}
+	if g := mIndexSliceCoverage.Value(); g != 1 {
+		t.Fatalf("fresh build: coverage gauge = %g, want 1", g)
+	}
+
+	newHorizon := horizon + 10
+	if err := ds.ExtendHorizon(newHorizon); err != nil {
+		t.Fatal(err)
+	}
+	changed := []history.AttrID{0, 3}
+	for _, id := range changed {
+		if err := ds.Attr(id).ExtendObservation(newHorizon); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := idx.Refresh(changed, newHorizon); err != nil {
+		t.Fatal(err)
+	}
+
+	st = idx.Stats()
+	wantCov := 1 - float64(len(changed))/float64(ds.Len())
+	if st.DirtyAttributes != len(changed) {
+		t.Fatalf("after refresh: DirtyAttributes = %d, want %d", st.DirtyAttributes, len(changed))
+	}
+	if math.Abs(st.SlicePruningCoverage-wantCov) > 1e-12 {
+		t.Fatalf("after refresh: SlicePruningCoverage = %g, want %g", st.SlicePruningCoverage, wantCov)
+	}
+	if g := mIndexDirtyAttributes.Value(); g != float64(len(changed)) {
+		t.Fatalf("after refresh: dirty gauge = %g, want %d", g, len(changed))
+	}
+	if g := mIndexSliceCoverage.Value(); math.Abs(g-wantCov) > 1e-12 {
+		t.Fatalf("after refresh: coverage gauge = %g, want %g", g, wantCov)
+	}
+
+	// Refreshing an already-dirty attribute must not double-count.
+	if err := idx.Refresh(changed[:1], newHorizon); err != nil {
+		t.Fatal(err)
+	}
+	if st = idx.Stats(); st.DirtyAttributes != len(changed) {
+		t.Fatalf("re-refresh: DirtyAttributes = %d, want %d", st.DirtyAttributes, len(changed))
+	}
+
+	// A full rebuild regains coverage and resets the gauges.
+	opts.Params.Weight = timeline.Uniform(newHorizon)
+	if _, err := Build(ds, opts); err != nil {
+		t.Fatal(err)
+	}
+	if g := mIndexDirtyAttributes.Value(); g != 0 {
+		t.Fatalf("after rebuild: dirty gauge = %g, want 0", g)
+	}
+	if g := mIndexSliceCoverage.Value(); g != 1 {
+		t.Fatalf("after rebuild: coverage gauge = %g, want 1", g)
+	}
+}

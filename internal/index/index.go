@@ -188,6 +188,14 @@ type BuildStats struct {
 	// SlicePruningPower is the estimate p(I) = Σ_A |A[I]| / |I| of
 	// Section 4.4.2 for each chosen slice interval.
 	SlicePruningPower []float64
+	// DirtyAttributes counts attributes refreshed since Build. Their
+	// slice-matrix entries are stale, so they are permanently exempt from
+	// slice pruning (still exact via M_T pruning + validation).
+	DirtyAttributes int
+	// SlicePruningCoverage is the fraction of attributes slice pruning
+	// still applies to: 1 - DirtyAttributes/Attributes. It only recovers
+	// on a full rebuild.
+	SlicePruningCoverage float64
 }
 
 // Build constructs the index over a dataset. Malformed options are
@@ -292,6 +300,8 @@ func (x *Index) observeBuild() {
 	mIndexAttributes.Set(float64(st.Attributes))
 	mIndexBytes.Set(float64(st.MemoryBytes))
 	mIndexSlices.Set(float64(st.Slices))
+	mIndexDirtyAttributes.Set(float64(st.DirtyAttributes))
+	mIndexSliceCoverage.Set(st.SlicePruningCoverage)
 }
 
 // slicePruningPower computes p(I) = Σ_A |A[I]| / |I| (Section 4.4.2) for
@@ -392,7 +402,27 @@ func (x *Index) Stats() BuildStats {
 	s.MTFillRatio, s.MRFillRatio = x.fillMT, x.fillMR
 	s.SliceFillRatios = append([]float64(nil), x.fillSlices...)
 	s.SlicePruningPower = append([]float64(nil), x.slicePower...)
+	if x.dirty != nil {
+		s.DirtyAttributes = x.dirty.Count()
+	}
+	s.SlicePruningCoverage = 1
+	if s.Attributes > 0 {
+		s.SlicePruningCoverage = 1 - float64(s.DirtyAttributes)/float64(s.Attributes)
+	}
 	return s
+}
+
+// WithValidationWorkers returns a shallow copy of the index that bounds
+// per-query validation to n goroutines, sharing every matrix and the
+// refresh lock with the receiver. All-pairs discovery uses it to pin
+// per-query validation to one worker and parallelize across queries
+// instead; the sharded scatter-gather path reuses it per shard.
+func (x *Index) WithValidationWorkers(n int) *Index {
+	x.mu.RLock()
+	cp := *x
+	x.mu.RUnlock()
+	cp.opt.ValidationWorkers = n
+	return &cp
 }
 
 // Dataset returns the indexed dataset.

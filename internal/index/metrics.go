@@ -50,6 +50,14 @@ var (
 		"Time-slice matrices in the most recently built index.")
 	mAllPairsSeconds = reg.Histogram("tind_allpairs_seconds",
 		"Wall time of complete all-pairs discovery runs.", obs.ExpBuckets(0.001, 4, 14))
+	// Refresh-degradation visibility: Refresh permanently exempts changed
+	// attributes from slice pruning, so pruning quietly degrades toward
+	// exact-validation-only across refreshes. These gauges let operators
+	// see the drift and decide when to rebuild.
+	mIndexDirtyAttributes = reg.Gauge("tind_index_dirty_attributes",
+		"Attributes refreshed since the last full build and therefore exempt from slice pruning.")
+	mIndexSliceCoverage = reg.Gauge("tind_index_slice_pruning_coverage",
+		"Fraction of attributes still covered by slice pruning (1 - dirty/attributes).")
 )
 
 func init() {

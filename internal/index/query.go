@@ -89,13 +89,7 @@ type TraceSpan = obs.Span
 // together with the partial statistics gathered so far. Stats.Timings is
 // populated on every return, successful or not.
 func (x *Index) Query(ctx context.Context, q *history.History, o QueryOptions) (Result, error) {
-	if o.Mode < 0 || o.Mode >= numModes {
-		return Result{}, fmt.Errorf("%w: unknown query mode %d", ErrInvalidOptions, int(o.Mode))
-	}
-	if o.Mode == ModeTopK && o.K <= 0 {
-		return Result{}, fmt.Errorf("%w: ModeTopK requires K > 0, got %d", ErrInvalidOptions, o.K)
-	}
-	if err := o.Params.Validate(); err != nil {
+	if err := o.validate(); err != nil {
 		return Result{}, err
 	}
 	// Shared lock for the whole query: Refresh mutates M_T/M_R columns,
@@ -103,6 +97,41 @@ func (x *Index) Query(ctx context.Context, q *history.History, o QueryOptions) (
 	// interleave with a running query. Queries among themselves share.
 	x.mu.RLock()
 	defer x.mu.RUnlock()
+	return x.queryLocked(ctx, q, o)
+}
+
+// QueryByID is Query with one of the dataset's own attributes as the
+// query, resolved under the index's read lock. Callers racing a
+// refresh that swaps dataset entries (the sharded scatter path, where
+// RefreshWith replaces changed clones) must use it instead of resolving
+// the attribute themselves: a pointer fetched outside the lock could be
+// the stale pre-refresh clone, silently breaking self-exclusion.
+func (x *Index) QueryByID(ctx context.Context, id history.AttrID, o QueryOptions) (Result, error) {
+	if err := o.validate(); err != nil {
+		return Result{}, err
+	}
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	if id < 0 || int(id) >= x.ds.Len() {
+		return Result{}, fmt.Errorf("%w: query attribute %d out of range", ErrInvalidOptions, id)
+	}
+	return x.queryLocked(ctx, x.ds.Attr(id), o)
+}
+
+// validate rejects malformed query options with ErrInvalidOptions.
+func (o QueryOptions) validate() error {
+	if o.Mode < 0 || o.Mode >= numModes {
+		return fmt.Errorf("%w: unknown query mode %d", ErrInvalidOptions, int(o.Mode))
+	}
+	if o.Mode == ModeTopK && o.K <= 0 {
+		return fmt.Errorf("%w: ModeTopK requires K > 0, got %d", ErrInvalidOptions, o.K)
+	}
+	return o.Params.Validate()
+}
+
+// queryLocked dispatches a validated query; the caller holds the read
+// lock.
+func (x *Index) queryLocked(ctx context.Context, q *history.History, o QueryOptions) (Result, error) {
 	qm[o.Mode].queries.Inc()
 
 	r := &queryRun{x: x, mode: o.Mode, start: time.Now()}

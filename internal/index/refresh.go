@@ -44,6 +44,28 @@ import (
 func (x *Index) Refresh(changed []history.AttrID, newHorizon timeline.Time) error {
 	x.mu.Lock()
 	defer x.mu.Unlock()
+	return x.refreshLocked(changed, newHorizon)
+}
+
+// RefreshWith runs prepare under the index's write lock — with queries
+// drained and held back — and then refreshes the attribute IDs prepare
+// returns. It exists for callers that must mutate the indexed dataset
+// itself (e.g. a shard swapping in updated history clones) atomically
+// with the matrix refresh: between prepare and the refresh no query can
+// observe the half-applied state. prepare runs exactly once; an error
+// from it aborts the refresh with the matrices untouched.
+func (x *Index) RefreshWith(newHorizon timeline.Time, prepare func(ds *history.Dataset) ([]history.AttrID, error)) error {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	changed, err := prepare(x.ds)
+	if err != nil {
+		return err
+	}
+	return x.refreshLocked(changed, newHorizon)
+}
+
+// refreshLocked is the body of Refresh; the caller holds x.mu.
+func (x *Index) refreshLocked(changed []history.AttrID, newHorizon timeline.Time) error {
 	c, ok := x.opt.Params.Weight.(timeline.Constant)
 	if !ok {
 		return fmt.Errorf("index: Refresh requires a constant index weighting (have %v); rebuild instead",
@@ -74,5 +96,12 @@ func (x *Index) Refresh(changed []history.AttrID, newHorizon timeline.Time) erro
 			x.mR.SetColumn(int(id), bloom.FromSet(x.opt.Bloom, req))
 		}
 	}
+	dirty := x.dirty.Count()
+	mIndexDirtyAttributes.Set(float64(dirty))
+	coverage := 1.0
+	if n := x.ds.Len(); n > 0 {
+		coverage = 1 - float64(dirty)/float64(n)
+	}
+	mIndexSliceCoverage.Set(coverage)
 	return nil
 }

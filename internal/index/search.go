@@ -295,12 +295,8 @@ func (x *Index) AllPairsContext(ctx context.Context, p core.Params, workers int)
 		workers = runtime.GOMAXPROCS(0)
 	}
 	// The shallow copy shares the lock pointer, so the per-query RLock in
-	// seq.Query still excludes Refresh; the copy itself must happen under
-	// the lock too since Refresh mutates opt and dirty in place.
-	x.mu.RLock()
-	seq := *x
-	x.mu.RUnlock()
-	seq.opt.ValidationWorkers = 1
+	// seq.Query still excludes Refresh.
+	seq := x.WithValidationWorkers(1)
 
 	n := x.ds.Len()
 	results := make([][]history.AttrID, n)

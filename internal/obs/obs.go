@@ -115,10 +115,11 @@ func (h *Histogram) BucketCounts() []int64 {
 // Quantile estimates the q-quantile (0 ≤ q ≤ 1) of the observed values
 // from the cumulative buckets, interpolating linearly within the bucket
 // the rank falls into — the same estimate Prometheus's
-// histogram_quantile computes server-side. The first bucket interpolates
-// from a lower bound of 0; ranks landing in the +Inf bucket are clamped
-// to the highest finite bound. Returns NaN for an empty histogram or q
-// outside [0, 1].
+// histogram_quantile computes server-side. Empty leading buckets are
+// skipped, so q=0 and q=1 clamp to the edges of the observed range
+// rather than interpolating across buckets no sample ever landed in.
+// Ranks landing in the +Inf bucket are clamped to the highest finite
+// bound. Returns NaN for an empty histogram or q outside [0, 1].
 func (h *Histogram) Quantile(q float64) float64 {
 	bounds := h.bounds
 	cum := h.BucketCounts()
@@ -128,7 +129,10 @@ func (h *Histogram) Quantile(q float64) float64 {
 
 // quantileFromBuckets is the shared estimation core: bounds are the
 // finite upper edges, cum the cumulative counts at those edges, count
-// the total including the implicit +Inf bucket.
+// the total including the implicit +Inf bucket. Interpolation starts at
+// the first nonempty bucket: a rank that lands at or before it (q=0
+// with empty leading buckets) resolves within that bucket instead of
+// reporting a bound below the observed minimum.
 func quantileFromBuckets(bounds []float64, cum []int64, count int64, q float64) float64 {
 	if count == 0 || q < 0 || q > 1 || math.IsNaN(q) {
 		return math.NaN()
@@ -136,21 +140,41 @@ func quantileFromBuckets(bounds []float64, cum []int64, count int64, q float64) 
 	if len(bounds) == 0 {
 		return math.NaN() // all mass in +Inf: no finite estimate exists
 	}
-	rank := q * float64(count)
+	// Locate the first nonempty finite bucket; buckets before it hold no
+	// samples and must not absorb low ranks.
+	first := -1
+	var prev int64
 	for i, c := range cum {
-		if float64(c) >= rank {
-			lower := 0.0
-			var prev int64
-			if i > 0 {
-				lower = bounds[i-1]
-				prev = cum[i-1]
-			}
-			in := c - prev
-			if in == 0 {
-				return bounds[i]
-			}
-			return lower + (bounds[i]-lower)*(rank-float64(prev))/float64(in)
+		if c > prev {
+			first = i
+			break
 		}
+		prev = c
+	}
+	if first < 0 {
+		// All mass sits in the +Inf bucket: clamp like Prometheus.
+		return bounds[len(bounds)-1]
+	}
+	rank := q * float64(count)
+	for i := first; i < len(cum); i++ {
+		c := cum[i]
+		if float64(c) < rank {
+			continue
+		}
+		lower := 0.0
+		var below int64
+		if i > 0 {
+			lower = bounds[i-1]
+			below = cum[i-1]
+		}
+		in := float64(c - below)
+		if in == 0 {
+			// Rank lands exactly on the cumulative count of an interior
+			// empty bucket; the value is the upper edge of the last
+			// nonempty bucket below it.
+			return lower
+		}
+		return lower + (bounds[i]-lower)*(rank-float64(below))/in
 	}
 	// Rank falls into the +Inf bucket: the honest answer is "beyond the
 	// highest bound"; clamp to it like Prometheus does.

@@ -1,0 +1,190 @@
+package persist
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"tind/internal/history"
+	"tind/internal/timeline"
+)
+
+// Sharded container format: a directory with one self-contained v2 blob
+// per shard plus a JSON manifest. Each blob is a complete single-file
+// dataset (own magic, version and CRC-32C footer) holding the shard's
+// attributes in ascending global-id order and embedding the full global
+// value dictionary — the dictionary is shared across the per-shard view
+// datasets at write time, so every blob interns identical strings in
+// identical order and value ids remain compatible when the shards are
+// stitched back together. The manifest records the partitioning
+// parameters (seed, shard count) so ReadSharded can reassemble global
+// attribute ids with history.ShardOf, the same mapping the sharded index
+// uses.
+
+// ManifestName is the manifest's file name inside a sharded container.
+const ManifestName = "manifest.json"
+
+// manifestFormat identifies the container layout; bump on incompatible
+// changes.
+const manifestFormat = "tind-shards/1"
+
+// Manifest describes a sharded container.
+type Manifest struct {
+	Format     string         `json:"format"`
+	Shards     int            `json:"shards"`
+	Seed       int64          `json:"seed"`
+	Horizon    timeline.Time  `json:"horizon"`
+	Attributes int            `json:"attributes"`
+	Files      []ManifestFile `json:"files"`
+}
+
+// ManifestFile describes one shard blob.
+type ManifestFile struct {
+	File       string `json:"file"`
+	Attributes int    `json:"attributes"`
+}
+
+// shardFileName returns the canonical blob name of shard s.
+func shardFileName(s int) string { return fmt.Sprintf("shard-%04d.tind", s) }
+
+// WriteSharded serializes the dataset as a sharded container in dir
+// (created if missing): attributes are partitioned by
+// history.ShardOf(id, seed, shards), each shard is written as an
+// independent CRC'd v2 blob, and the manifest is written last so a
+// crashed write never leaves a readable-looking container behind.
+func WriteSharded(ds *history.Dataset, dir string, shards int, seed int64) error {
+	if shards < 1 {
+		return fmt.Errorf("persist: shard count %d < 1", shards)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	man := Manifest{
+		Format:     manifestFormat,
+		Shards:     shards,
+		Seed:       seed,
+		Horizon:    ds.Horizon(),
+		Attributes: ds.Len(),
+	}
+	views := make([]*history.Dataset, shards)
+	for s := range views {
+		views[s] = ds.Derive(ds.Horizon())
+	}
+	for g := 0; g < ds.Len(); g++ {
+		s := history.ShardOf(history.AttrID(g), seed, shards)
+		// Clones, because registering with the view would steal the
+		// global id of the live history.
+		if _, err := views[s].Add(ds.Attr(history.AttrID(g)).Clone()); err != nil {
+			return fmt.Errorf("persist: shard %d: %w", s, err)
+		}
+	}
+	for s, view := range views {
+		name := shardFileName(s)
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		err = Write(view, f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("persist: shard %d: %w", s, err)
+		}
+		man.Files = append(man.Files, ManifestFile{File: name, Attributes: view.Len()})
+	}
+	blob, err := json.MarshalIndent(man, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, ManifestName), append(blob, '\n'), 0o644)
+}
+
+// IsSharded reports whether path is a sharded container (a directory
+// holding a manifest). Loaders use it to accept either layout behind one
+// -corpus flag.
+func IsSharded(path string) bool {
+	st, err := os.Stat(path)
+	if err != nil || !st.IsDir() {
+		return false
+	}
+	_, err = os.Stat(filepath.Join(path, ManifestName))
+	return err == nil
+}
+
+// ReadSharded loads a sharded container written by WriteSharded and
+// reassembles the global dataset: each blob is read (and checksum-
+// verified) independently, then the per-shard attribute streams are
+// stitched back into global-id order by replaying the manifest's
+// ShardOf mapping. The returned manifest carries the partitioning
+// parameters so callers can rebuild a sharded index with the same
+// layout.
+func ReadSharded(dir string) (*history.Dataset, *Manifest, error) {
+	blob, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		return nil, nil, fmt.Errorf("persist: reading manifest: %w", err)
+	}
+	var man Manifest
+	if err := json.Unmarshal(blob, &man); err != nil {
+		return nil, nil, fmt.Errorf("persist: parsing manifest: %w", err)
+	}
+	if man.Format != manifestFormat {
+		return nil, nil, fmt.Errorf("persist: unsupported container format %q (want %q)", man.Format, manifestFormat)
+	}
+	if man.Shards < 1 || len(man.Files) != man.Shards {
+		return nil, nil, fmt.Errorf("persist: manifest lists %d files for %d shards", len(man.Files), man.Shards)
+	}
+	if man.Attributes < 0 || man.Horizon <= 0 {
+		return nil, nil, fmt.Errorf("persist: malformed manifest (attributes %d, horizon %d)", man.Attributes, man.Horizon)
+	}
+	total := 0
+	parts := make([]*history.Dataset, man.Shards)
+	for s, mf := range man.Files {
+		f, err := os.Open(filepath.Join(dir, mf.File))
+		if err != nil {
+			return nil, nil, fmt.Errorf("persist: shard %d: %w", s, err)
+		}
+		ds, rerr := Read(f)
+		if cerr := f.Close(); rerr == nil {
+			rerr = cerr
+		}
+		if rerr != nil {
+			return nil, nil, fmt.Errorf("persist: shard %d (%s): %w", s, mf.File, rerr)
+		}
+		if ds.Len() != mf.Attributes {
+			return nil, nil, fmt.Errorf("persist: shard %d holds %d attributes, manifest says %d", s, ds.Len(), mf.Attributes)
+		}
+		if ds.Horizon() != man.Horizon {
+			return nil, nil, fmt.Errorf("persist: shard %d horizon %d does not match manifest %d", s, ds.Horizon(), man.Horizon)
+		}
+		// Every blob embeds the same global dictionary; a size mismatch
+		// means the blobs came from different corpora and value ids are
+		// not comparable.
+		if s > 0 && ds.Dict().Len() != parts[0].Dict().Len() {
+			return nil, nil, fmt.Errorf("persist: shard %d dictionary size %d differs from shard 0's %d",
+				s, ds.Dict().Len(), parts[0].Dict().Len())
+		}
+		total += ds.Len()
+		parts[s] = ds
+	}
+	if total != man.Attributes {
+		return nil, nil, fmt.Errorf("persist: shards hold %d attributes, manifest says %d", total, man.Attributes)
+	}
+	// Stitch: blobs store attributes in ascending global order, so a
+	// per-shard cursor replaying ShardOf reassembles ids exactly.
+	merged := parts[0].Derive(man.Horizon)
+	cursors := make([]int, man.Shards)
+	for g := 0; g < man.Attributes; g++ {
+		s := history.ShardOf(history.AttrID(g), man.Seed, man.Shards)
+		if cursors[s] >= parts[s].Len() {
+			return nil, nil, fmt.Errorf("persist: shard %d exhausted at global attribute %d (seed/shard mismatch)", s, g)
+		}
+		h := parts[s].Attr(history.AttrID(cursors[s]))
+		cursors[s]++
+		if _, err := merged.Add(h); err != nil {
+			return nil, nil, fmt.Errorf("persist: global attribute %d: %w", g, err)
+		}
+	}
+	return merged, &man, nil
+}

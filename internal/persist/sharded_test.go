@@ -1,0 +1,208 @@
+package persist
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tind/internal/datagen"
+	"tind/internal/history"
+)
+
+func shardedRoundTrip(t *testing.T, ds *history.Dataset, shards int, seed int64) (*history.Dataset, *Manifest) {
+	t.Helper()
+	dir := t.TempDir()
+	if err := WriteSharded(ds, dir, shards, seed); err != nil {
+		t.Fatal(err)
+	}
+	got, man, err := ReadSharded(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got, man
+}
+
+func TestShardedRoundTrip(t *testing.T) {
+	c, err := datagen.Generate(datagen.Config{Seed: 9, Attributes: 120, Horizon: 400, AttrsPerDomain: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{1, 2, 4, 8} {
+		got, man, seed := func() (*history.Dataset, *Manifest, int64) {
+			got, man := shardedRoundTrip(t, c.Dataset, shards, 42)
+			return got, man, 42
+		}()
+		assertEqualDatasets(t, c.Dataset, got)
+		if man.Shards != shards || man.Seed != seed || man.Attributes != c.Dataset.Len() {
+			t.Fatalf("shards=%d: manifest %+v does not match write parameters", shards, man)
+		}
+		// Round-tripping must restore the global ids Write partitioned by.
+		for i := 0; i < got.Len(); i++ {
+			if got.Attr(history.AttrID(i)).ID() != history.AttrID(i) {
+				t.Fatalf("shards=%d: attribute %d has id %d", shards, i, got.Attr(history.AttrID(i)).ID())
+			}
+		}
+	}
+}
+
+func TestShardedRoundTripEmpty(t *testing.T) {
+	ds := history.NewDataset(100)
+	got, man := shardedRoundTrip(t, ds, 4, 7)
+	assertEqualDatasets(t, ds, got)
+	if man.Attributes != 0 {
+		t.Fatalf("manifest attributes = %d, want 0", man.Attributes)
+	}
+}
+
+// TestShardedWriteDoesNotStealIDs: writing a sharded container must not
+// disturb the live dataset's attribute ids (the per-shard views hold
+// clones).
+func TestShardedWriteDoesNotStealIDs(t *testing.T) {
+	c, err := datagen.Generate(datagen.Config{Seed: 3, Attributes: 40, Horizon: 200, AttrsPerDomain: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSharded(c.Dataset, t.TempDir(), 4, 1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < c.Dataset.Len(); i++ {
+		if got := c.Dataset.Attr(history.AttrID(i)).ID(); got != history.AttrID(i) {
+			t.Fatalf("attribute %d id mutated to %d by WriteSharded", i, got)
+		}
+	}
+}
+
+func TestShardedReadRejectsCorruption(t *testing.T) {
+	c, err := datagen.Generate(datagen.Config{Seed: 4, Attributes: 60, Horizon: 300, AttrsPerDomain: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	write := func(t *testing.T) string {
+		dir := t.TempDir()
+		if err := WriteSharded(c.Dataset, dir, 4, 11); err != nil {
+			t.Fatal(err)
+		}
+		return dir
+	}
+
+	t.Run("flipped-bit-in-blob", func(t *testing.T) {
+		dir := write(t)
+		path := filepath.Join(dir, shardFileName(2))
+		blob, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blob[len(blob)/2] ^= 0x40
+		if err := os.WriteFile(path, blob, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := ReadSharded(dir); err == nil {
+			t.Fatal("corrupted shard blob must be rejected")
+		}
+	})
+
+	t.Run("missing-blob", func(t *testing.T) {
+		dir := write(t)
+		if err := os.Remove(filepath.Join(dir, shardFileName(1))); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := ReadSharded(dir); err == nil {
+			t.Fatal("missing shard blob must be rejected")
+		}
+	})
+
+	t.Run("wrong-seed", func(t *testing.T) {
+		dir := write(t)
+		mutateManifest(t, dir, func(m *Manifest) { m.Seed++ })
+		if _, _, err := ReadSharded(dir); err == nil {
+			t.Fatal("a manifest seed that mismatches the partition must be rejected")
+		}
+	})
+
+	t.Run("wrong-format", func(t *testing.T) {
+		dir := write(t)
+		mutateManifest(t, dir, func(m *Manifest) { m.Format = "tind-shards/99" })
+		if _, _, err := ReadSharded(dir); err == nil || !strings.Contains(err.Error(), "format") {
+			t.Fatalf("unknown container format must be rejected, got %v", err)
+		}
+	})
+
+	t.Run("count-mismatch", func(t *testing.T) {
+		dir := write(t)
+		mutateManifest(t, dir, func(m *Manifest) { m.Files[0].Attributes++ })
+		if _, _, err := ReadSharded(dir); err == nil {
+			t.Fatal("per-shard count mismatch must be rejected")
+		}
+	})
+
+	t.Run("shards-files-mismatch", func(t *testing.T) {
+		dir := write(t)
+		mutateManifest(t, dir, func(m *Manifest) { m.Files = m.Files[:len(m.Files)-1] })
+		if _, _, err := ReadSharded(dir); err == nil {
+			t.Fatal("manifest with fewer files than shards must be rejected")
+		}
+	})
+
+	t.Run("no-manifest", func(t *testing.T) {
+		dir := write(t)
+		if err := os.Remove(filepath.Join(dir, ManifestName)); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := ReadSharded(dir); err == nil {
+			t.Fatal("missing manifest must be rejected")
+		}
+		if IsSharded(dir) {
+			t.Fatal("IsSharded must be false without a manifest")
+		}
+	})
+}
+
+func mutateManifest(t *testing.T, dir string, mutate func(*Manifest)) {
+	t.Helper()
+	path := filepath.Join(dir, ManifestName)
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(blob, &m); err != nil {
+		t.Fatal(err)
+	}
+	mutate(&m)
+	out, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsSharded(t *testing.T) {
+	c, err := datagen.Generate(datagen.Config{Seed: 2, Attributes: 10, Horizon: 100, AttrsPerDomain: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := WriteSharded(c.Dataset, dir, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !IsSharded(dir) {
+		t.Fatal("IsSharded must recognize a written container")
+	}
+	// A single-file corpus is not a sharded container.
+	file := filepath.Join(t.TempDir(), "corpus.tind")
+	f, err := os.Create(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(c.Dataset, f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if IsSharded(file) {
+		t.Fatal("IsSharded must be false for a single-file corpus")
+	}
+}

@@ -1,0 +1,124 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"tind/internal/core"
+	"tind/internal/history"
+	"tind/internal/index"
+)
+
+// AllPairsContext discovers the complete tIND set by fanning out
+// shard-pair blocks: one work unit per (source shard, target shard)
+// combination runs every source attribute as a forward query against the
+// target shard. With N shards that is N² independent blocks — a much
+// finer-grained fan-out than the monolith's per-attribute split — while
+// the validation strategy stays the paper's: per-query validation pinned
+// to one worker, parallelism across queries (Section 4.2.2).
+//
+// Cancellation propagates through every shard query; the first error
+// stops the remaining blocks at their next query boundary. The emitted
+// pairs are sorted ascending by LHS then RHS, the monolith's order.
+func (sx *ShardedIndex) AllPairsContext(ctx context.Context, p core.Params, workers int) ([]index.Pair, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := ctxDone(ctx); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	nShards := len(sx.shards)
+	seq := make([]*index.Index, nShards)
+	for t := range seq {
+		seq[t] = sx.shards[t].WithValidationWorkers(1)
+	}
+
+	n := sx.ds.Len()
+	// One result slot per (global lhs, target shard): lock-free writes,
+	// deterministic assembly afterwards.
+	slots := make([][]history.AttrID, n*nShards)
+	type block struct{ s, t int }
+	blocks := make([]block, 0, nShards*nShards)
+	for s := 0; s < nShards; s++ {
+		for t := 0; t < nShards; t++ {
+			blocks = append(blocks, block{s, t})
+		}
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		next     int
+		firstErr error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				stop := firstErr != nil
+				mu.Unlock()
+				if i >= len(blocks) || stop {
+					return
+				}
+				b := blocks[i]
+				for _, g := range sx.globals[b.s] {
+					mu.Lock()
+					stop := firstErr != nil
+					mu.Unlock()
+					if stop {
+						return
+					}
+					o := index.QueryOptions{Mode: index.ModeForward, Params: p}
+					var res index.Result
+					var err error
+					if local, ok := sx.localQuery(b.t, sx.ds.Attr(g)); ok {
+						res, err = seq[b.t].QueryByID(ctx, local, o)
+					} else {
+						res, err = seq[b.t].Query(ctx, sx.ds.Attr(g), o)
+					}
+					if err != nil {
+						mu.Lock()
+						if firstErr == nil {
+							firstErr = fmt.Errorf("shard %d: %w", b.t, err)
+						}
+						mu.Unlock()
+						return
+					}
+					rhs := make([]history.AttrID, len(res.IDs))
+					for k, lid := range res.IDs {
+						rhs[k] = sx.globals[b.t][lid]
+					}
+					slots[int(g)*nShards+b.t] = rhs
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	mAllPairsSeconds.ObserveDuration(time.Since(start))
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	var pairs []index.Pair
+	for g := 0; g < n; g++ {
+		var rhss []history.AttrID
+		for t := 0; t < nShards; t++ {
+			rhss = append(rhss, slots[g*nShards+t]...)
+		}
+		sort.Slice(rhss, func(i, j int) bool { return rhss[i] < rhss[j] })
+		for _, rhs := range rhss {
+			pairs = append(pairs, index.Pair{LHS: history.AttrID(g), RHS: rhs})
+		}
+	}
+	return pairs, nil
+}

@@ -1,0 +1,118 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"tind/internal/history"
+	"tind/internal/index"
+)
+
+// Query serves the index.Index query contract over the partition:
+// scatter the query to every shard concurrently, then gather. Result ids
+// and rankings come back shard-local and are mapped to global AttrIDs
+// before merging:
+//
+//   - ModeForward/ModeReverse: the per-shard result sets are disjoint by
+//     construction (each shard only answers for its own attributes), so
+//     the gathered answer is their union, sorted ascending.
+//   - ModeTopK: each shard ranks its own top K under the same
+//     escalation-budget semantics as the monolith; any global top-K
+//     attribute is necessarily inside its shard's top K, so the K-way
+//     merge by (violation, global id) of the per-shard rankings,
+//     truncated to K, is the exact global ranking.
+//
+// Per-shard QueryStats are summed into the monolith's funnel shape —
+// candidate counts, validation counts and the per-phase Timings add up;
+// Elapsed and Timings.Total report the scatter-gather wall time; traces
+// concatenate in shard order. The per-mode obs counters are maintained
+// by the shard queries themselves, so /metrics and the slow-query log
+// keep working unchanged.
+//
+// Each shard holds its own RWMutex, so a Refresh touching one shard only
+// blocks the scatter leg running against that shard.
+func (sx *ShardedIndex) Query(ctx context.Context, q *history.History, o index.QueryOptions) (index.Result, error) {
+	start := time.Now()
+	n := len(sx.shards)
+	results := make([]index.Result, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for s := 0; s < n; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			if local, ok := sx.localQuery(s, q); ok {
+				results[s], errs[s] = sx.shards[s].QueryByID(ctx, local, o)
+			} else {
+				results[s], errs[s] = sx.shards[s].Query(ctx, q, o)
+			}
+		}(s)
+	}
+	wg.Wait()
+
+	var res index.Result
+	for s := range results {
+		mergeStats(&res.Stats, &results[s].Stats)
+	}
+	res.Stats.Elapsed = time.Since(start)
+	res.Stats.Timings.Total = res.Stats.Elapsed
+	for s, err := range errs {
+		if err != nil {
+			return index.Result{Stats: res.Stats}, fmt.Errorf("shard %d: %w", s, err)
+		}
+	}
+
+	switch o.Mode {
+	case index.ModeTopK:
+		var ranked []index.Ranked
+		for s := range results {
+			for _, r := range results[s].Ranked {
+				ranked = append(ranked, index.Ranked{ID: sx.globals[s][r.ID], Violation: r.Violation})
+			}
+		}
+		sort.Slice(ranked, func(i, j int) bool {
+			if ranked[i].Violation != ranked[j].Violation {
+				return ranked[i].Violation < ranked[j].Violation
+			}
+			return ranked[i].ID < ranked[j].ID
+		})
+		if len(ranked) > o.K {
+			ranked = ranked[:o.K]
+		}
+		res.Ranked = ranked
+		res.Stats.Results = len(ranked)
+	default:
+		var ids []history.AttrID
+		for s := range results {
+			for _, lid := range results[s].IDs {
+				ids = append(ids, sx.globals[s][lid])
+			}
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		res.IDs = ids
+		res.Stats.Results = len(ids)
+	}
+	return res, nil
+}
+
+// mergeStats folds one shard's QueryStats into the gathered total:
+// funnel counts and phase timings sum, traces concatenate. Elapsed and
+// Timings.Total are the caller's to set from the scatter-gather wall
+// clock.
+func mergeStats(dst, src *index.QueryStats) {
+	dst.InitialCandidates += src.InitialCandidates
+	dst.AfterSlices += src.AfterSlices
+	dst.AfterSubsetCheck += src.AfterSubsetCheck
+	dst.Validated += src.Validated
+	dst.Results += src.Results
+	dst.SlicesUsed += src.SlicesUsed
+	dst.Timings.MTPrune += src.Timings.MTPrune
+	dst.Timings.SlicePrune += src.Timings.SlicePrune
+	dst.Timings.SubsetCheck += src.Timings.SubsetCheck
+	dst.Timings.Validate += src.Timings.Validate
+	dst.Timings.Rank += src.Timings.Rank
+	dst.Trace = append(dst.Trace, src.Trace...)
+}

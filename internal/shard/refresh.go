@@ -1,0 +1,71 @@
+package shard
+
+import (
+	"fmt"
+
+	"tind/internal/history"
+	"tind/internal/timeline"
+)
+
+// Refresh incorporates appended history data into the partition without
+// a rebuild, shard-locally: the changed attribute ids are grouped by
+// owning shard and only those shards take their write lock. Queries
+// scattered to untouched shards proceed concurrently throughout — that
+// is the operational point of sharding the refresh path.
+//
+// Each affected shard's refresh is atomic under its own lock
+// (index.RefreshWith): the shard's dataset horizon is extended, fresh
+// clones of the changed global histories are swapped in over the stale
+// ones, and the shard's matrices refresh — all before any query can
+// observe the shard again. The same soundness rules as the monolith
+// apply: the index weighting must be constant, bits only ever grow, and
+// refreshed attributes become permanently exempt from slice pruning.
+//
+// Untouched shards keep their previous weight horizon. Their answers
+// remain exact for queries under the new horizon: forward search is
+// exact for any query weight, and reverse search detects the weight
+// mismatch and disengages its (stale) slice pruning, falling back to
+// exact validation.
+//
+// As with the monolith, the caller must have already applied the history
+// appends to the *global* dataset's attributes and extended its horizon;
+// appends must not run concurrently with queries on the changed
+// attributes' shards.
+func (sx *ShardedIndex) Refresh(changed []history.AttrID, newHorizon timeline.Time) error {
+	if got := sx.ds.Horizon(); got != newHorizon {
+		return fmt.Errorf("shard: dataset horizon %d does not match newHorizon %d", got, newHorizon)
+	}
+	groups := make(map[int][]history.AttrID)
+	for _, id := range changed {
+		if id < 0 || int(id) >= sx.ds.Len() {
+			return fmt.Errorf("shard: changed attribute %d out of range", id)
+		}
+		s := sx.locals[id].shard
+		groups[s] = append(groups[s], id)
+	}
+	// Deterministic shard order keeps error behavior reproducible.
+	for s := 0; s < len(sx.shards); s++ {
+		group, ok := groups[s]
+		if !ok {
+			continue
+		}
+		err := sx.shards[s].RefreshWith(newHorizon, func(sds *history.Dataset) ([]history.AttrID, error) {
+			if err := sds.ExtendHorizon(newHorizon); err != nil {
+				return nil, err
+			}
+			locals := make([]history.AttrID, 0, len(group))
+			for _, g := range group {
+				local := sx.locals[g].local
+				if err := sds.Replace(local, sx.ds.Attr(g).Clone()); err != nil {
+					return nil, err
+				}
+				locals = append(locals, local)
+			}
+			return locals, nil
+		})
+		if err != nil {
+			return fmt.Errorf("shard %d: %w", s, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,241 @@
+// Package shard scales the monolithic index.Index out to N independent
+// shards behind the same query contract. Attributes are hash-partitioned
+// by AttrID (history.ShardOf, deterministic under a fixed seed), each
+// shard is a complete index.Index over its own slice of the corpus, and
+// queries scatter to every shard and gather: forward/reverse result sets
+// union, top-k rankings k-way merge, all-pairs discovery fans out
+// shard-pair blocks. Because every per-shard answer is exact (the
+// monolith's pruning chain is lossless per shard), the gathered answer
+// is exact too — the differential tests in this package assert
+// ShardedIndex ≡ oracle ≡ single-shard Index for every mode.
+//
+// The payoff over one monolith is operational: Refresh becomes
+// shard-local (only the shards owning changed attributes take their
+// write lock, so queries against untouched shards never block), builds
+// proceed shard-parallel, and the per-shard slice budget shrinks by the
+// shard count (see PartitionOptions) without losing exactness.
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"tind/internal/history"
+	"tind/internal/index"
+)
+
+// Options configures a sharded build.
+type Options struct {
+	// Shards is N, the number of independent index partitions; must be
+	// at least 1. N=1 is exactly the monolithic index.
+	Shards int
+	// Seed drives the attribute-to-shard hash (history.ShardOf). It is
+	// independent of Index.Seed, which drives slice selection; a corpus
+	// persisted with one (Seed, Shards) pair must be reopened with the
+	// same pair to land attributes on the same shards.
+	Seed int64
+	// Index is the per-shard index configuration. Each shard perturbs
+	// Index.Seed by its shard number so slice selection differs across
+	// shards; everything else applies verbatim. See PartitionOptions for
+	// deriving a per-shard slice budget from a monolithic configuration.
+	Index index.Options
+}
+
+// PartitionOptions derives the per-shard index configuration from a
+// monolithic one: the slice budget is divided by the shard count
+// (rounding up, keeping at least one slice). Each shard then selects its
+// slices over only its own attributes, so the total number of slice
+// matrices — and the slice-selection and fill work — stays roughly
+// constant while build parallelism and refresh locality scale with N.
+// Queries remain exact regardless of slice count; fewer slices per shard
+// only trades pruning power, exactly like the monolith's Slices knob.
+func PartitionOptions(mono index.Options, shards int) index.Options {
+	if shards > 1 && mono.Slices > 0 {
+		mono.Slices = (mono.Slices + shards - 1) / shards
+	}
+	return mono
+}
+
+// localRef locates one global attribute inside the partition.
+type localRef struct {
+	shard int
+	local history.AttrID
+}
+
+// ShardedIndex serves the index.Index query contract over N hash
+// partitions of one dataset. Immutable after Build except through
+// Refresh, which locks only the shards owning changed attributes.
+type ShardedIndex struct {
+	opt Options
+	ds  *history.Dataset // the global dataset, ids 0..n-1
+
+	shards   []*index.Index
+	datasets []*history.Dataset  // per-shard datasets of history clones
+	globals  [][]history.AttrID  // per shard: global ids in local order (ascending)
+	locals   []localRef          // per global id: owning shard + local id
+
+	buildElapsed time.Duration
+}
+
+// Build partitions ds into opt.Shards independent indexes and builds
+// them concurrently. The dataset's histories are cloned into per-shard
+// datasets (sharing version data and the value dictionary) because
+// dataset registration assigns ids in place — one History pointer cannot
+// carry a global and a shard-local id at once.
+func Build(ds *history.Dataset, opt Options) (*ShardedIndex, error) {
+	start := time.Now()
+	if opt.Shards < 1 {
+		return nil, fmt.Errorf("%w: shard count %d < 1", index.ErrInvalidOptions, opt.Shards)
+	}
+	n := ds.Len()
+	sx := &ShardedIndex{
+		opt:      opt,
+		ds:       ds,
+		shards:   make([]*index.Index, opt.Shards),
+		datasets: make([]*history.Dataset, opt.Shards),
+		globals:  make([][]history.AttrID, opt.Shards),
+		locals:   make([]localRef, n),
+	}
+	for g := 0; g < n; g++ {
+		s := history.ShardOf(history.AttrID(g), opt.Seed, opt.Shards)
+		sx.locals[g] = localRef{shard: s, local: history.AttrID(len(sx.globals[s]))}
+		sx.globals[s] = append(sx.globals[s], history.AttrID(g))
+	}
+	for s := 0; s < opt.Shards; s++ {
+		sds := ds.Derive(ds.Horizon())
+		for _, g := range sx.globals[s] {
+			if _, err := sds.Add(ds.Attr(g).Clone()); err != nil {
+				return nil, fmt.Errorf("shard %d: %w", s, err)
+			}
+		}
+		sx.datasets[s] = sds
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, opt.Shards)
+	for s := 0; s < opt.Shards; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			iopt := opt.Index
+			iopt.Seed += int64(s)
+			sx.shards[s], errs[s] = index.Build(sx.datasets[s], iopt)
+		}(s)
+	}
+	wg.Wait()
+	for s, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", s, err)
+		}
+	}
+	sx.buildElapsed = time.Since(start)
+	mShardCount.Set(float64(opt.Shards))
+	mShardBuildSeconds.ObserveDuration(sx.buildElapsed)
+	return sx, nil
+}
+
+// NumShards returns N.
+func (sx *ShardedIndex) NumShards() int { return len(sx.shards) }
+
+// Dataset returns the global dataset the partition was built over.
+func (sx *ShardedIndex) Dataset() *history.Dataset { return sx.ds }
+
+// Shard returns the s-th shard's index — read-only access for tests and
+// diagnostics.
+func (sx *ShardedIndex) Shard(s int) *index.Index { return sx.shards[s] }
+
+// ShardOwner returns the shard owning the given global attribute.
+func (sx *ShardedIndex) ShardOwner(id history.AttrID) int { return sx.locals[id].shard }
+
+// localQuery reports whether shard s owns q (an attribute of the global
+// dataset) and under which local id. The owning shard's leg must query
+// by local id (index.QueryByID) so the shard resolves its own — possibly
+// refresh-swapped — clone under its read lock and self-exclusion still
+// fires; every other shard queries with q itself, whose global pointer
+// matches nothing in that shard's dataset.
+func (sx *ShardedIndex) localQuery(s int, q *history.History) (history.AttrID, bool) {
+	id := q.ID()
+	if id >= 0 && int(id) < sx.ds.Len() && sx.ds.Attr(id) == q {
+		if ref := sx.locals[id]; ref.shard == s {
+			return ref.local, true
+		}
+	}
+	return 0, false
+}
+
+// Stats aggregates the per-shard build statistics into one monolith-
+// shaped summary: counts, memory and phase times sum; slice spans, fill
+// ratios and pruning powers concatenate in shard order; dirty-attribute
+// accounting sums with coverage recomputed over the global corpus.
+func (sx *ShardedIndex) Stats() index.BuildStats {
+	var agg index.BuildStats
+	for _, x := range sx.shards {
+		st := x.Stats()
+		agg.Attributes += st.Attributes
+		agg.Slices += st.Slices
+		agg.SliceSpans = append(agg.SliceSpans, st.SliceSpans...)
+		agg.MemoryBytes += st.MemoryBytes
+		agg.MTBuild += st.MTBuild
+		agg.SliceBuild += st.SliceBuild
+		agg.MRBuild += st.MRBuild
+		agg.SliceFillRatios = append(agg.SliceFillRatios, st.SliceFillRatios...)
+		agg.SlicePruningPower = append(agg.SlicePruningPower, st.SlicePruningPower...)
+		agg.DirtyAttributes += st.DirtyAttributes
+	}
+	if len(sx.shards) > 0 {
+		// Fill ratios are per-matrix densities, not additive; report the
+		// mean across shards.
+		var mt, mr float64
+		for _, x := range sx.shards {
+			st := x.Stats()
+			mt += st.MTFillRatio
+			mr += st.MRFillRatio
+		}
+		agg.MTFillRatio = mt / float64(len(sx.shards))
+		agg.MRFillRatio = mr / float64(len(sx.shards))
+	}
+	agg.Elapsed = sx.buildElapsed
+	agg.SlicePruningCoverage = 1
+	if agg.Attributes > 0 {
+		agg.SlicePruningCoverage = 1 - float64(agg.DirtyAttributes)/float64(agg.Attributes)
+	}
+	return agg
+}
+
+// ShardStats returns the unaggregated per-shard build statistics.
+func (sx *ShardedIndex) ShardStats() []index.BuildStats {
+	out := make([]index.BuildStats, len(sx.shards))
+	for s, x := range sx.shards {
+		out[s] = x.Stats()
+	}
+	return out
+}
+
+// sortPairs orders discovered pairs ascending by LHS then RHS, the
+// monolith's emission order.
+func sortPairs(pairs []index.Pair) {
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].LHS != pairs[j].LHS {
+			return pairs[i].LHS < pairs[j].LHS
+		}
+		return pairs[i].RHS < pairs[j].RHS
+	})
+}
+
+// ctxDone mirrors the index package's cancellation poll, mapped to the
+// same typed errors, for the scatter loops that run outside any shard
+// query.
+func ctxDone(ctx context.Context) error {
+	switch err := ctx.Err(); {
+	case err == nil:
+		return nil
+	case errors.Is(err, context.DeadlineExceeded):
+		return fmt.Errorf("%w: %w", index.ErrDeadlineExceeded, err)
+	default:
+		return fmt.Errorf("%w: %w", index.ErrCanceled, err)
+	}
+}

@@ -46,6 +46,7 @@ import (
 	"tind/internal/opendata"
 	"tind/internal/persist"
 	"tind/internal/preprocess"
+	"tind/internal/shard"
 	"tind/internal/timeline"
 	"tind/internal/values"
 	"tind/internal/wiki"
@@ -263,6 +264,52 @@ func NewStaticMANY(ds *Dataset, t Time, bp BloomParams) (*StaticMANY, error) {
 func NewKMany(ds *Dataset, k int, delta Time, bp BloomParams, seed int64) (*KMany, error) {
 	return many.NewKMany(ds, k, delta, bp, seed)
 }
+
+// Sharded scatter-gather serving (package shard).
+type (
+	// ShardedIndex serves the Index query contract over N hash-partitioned
+	// shards: forward/reverse results union, top-k rankings k-way merge,
+	// all-pairs discovery fans out shard-pair blocks. Answers are exact —
+	// identical to a single Index over the same corpus — while Refresh
+	// locks only the shards owning changed attributes.
+	ShardedIndex = shard.ShardedIndex
+	// ShardOptions configures a sharded build (shard count, partitioning
+	// seed, per-shard IndexOptions).
+	ShardOptions = shard.Options
+	// ShardManifest describes a sharded dataset container on disk.
+	ShardManifest = persist.Manifest
+)
+
+// BuildShardedIndex partitions ds into opt.Shards independent indexes
+// (deterministically by AttrID under opt.Seed) and builds them
+// concurrently.
+func BuildShardedIndex(ds *Dataset, opt ShardOptions) (*ShardedIndex, error) {
+	return shard.Build(ds, opt)
+}
+
+// PartitionShardOptions derives the per-shard index configuration from a
+// monolithic one by dividing the slice budget across shards, keeping the
+// total slice work roughly constant as N grows.
+func PartitionShardOptions(mono IndexOptions, shards int) IndexOptions {
+	return shard.PartitionOptions(mono, shards)
+}
+
+// WriteShardedDataset stores a dataset as a sharded container: one CRC'd
+// blob per shard plus a manifest, partitioned exactly as a
+// BuildShardedIndex with the same (shards, seed) pair would.
+func WriteShardedDataset(ds *Dataset, dir string, shards int, seed int64) error {
+	return persist.WriteSharded(ds, dir, shards, seed)
+}
+
+// ReadShardedDataset loads a container written by WriteShardedDataset,
+// reassembling the global dataset and returning the manifest.
+func ReadShardedDataset(dir string) (*Dataset, *ShardManifest, error) {
+	return persist.ReadSharded(dir)
+}
+
+// IsShardedDataset reports whether path is a sharded dataset container
+// (a directory holding a manifest), as opposed to a single-file blob.
+func IsShardedDataset(path string) bool { return persist.IsSharded(path) }
 
 // Wikipedia substrate (package wiki) and preprocessing (package preprocess).
 type (

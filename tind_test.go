@@ -239,3 +239,70 @@ func TestPublicAPIQueryAndMetrics(t *testing.T) {
 		t.Fatal("WriteMetrics exposition missing query-phase histogram")
 	}
 }
+
+func TestPublicAPISharded(t *testing.T) {
+	c, err := tind.GenerateCorpus(tind.CorpusConfig{Seed: 11, Attributes: 60, Horizon: 200, AttrsPerDomain: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := c.Dataset
+	p := tind.DefaultParams(ds.Horizon())
+	opt := tind.DefaultOptions(ds.Horizon())
+	opt.Params = p
+	opt.Reverse = true
+
+	idx, err := tind.BuildIndex(ds, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sx, err := tind.BuildShardedIndex(ds, tind.ShardOptions{
+		Shards: 4, Seed: 7, Index: tind.PartitionShardOptions(opt, 4),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sx.NumShards() != 4 {
+		t.Fatalf("NumShards = %d, want 4", sx.NumShards())
+	}
+	for id := 0; id < ds.Len(); id++ {
+		q := ds.Attr(tind.AttrID(id))
+		for _, mode := range []tind.QueryMode{tind.ModeForward, tind.ModeReverse} {
+			o := tind.QueryOptions{Mode: mode, Params: p}
+			mres, err := idx.Query(context.Background(), q, o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sres, err := sx.Query(context.Background(), q, o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(mres.IDs) != len(sres.IDs) {
+				t.Fatalf("attr %d mode %v: sharded answer %v != monolith %v", id, mode, sres.IDs, mres.IDs)
+			}
+			for i := range mres.IDs {
+				if mres.IDs[i] != sres.IDs[i] {
+					t.Fatalf("attr %d mode %v: sharded answer %v != monolith %v", id, mode, sres.IDs, mres.IDs)
+				}
+			}
+		}
+	}
+
+	dir := t.TempDir()
+	if err := tind.WriteShardedDataset(ds, dir, 4, 7); err != nil {
+		t.Fatal(err)
+	}
+	if !tind.IsShardedDataset(dir) {
+		t.Fatal("IsShardedDataset must recognize the container it just wrote")
+	}
+	got, man, err := tind.ReadShardedDataset(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.Shards != 4 || man.Seed != 7 {
+		t.Fatalf("manifest round-trip: %+v", man)
+	}
+	if got.Len() != ds.Len() || got.Horizon() != ds.Horizon() {
+		t.Fatalf("sharded round-trip shape: %d/%d attrs, %d/%d horizon",
+			got.Len(), ds.Len(), got.Horizon(), ds.Horizon())
+	}
+}
