@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"runtime"
 	"time"
 
@@ -13,10 +15,12 @@ import (
 	"tind/internal/datagen"
 	"tind/internal/history"
 	"tind/internal/index"
+	"tind/internal/ingest"
 	"tind/internal/obs"
 	"tind/internal/persist"
 	"tind/internal/shard"
 	"tind/internal/timeline"
+	"tind/internal/wal"
 )
 
 // benchConfig is the benchmark matrix: which corpus sizes to run and how
@@ -40,7 +44,7 @@ type benchConfig struct {
 // families that describe pipeline work — funnels, fill ratios, pruning
 // power, persist volume and GC activity — keeping the report readable.
 var obsKeepPrefixes = []string{
-	"tind_query_", "tind_index_", "tind_persist_", "tind_allpairs_", "tind_shard_", "tind_runtime_gc",
+	"tind_query_", "tind_index_", "tind_persist_", "tind_allpairs_", "tind_shard_", "tind_ingest_", "tind_runtime_gc",
 }
 
 // bench carries the run-wide measurement state.
@@ -220,7 +224,80 @@ func (b *bench) runSize(n int) ([]Scenario, error) {
 	if err != nil {
 		return nil, err
 	}
+
+	// refresh_ingest: live delta batches through the WAL-backed ingester
+	// into shard-local refresh — the serving-side maintenance path
+	// (validate → WAL append → apply). Runs last within a size: it evolves
+	// the dataset, which must not leak into the scenarios above. The WAL
+	// runs unsynced so the numbers measure the pipeline, not the disk.
+	feed := newIngestFeed(ds)
+	perRound := min(32, ds.Len())
+	err = add(b.scenario(fmt.Sprintf("refresh_ingest/%d", n), int64(ingestRounds*(1+perRound)), func() error {
+		dir, err := os.MkdirTemp("", "tindbench-wal")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		log, err := wal.Open(filepath.Join(dir, "ingest.wal"), wal.Options{Sync: wal.SyncNever})
+		if err != nil {
+			return err
+		}
+		in := ingest.New(sx, ds, log, ingest.Options{MaxDirty: 1 << 30, MaxDirtyAge: time.Hour})
+		for r := 0; r < ingestRounds; r++ {
+			if err := in.Submit(feed.round(r, perRound)); err != nil {
+				return err
+			}
+		}
+		if err := in.Flush(); err != nil {
+			return err
+		}
+		if err := in.Close(); err != nil {
+			return err
+		}
+		return log.Close()
+	}))
+	if err != nil {
+		return nil, err
+	}
 	return out, nil
+}
+
+// ingestRounds is the number of delta batches the refresh_ingest
+// scenario submits per repetition.
+const ingestRounds = 6
+
+// ingestFeed produces valid delta batches against a client-side shadow
+// of the evolving dataset state, like an external ingest client. State
+// persists across repetitions so every batch stays valid as the dataset
+// evolves.
+type ingestFeed struct {
+	horizon timeline.Time
+	ends    []timeline.Time
+	batch   int
+}
+
+func newIngestFeed(ds *history.Dataset) *ingestFeed {
+	f := &ingestFeed{horizon: ds.Horizon(), ends: make([]timeline.Time, ds.Len())}
+	for i := range f.ends {
+		f.ends[i] = ds.Attr(history.AttrID(i)).ObservedUntil()
+	}
+	return f
+}
+
+func (f *ingestFeed) round(r, perRound int) []wal.Record {
+	f.batch++
+	f.horizon += 2
+	recs := []wal.Record{{Type: wal.TypeExtendHorizon, Horizon: f.horizon}}
+	for i := 0; i < perRound; i++ {
+		a := history.AttrID((r*perRound + i) % len(f.ends))
+		recs = append(recs, wal.Record{
+			Type: wal.TypeAppend, Attr: a,
+			Start: f.ends[a], End: f.horizon,
+			Values: []string{fmt.Sprintf("ingest-%d-%d", f.batch, a)},
+		})
+		f.ends[a] = f.horizon
+	}
+	return recs
 }
 
 // scenarioNames returns the scenario set a config produces, in run
@@ -246,7 +323,10 @@ func scenarioNames(cfg benchConfig) []string {
 		if cfg.AllPairsMax > 0 && n <= cfg.AllPairsMax {
 			names = append(names, fmt.Sprintf("allpairs/%d", n))
 		}
-		names = append(names, fmt.Sprintf("persist/roundtrip/%d", n))
+		names = append(names,
+			fmt.Sprintf("persist/roundtrip/%d", n),
+			fmt.Sprintf("refresh_ingest/%d", n),
+		)
 	}
 	return names
 }

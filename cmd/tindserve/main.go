@@ -17,7 +17,8 @@
 //	GET /topk?attr=...&k=10&delta=7                      ranked by violation
 //	GET /explain?lhs=...&rhs=...&delta=7                 violated intervals
 //	GET /attr?attr=...                                   attribute details
-//	GET /stats                                           corpus and index stats
+//	GET /stats                                           corpus, index and ingestion stats
+//	POST /ingest                                         live history deltas (with -wal)
 //	GET /metrics                                         Prometheus text exposition
 //	GET /debug/pprof/*                                   profiling (only with -pprof)
 //	GET /healthz                                         process liveness
@@ -30,6 +31,22 @@
 // the client disconnects. A weighted concurrency limiter sheds excess
 // load with 503 + Retry-After instead of queueing. SIGINT/SIGTERM drain
 // in-flight requests for up to -drain-timeout before exiting.
+//
+// Live ingestion: with -wal the server accepts history deltas on
+// POST /ingest. A delta batch is validated, appended to the write-ahead
+// log and fsynced *before* the 200 — acknowledged deltas survive a kill
+// -9. Applied batches fold into the serving index incrementally (shard-
+// local refresh) on a dirty-count/dirty-age trigger; between
+// acknowledgement and apply the server is boundedly stale, observable
+// via /stats (pending records, oldest pending age, WAL lag) and bounded
+// by -max-staleness: /readyz turns 503 "degraded" when the oldest
+// unapplied delta exceeds it. With -snapshot the ingest loop
+// periodically writes an atomic snapshot container so a restart replays
+// only the WAL suffix past the snapshot's offset; during that replay
+// /readyz reports structured progress. On startup the server prefers
+// the snapshot (falling back to -corpus or the synthetic generator) and
+// replays the WAL before building the index, so recovered answers match
+// a from-scratch rebuild exactly.
 //
 // Observability: /metrics serves the process-wide obs registry (query
 // phase latencies, candidate funnels, Bloom fill ratios, HTTP counters,
@@ -66,11 +83,13 @@ import (
 	"tind/internal/datagen"
 	"tind/internal/history"
 	"tind/internal/index"
+	"tind/internal/ingest"
 	"tind/internal/obs"
 	"tind/internal/persist"
 	"tind/internal/sem"
 	"tind/internal/shard"
 	"tind/internal/timeline"
+	"tind/internal/wal"
 )
 
 // HTTP-level instruments. The query-internal metrics (phase latencies,
@@ -127,6 +146,12 @@ func main() {
 		drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "grace period for in-flight requests on SIGINT/SIGTERM")
 		slowQuery    = flag.Duration("slow-query-threshold", time.Second, "log queries slower than this with their phase breakdown (0 = disabled)")
 		pprofF       = flag.Bool("pprof", false, "expose /debug/pprof endpoints (off by default: profiling leaks internals)")
+		walF         = flag.String("wal", "", "write-ahead log path: enables POST /ingest and startup WAL replay")
+		snapshotF    = flag.String("snapshot", "", "snapshot container directory: loaded (over -corpus) at startup, written periodically by the ingest loop")
+		snapEvery    = flag.Int("snapshot-every", 4096, "applied records between snapshots (0 = never snapshot)")
+		maxStale     = flag.Duration("max-staleness", 30*time.Second, "flip /readyz to degraded when the oldest unapplied delta exceeds this (0 = never)")
+		maxDirty     = flag.Int("ingest-max-dirty", 256, "apply pending deltas once this many records queue")
+		maxDirtyAge  = flag.Duration("ingest-max-dirty-age", 2*time.Second, "apply pending deltas once the oldest queues this long")
 	)
 	flag.Parse()
 
@@ -136,6 +161,7 @@ func main() {
 		drainTimeout: *drainTimeout,
 		slowQuery:    *slowQuery,
 		pprof:        *pprofF,
+		maxStaleness: *maxStale,
 	}
 
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -151,8 +177,12 @@ func main() {
 	}
 	logger.Info("listening, index building in background", "addr", ln.Addr().String())
 
-	load := func() (*history.Dataset, queryIndex, error) {
-		return loadCorpus(*corpusF, *attrs, *horizon, *seed, *shards)
+	load := func(rp *replayProgress) (*serving, error) {
+		return loadServing(corpusConfig{
+			corpus: *corpusF, attrs: *attrs, horizon: *horizon, seed: *seed, shards: *shards,
+			wal: *walF, snapshot: *snapshotF, snapshotEvery: *snapEvery,
+			maxDirty: *maxDirty, maxDirtyAge: *maxDirtyAge,
+		}, rp)
 	}
 	if err := run(ctx, cfg, ln, load); err != nil {
 		logger.Error("serve", "err", err)
@@ -168,13 +198,18 @@ type config struct {
 	drainTimeout time.Duration
 	slowQuery    time.Duration
 	pprof        bool
+	// maxStaleness flips /readyz to degraded when the oldest acknowledged
+	// but unapplied delta is older than this; 0 disables the check.
+	maxStaleness time.Duration
 }
 
 // run serves on ln until ctx is done (SIGINT/SIGTERM in production),
 // then drains in-flight requests for up to cfg.drainTimeout. The corpus
-// loads in a background goroutine so the process answers health probes
-// from the first moment; a load failure tears the server down.
-func run(ctx context.Context, cfg config, ln net.Listener, load func() (*history.Dataset, queryIndex, error)) error {
+// loads (and the WAL replays) in a background goroutine so the process
+// answers health probes from the first moment; a load failure tears the
+// server down. After the drain, the ingester flushes and the WAL closes
+// so acknowledged deltas are applied or at minimum durable.
+func run(ctx context.Context, cfg config, ln net.Listener, load func(rp *replayProgress) (*serving, error)) error {
 	s := newServer(cfg)
 
 	// Periodic runtime sampling keeps goroutine count, heap watermark and
@@ -204,19 +239,21 @@ func run(ctx context.Context, cfg config, ln net.Listener, load func() (*history
 	}()
 	go func() {
 		start := time.Now()
-		ds, idx, err := load()
+		sv, err := load(&s.replay)
 		if err != nil {
 			errCh <- fmt.Errorf("corpus load: %w", err)
 			return
 		}
-		s.install(ds, idx)
-		s.log.Info("ready", "attributes", ds.Len(),
-			"build_time", time.Since(start).Round(time.Millisecond))
+		s.install(sv)
+		s.log.Info("ready", "attributes", sv.ds.Len(),
+			"build_time", time.Since(start).Round(time.Millisecond),
+			"ingest", sv.ing != nil)
 	}()
 
 	select {
 	case err := <-errCh:
 		httpSrv.Close()
+		s.closeServing()
 		return err
 	case <-ctx.Done():
 	}
@@ -224,11 +261,30 @@ func run(ctx context.Context, cfg config, ln net.Listener, load func() (*history
 	s.log.Info("shutdown requested, draining", "grace", cfg.drainTimeout)
 	drainCtx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
 	defer cancel()
-	if err := httpSrv.Shutdown(drainCtx); err != nil {
+	err := httpSrv.Shutdown(drainCtx)
+	if cerr := s.closeServing(); err == nil {
+		err = cerr
+	}
+	if err != nil {
 		httpSrv.Close()
 		return fmt.Errorf("drain incomplete after %v: %w", cfg.drainTimeout, err)
 	}
 	return nil
+}
+
+// closeServing flushes the ingester and closes the WAL, if installed.
+func (s *server) closeServing() error {
+	c := s.corpus.Load()
+	if c == nil || c.ing == nil {
+		return nil
+	}
+	err := c.ing.Close()
+	if c.wal != nil {
+		if cerr := c.wal.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
 }
 
 // queryIndex is the serving contract the handlers need: the monolithic
@@ -239,63 +295,174 @@ type queryIndex interface {
 	Stats() index.BuildStats
 }
 
-// loadCorpus reads or generates the dataset and builds the index — the
-// monolith by default, an N-shard partition with -shards N > 1. A
-// -corpus path may be a single-file dataset or a sharded persist
-// container directory (persist.IsSharded); the container's partitioning
-// is independent of -shards, which only picks the serving engine.
-func loadCorpus(corpusF string, attrs, horizon int, seed int64, shards int) (*history.Dataset, queryIndex, error) {
-	var ds *history.Dataset
-	switch {
-	case corpusF != "" && persist.IsSharded(corpusF):
-		var err error
-		ds, _, err = persist.ReadSharded(corpusF)
-		if err != nil {
-			return nil, nil, err
-		}
-	case corpusF != "":
-		f, err := os.Open(corpusF)
-		if err != nil {
-			return nil, nil, err
-		}
-		ds, err = persist.Read(f)
-		f.Close()
-		if err != nil {
-			return nil, nil, err
-		}
-	default:
-		c, err := datagen.Generate(datagen.Config{
-			Seed: seed, Attributes: attrs, Horizon: timeline.Time(horizon),
-		})
-		if err != nil {
-			return nil, nil, err
-		}
-		ds = c.Dataset
-	}
-	opt := index.DefaultOptions(ds.Horizon())
-	opt.Reverse = true
-	opt.Seed = seed
-	if shards > 1 {
-		sx, err := shard.Build(ds, shard.Options{
-			Shards: shards, Seed: seed, Index: shard.PartitionOptions(opt, shards),
-		})
-		if err != nil {
-			return nil, nil, err
-		}
-		return ds, sx, nil
-	}
-	idx, err := index.Build(ds, opt)
-	if err != nil {
-		return nil, nil, err
-	}
-	return ds, idx, nil
+// corpusConfig is everything loadServing needs to assemble the serving
+// state: corpus source, engine layout and the live-ingestion knobs.
+type corpusConfig struct {
+	corpus        string
+	attrs         int
+	horizon       int
+	seed          int64
+	shards        int
+	wal           string
+	snapshot      string
+	snapshotEvery int
+	maxDirty      int
+	maxDirtyAge   time.Duration
 }
 
-// corpus is the immutable serving state, swapped in atomically once the
-// index build completes.
+// serving is the full serving state a load produces: dataset, engine and
+// — with -wal — the write path (ingester + open log).
+type serving struct {
+	ds  *history.Dataset
+	idx queryIndex
+	ing *ingest.Ingester // nil without -wal
+	wal *wal.Log         // nil without -wal; owned by the serving state
+}
+
+// replayProgress publishes WAL-replay progress for /readyz while the
+// corpus loads: total records to replay, records done, and the start
+// time for a rate estimate.
+type replayProgress struct {
+	active    atomic.Bool
+	total     atomic.Int64
+	done      atomic.Int64
+	startNano atomic.Int64
+}
+
+// loadDataset reads or generates the base dataset. The snapshot
+// container — written by the ingest loop — wins over -corpus: it is the
+// same corpus, further along the WAL. The returned offset is the WAL
+// position the dataset already covers.
+func loadDataset(cc corpusConfig) (*history.Dataset, int64, error) {
+	if cc.snapshot != "" {
+		ds, man, err := persist.OpenSnapshot(cc.snapshot)
+		if err == nil {
+			return ds, man.WALOffset, nil
+		}
+		if !errors.Is(err, os.ErrNotExist) {
+			return nil, 0, fmt.Errorf("snapshot: %w", err)
+		}
+		// No snapshot yet — first boot; fall through to the corpus.
+	}
+	switch {
+	case cc.corpus != "" && persist.IsSharded(cc.corpus):
+		ds, _, err := persist.ReadSharded(cc.corpus)
+		return ds, 0, err
+	case cc.corpus != "":
+		f, err := os.Open(cc.corpus)
+		if err != nil {
+			return nil, 0, err
+		}
+		ds, err := persist.Read(f)
+		f.Close()
+		return ds, 0, err
+	default:
+		c, err := datagen.Generate(datagen.Config{
+			Seed: cc.seed, Attributes: cc.attrs, Horizon: timeline.Time(cc.horizon),
+		})
+		if err != nil {
+			return nil, 0, err
+		}
+		return c.Dataset, 0, nil
+	}
+}
+
+// loadServing assembles the serving state: dataset (snapshot, corpus or
+// synthetic), WAL recovery replay, index build — the monolith by
+// default, an N-shard partition with -shards N > 1 (a -corpus container's
+// partitioning is independent of -shards, which only picks the serving
+// engine) — and, with -wal, the live-ingestion write path.
+func loadServing(cc corpusConfig, rp *replayProgress) (*serving, error) {
+	ds, walOffset, err := loadDataset(cc)
+	if err != nil {
+		return nil, err
+	}
+
+	var log *wal.Log
+	if cc.wal != "" {
+		log, err = wal.Open(cc.wal, wal.Options{Sync: wal.SyncAlways})
+		if err != nil {
+			return nil, fmt.Errorf("wal: %w", err)
+		}
+		total, err := log.CountFrom(walOffset)
+		if err != nil {
+			log.Close()
+			return nil, fmt.Errorf("wal: %w", err)
+		}
+		if rp != nil && total > 0 {
+			rp.total.Store(int64(total))
+			rp.done.Store(0)
+			rp.startNano.Store(time.Now().UnixNano())
+			rp.active.Store(true)
+			defer rp.active.Store(false)
+		}
+		if _, n, err := ingest.Replay(ds, log, walOffset, func(replayed int, _ int64) {
+			if rp != nil {
+				rp.done.Store(int64(replayed))
+			}
+		}); err != nil {
+			log.Close()
+			return nil, fmt.Errorf("wal replay: %w", err)
+		} else if n > 0 {
+			slog.Info("wal replayed", "records", n, "from_offset", walOffset)
+		}
+	}
+
+	opt := index.DefaultOptions(ds.Horizon())
+	opt.Reverse = true
+	opt.Seed = cc.seed
+	sv := &serving{ds: ds, wal: log}
+	var eng ingest.Engine
+	if cc.shards > 1 {
+		sx, err := shard.Build(ds, shard.Options{
+			Shards: cc.shards, Seed: cc.seed, Index: shard.PartitionOptions(opt, cc.shards),
+		})
+		if err != nil {
+			closeLog(log)
+			return nil, err
+		}
+		sv.idx, eng = sx, sx
+	} else {
+		idx, err := index.Build(ds, opt)
+		if err != nil {
+			closeLog(log)
+			return nil, err
+		}
+		sv.idx, eng = idx, idx
+	}
+
+	if log != nil {
+		iopt := ingest.Options{MaxDirty: cc.maxDirty, MaxDirtyAge: cc.maxDirtyAge}
+		if cc.snapshot != "" && cc.snapshotEvery > 0 {
+			snapShards := cc.shards
+			if snapShards < 1 {
+				snapShards = 1
+			}
+			iopt.Snapshot = ingest.SnapshotConfig{
+				Dir: cc.snapshot, Shards: snapShards, Seed: cc.seed, Every: cc.snapshotEvery,
+			}
+		}
+		sv.ing = ingest.New(eng, ds, log, iopt)
+		sv.ing.Start()
+	}
+	return sv, nil
+}
+
+func closeLog(log *wal.Log) {
+	if log != nil {
+		log.Close()
+	}
+}
+
+// corpus is the serving state, swapped in atomically once the index
+// build completes. Without live ingestion it is immutable; with -wal the
+// dataset mutates under the ingester's lock, and handlers route dataset
+// reads through view.
 type corpus struct {
 	ds  *history.Dataset
 	idx queryIndex
+	ing *ingest.Ingester // nil without -wal
+	wal *wal.Log         // nil without -wal
 	// pagesLower caches the lowercased page title per attribute so
 	// resolve's substring match does not re-lowercase every title on
 	// every request.
@@ -307,12 +474,23 @@ type corpus struct {
 // the cache here rather than at the install site means a future second
 // caller that swaps the corpus pointer cannot forget to invalidate it:
 // a corpus and its caches are created together or not at all.
-func newCorpus(ds *history.Dataset, idx queryIndex) *corpus {
-	pages := make([]string, ds.Len())
-	for i, h := range ds.Attrs() {
+func newCorpus(sv *serving) *corpus {
+	pages := make([]string, sv.ds.Len())
+	for i, h := range sv.ds.Attrs() {
 		pages[i] = strings.ToLower(h.Meta().Page)
 	}
-	return &corpus{ds: ds, idx: idx, pagesLower: pages}
+	return &corpus{ds: sv.ds, idx: sv.idx, ing: sv.ing, wal: sv.wal, pagesLower: pages}
+}
+
+// view runs fn with the dataset quiescent. With live ingestion the
+// ingester's read lock excludes the apply step's clone-and-replace swap;
+// without it the dataset is immutable and fn runs directly.
+func (c *corpus) view(fn func(ds *history.Dataset)) {
+	if c.ing != nil {
+		c.ing.View(fn)
+		return
+	}
+	fn(c.ds)
 }
 
 // server bundles the serving state with the robustness machinery.
@@ -329,6 +507,11 @@ type server struct {
 	// X-Query-ID response header and attached to the slow-query log so a
 	// client-reported request can be matched to its trace.
 	queryID atomic.Uint64
+	// replay publishes WAL-replay progress for /readyz while the corpus
+	// loads after a restart.
+	replay replayProgress
+	// maxStaleness flips /readyz to degraded when ingestion falls behind.
+	maxStaleness time.Duration
 }
 
 func newServer(cfg config) *server {
@@ -341,30 +524,48 @@ func newServer(cfg config) *server {
 		queryTimeout: cfg.queryTimeout,
 		slowQuery:    cfg.slowQuery,
 		pprof:        cfg.pprof,
+		maxStaleness: cfg.maxStaleness,
 		log:          slog.Default(),
 	}
 }
 
-// install publishes the corpus, flipping /readyz to 200 and letting
-// query endpoints through.
-func (s *server) install(ds *history.Dataset, idx queryIndex) {
-	s.corpus.Store(newCorpus(ds, idx))
+// install publishes the serving state, flipping /readyz to 200 and
+// letting query endpoints through.
+func (s *server) install(sv *serving) {
+	s.corpus.Store(newCorpus(sv))
 }
 
 // queryHandler is an endpoint that needs the corpus; the query
 // middleware hands it the current snapshot.
 type queryHandler func(c *corpus, w http.ResponseWriter, r *http.Request)
 
+// viewed runs a handler under the corpus view so the dataset is
+// quiescent for its whole body — resolution, query and rendering all
+// read it, and with live ingestion the apply step mutates attribute
+// pointers, the horizon and the value dictionary. Lock order matches
+// the apply path (dataset lock before engine lock), so queries and
+// applies interleave without deadlock. /ingest must NOT be viewed: its
+// Submit acquires the same dataset lock, and nesting read locks around
+// a queued writer deadlocks.
+func viewed(h queryHandler) queryHandler {
+	return func(c *corpus, w http.ResponseWriter, r *http.Request) {
+		c.view(func(*history.Dataset) { h(c, w, r) })
+	}
+}
+
 func (s *server) routes() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
-	mux.Handle("GET /search", s.query(1, s.handleSearch(false)))
-	mux.Handle("GET /reverse", s.query(1, s.handleSearch(true)))
-	mux.Handle("GET /topk", s.query(topKWeight, s.handleTopK))
-	mux.Handle("GET /explain", s.query(1, s.handleExplain))
-	mux.Handle("GET /attr", s.query(1, s.handleAttr))
+	mux.Handle("GET /search", s.query(1, viewed(s.handleSearch(false))))
+	mux.Handle("GET /reverse", s.query(1, viewed(s.handleSearch(true))))
+	mux.Handle("GET /topk", s.query(topKWeight, viewed(s.handleTopK)))
+	mux.Handle("GET /explain", s.query(1, viewed(s.handleExplain)))
+	mux.Handle("GET /attr", s.query(1, viewed(s.handleAttr)))
+	// /stats is not viewed: it reads ingester stats, whose lock is taken
+	// before the dataset lock on the submit path — see handleStats.
 	mux.Handle("GET /stats", s.query(1, s.handleStats))
+	mux.Handle("POST /ingest", s.query(1, s.handleIngest))
 	// /metrics is deliberately outside the query middleware: scrapes must
 	// work while the index is still building and must never be shed.
 	mux.HandleFunc("GET /metrics", handleMetrics)
@@ -549,11 +750,58 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, body)
 }
 
+// handleReadyz reports serving readiness. Three states: not ready while
+// the corpus loads (with structured WAL-replay progress when a recovery
+// replay is running), degraded when live ingestion has fallen behind the
+// -max-staleness bound or its last apply failed, and ready otherwise.
 func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
-	if s.corpus.Load() == nil {
+	c := s.corpus.Load()
+	if c == nil {
 		w.Header().Set("Retry-After", "1")
-		httpError(w, http.StatusServiceUnavailable, errors.New("index still building"))
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		body := map[string]interface{}{"status": "starting", "error": "index still building"}
+		if s.replay.active.Load() {
+			total, done := s.replay.total.Load(), s.replay.done.Load()
+			replay := map[string]interface{}{
+				"records_total":    total,
+				"records_replayed": done,
+			}
+			if total > 0 {
+				replay["percent"] = math.Round(10000*float64(done)/float64(total)) / 100
+			}
+			if elapsed := time.Since(time.Unix(0, s.replay.startNano.Load())); elapsed > 0 && done > 0 {
+				replay["records_per_second"] = math.Round(float64(done) / elapsed.Seconds())
+			}
+			body["status"] = "replaying_wal"
+			body["wal_replay"] = replay
+		}
+		json.NewEncoder(w).Encode(body)
 		return
+	}
+	if c.ing != nil {
+		st := c.ing.Stats()
+		degraded := ""
+		switch {
+		case st.LastError != "":
+			degraded = "ingest apply failing: " + st.LastError
+		case s.maxStaleness > 0 && st.OldestPendingAge > s.maxStaleness:
+			degraded = fmt.Sprintf("staleness bound exceeded: oldest pending delta %v > %v",
+				st.OldestPendingAge.Round(time.Millisecond), s.maxStaleness)
+		}
+		if degraded != "" {
+			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			json.NewEncoder(w).Encode(map[string]interface{}{
+				"status":            "degraded",
+				"error":             degraded,
+				"pending_records":   st.PendingRecords,
+				"oldest_pending_ms": float64(st.OldestPendingAge) / float64(time.Millisecond),
+				"max_staleness_ms":  float64(s.maxStaleness) / float64(time.Millisecond),
+			})
+			return
+		}
 	}
 	writeJSON(w, map[string]interface{}{"status": "ready"})
 }
@@ -769,22 +1017,137 @@ func (s *server) handleAttr(c *corpus, w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (s *server) handleStats(c *corpus, w http.ResponseWriter, r *http.Request) {
-	st := c.ds.ComputeStats()
-	ist := c.idx.Stats()
-	body := map[string]interface{}{
-		"attributes":             st.Attributes,
-		"horizon_days":           int(c.ds.Horizon()),
-		"distinct_values":        st.DistinctValues,
-		"mean_changes":           st.MeanChanges,
-		"mean_cardinality":       st.MeanCardinality,
-		"index_slices":           ist.Slices,
-		"index_bytes":            ist.MemoryBytes,
-		"dirty_attributes":       ist.DirtyAttributes,
-		"slice_pruning_coverage": ist.SlicePruningCoverage,
+// ingestDelta is one history delta in a POST /ingest request body.
+type ingestDelta struct {
+	Op      string         `json:"op"` // append | extend_observation | extend_horizon
+	Attr    history.AttrID `json:"attr"`
+	Start   int            `json:"start,omitempty"`
+	End     int            `json:"end"`
+	Horizon int            `json:"horizon,omitempty"`
+	Values  []string       `json:"values,omitempty"`
+}
+
+// ingestMaxBody bounds a POST /ingest request body; a delta batch is a
+// control-plane payload, not a bulk load.
+const ingestMaxBody = 8 << 20
+
+// handleIngest accepts a batch of history deltas:
+//
+//	{"deltas": [{"op": "extend_horizon", "horizon": 91},
+//	            {"op": "append", "attr": 3, "start": 90, "end": 91, "values": ["x"]}]}
+//
+// The batch is atomic: every delta validates against the dataset plus
+// the pending queue plus the batch prefix, or the whole batch is
+// rejected with 400 and nothing is logged. On 200 the batch is already
+// fsynced to the WAL — it survives a crash — and will fold into the
+// serving index within the staleness bound.
+func (s *server) handleIngest(c *corpus, w http.ResponseWriter, r *http.Request) {
+	if c.ing == nil {
+		httpError(w, http.StatusNotImplemented, errors.New("live ingestion disabled: start with -wal"))
+		return
 	}
+	var req struct {
+		Deltas []ingestDelta `json:"deltas"`
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, ingestMaxBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	if len(req.Deltas) == 0 {
+		httpError(w, http.StatusBadRequest, errors.New("empty delta batch"))
+		return
+	}
+	recs := make([]wal.Record, len(req.Deltas))
+	for i, d := range req.Deltas {
+		rec := wal.Record{
+			Attr:    d.Attr,
+			Start:   timeline.Time(d.Start),
+			End:     timeline.Time(d.End),
+			Horizon: timeline.Time(d.Horizon),
+			Values:  d.Values,
+		}
+		switch d.Op {
+		case "append":
+			rec.Type = wal.TypeAppend
+		case "extend_observation":
+			rec.Type = wal.TypeExtendObservation
+		case "extend_horizon":
+			rec.Type = wal.TypeExtendHorizon
+		default:
+			httpError(w, http.StatusBadRequest, fmt.Errorf("delta %d: unknown op %q", i, d.Op))
+			return
+		}
+		recs[i] = rec
+	}
+	if err := c.ing.Submit(recs); err != nil {
+		switch {
+		case errors.Is(err, ingest.ErrRejected):
+			httpError(w, http.StatusBadRequest, err)
+		case errors.Is(err, ingest.ErrClosed):
+			w.Header().Set("Retry-After", "1")
+			httpError(w, http.StatusServiceUnavailable, err)
+		default:
+			// WAL append failure: the delta is not durable, surface it loudly.
+			httpError(w, http.StatusInternalServerError, err)
+		}
+		return
+	}
+	st := c.ing.Stats()
+	writeJSON(w, map[string]interface{}{
+		"accepted":        len(recs),
+		"durable":         true,
+		"pending_records": st.PendingRecords,
+		"wal_size":        st.WALSize,
+	})
+}
+
+func (s *server) handleStats(c *corpus, w http.ResponseWriter, r *http.Request) {
+	// Ingester stats come first, outside the view: the ingester lock is
+	// taken before the dataset lock on the submit path, so taking it the
+	// other way around here could deadlock behind a queued apply.
+	var ingestBody map[string]interface{}
+	if c.ing != nil {
+		ist := c.ing.Stats()
+		ingestBody = map[string]interface{}{
+			"pending_records":   ist.PendingRecords,
+			"oldest_pending_ms": float64(ist.OldestPendingAge) / float64(time.Millisecond),
+			"wal_lag_bytes":     ist.WALLagBytes,
+			"wal_size":          ist.WALSize,
+			"submitted_records": ist.SubmittedRecords,
+			"rejected_records":  ist.RejectedRecords,
+			"applied_records":   ist.AppliedRecords,
+			"applies":           ist.Applies,
+			"applied_offset":    ist.AppliedOffset,
+			"snapshots":         ist.Snapshots,
+			"snapshot_offset":   ist.SnapshotOffset,
+		}
+		if ist.LastError != "" {
+			ingestBody["last_error"] = ist.LastError
+		}
+	}
+	var body map[string]interface{}
+	c.view(func(ds *history.Dataset) {
+		st := ds.ComputeStats()
+		ist := c.idx.Stats()
+		body = map[string]interface{}{
+			"attributes":             st.Attributes,
+			"horizon_days":           int(ds.Horizon()),
+			"distinct_values":        st.DistinctValues,
+			"mean_changes":           st.MeanChanges,
+			"mean_cardinality":       st.MeanCardinality,
+			"index_slices":           ist.Slices,
+			"index_bytes":            ist.MemoryBytes,
+			"dirty_attributes":       ist.DirtyAttributes,
+			"slice_pruning_coverage": ist.SlicePruningCoverage,
+		}
+	})
 	if sx, ok := c.idx.(*shard.ShardedIndex); ok {
 		body["shards"] = sx.NumShards()
+	}
+	if ingestBody != nil {
+		body["ingest"] = ingestBody
 	}
 	writeJSON(w, body)
 }

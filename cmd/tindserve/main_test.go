@@ -24,7 +24,7 @@ func testServerConfig(t *testing.T, cfg config) (*server, *httptest.Server) {
 		t.Fatal(err)
 	}
 	s := newServer(cfg)
-	s.install(c.Dataset, idx)
+	s.install(&serving{ds: c.Dataset, idx: idx})
 	ts := httptest.NewServer(s.routes())
 	t.Cleanup(ts.Close)
 	return s, ts

@@ -214,7 +214,7 @@ func TestSlowQueryLogDisabled(t *testing.T) {
 
 // miniCorpus builds a one-attribute dataset whose only page title is the
 // given string, plus its index.
-func miniCorpus(t *testing.T, page string) (*history.Dataset, *index.Index) {
+func miniCorpus(t *testing.T, page string) *serving {
 	t.Helper()
 	ds := history.NewDataset(timeline.Time(100))
 	dict := ds.Dict()
@@ -231,7 +231,7 @@ func miniCorpus(t *testing.T, page string) (*history.Dataset, *index.Index) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return ds, idx
+	return &serving{ds: ds, idx: idx}
 }
 
 // TestResolveCacheFollowsCorpusSwap guards the regression where the

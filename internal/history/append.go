@@ -1,11 +1,19 @@
 package history
 
 import (
+	"errors"
 	"fmt"
 
 	"tind/internal/timeline"
 	"tind/internal/values"
 )
+
+// ErrNoVersions reports an append to a history without any versions.
+// New and Builder.Build never produce one, but a zero-value History (or
+// a future deserialization bug) would otherwise panic on the
+// last-version access below — ingestion paths match this error with
+// errors.Is and reject the delta instead of crashing the process.
+var ErrNoVersions = errors.New("append to history with no versions")
 
 // This file implements append-only evolution of histories and datasets:
 // new observation days arrive at the end of the timeline, as on a live
@@ -21,6 +29,9 @@ import (
 // implicitly stays valid until start. start must lie at or after the
 // current observation end (time only moves forward) and before newEnd.
 func (h *History) Append(start timeline.Time, vals values.Set, newEnd timeline.Time) error {
+	if len(h.versions) == 0 {
+		return fmt.Errorf("history %s: %w", h.meta, ErrNoVersions)
+	}
 	if start < h.end {
 		return fmt.Errorf("history %s: append at %d before current end %d", h.meta, start, h.end)
 	}

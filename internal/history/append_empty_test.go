@@ -1,0 +1,32 @@
+package history
+
+import (
+	"errors"
+	"testing"
+
+	"tind/internal/values"
+)
+
+// TestAppendEmptyHistoryTypedError is the regression test for the
+// latent panic in Append: a zero-version history (constructible as the
+// zero value, even though New and Builder.Build refuse to build one)
+// indexed versions[len-1] unguarded. It must return ErrNoVersions, not
+// panic.
+func TestAppendEmptyHistoryTypedError(t *testing.T) {
+	h := &History{meta: Meta{Page: "P", Table: "t", Column: "c"}}
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("Append on empty history panicked: %v", r)
+		}
+	}()
+	err := h.Append(5, values.NewSet(1), 10)
+	if err == nil {
+		t.Fatal("Append on empty history succeeded")
+	}
+	if !errors.Is(err, ErrNoVersions) {
+		t.Fatalf("error %v does not match ErrNoVersions", err)
+	}
+	if h.NumVersions() != 0 || h.end != 0 {
+		t.Fatalf("failed append mutated the history: %d versions, end %d", h.NumVersions(), h.end)
+	}
+}

@@ -37,6 +37,13 @@ type Manifest struct {
 	Horizon    timeline.Time  `json:"horizon"`
 	Attributes int            `json:"attributes"`
 	Files      []ManifestFile `json:"files"`
+	// WALOffset is the write-ahead-log byte offset this container covers:
+	// every WAL record ending at or before it is already folded into the
+	// persisted histories, so startup recovery replays only the suffix
+	// from this offset (see internal/wal). Zero — also the value for
+	// containers written before the field existed — means "replay the
+	// whole log".
+	WALOffset int64 `json:"wal_offset,omitempty"`
 }
 
 // ManifestFile describes one shard blob.
@@ -54,6 +61,13 @@ func shardFileName(s int) string { return fmt.Sprintf("shard-%04d.tind", s) }
 // independent CRC'd v2 blob, and the manifest is written last so a
 // crashed write never leaves a readable-looking container behind.
 func WriteSharded(ds *history.Dataset, dir string, shards int, seed int64) error {
+	return writeSharded(ds, dir, shards, seed, 0, false)
+}
+
+// writeSharded is the shared container writer. durable additionally
+// fsyncs every blob and the manifest before returning — the snapshot
+// path needs that ordering guarantee, the plain export path does not.
+func writeSharded(ds *history.Dataset, dir string, shards int, seed int64, walOffset int64, durable bool) error {
 	if shards < 1 {
 		return fmt.Errorf("persist: shard count %d < 1", shards)
 	}
@@ -66,6 +80,7 @@ func WriteSharded(ds *history.Dataset, dir string, shards int, seed int64) error
 		Seed:       seed,
 		Horizon:    ds.Horizon(),
 		Attributes: ds.Len(),
+		WALOffset:  walOffset,
 	}
 	views := make([]*history.Dataset, shards)
 	for s := range views {
@@ -86,6 +101,9 @@ func WriteSharded(ds *history.Dataset, dir string, shards int, seed int64) error
 			return err
 		}
 		err = Write(view, f)
+		if err == nil && durable {
+			err = f.Sync()
+		}
 		if cerr := f.Close(); err == nil {
 			err = cerr
 		}
@@ -98,7 +116,18 @@ func WriteSharded(ds *history.Dataset, dir string, shards int, seed int64) error
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(filepath.Join(dir, ManifestName), append(blob, '\n'), 0o644)
+	mf, err := os.Create(filepath.Join(dir, ManifestName))
+	if err != nil {
+		return err
+	}
+	_, err = mf.Write(append(blob, '\n'))
+	if err == nil && durable {
+		err = mf.Sync()
+	}
+	if cerr := mf.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // IsSharded reports whether path is a sharded container (a directory

@@ -1,0 +1,172 @@
+package persist
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tind/internal/datagen"
+	"tind/internal/history"
+	"tind/internal/timeline"
+)
+
+func snapDataset(t *testing.T, seed int64, attrs int, horizon timeline.Time) *history.Dataset {
+	t.Helper()
+	c, err := datagen.Generate(datagen.Config{
+		Seed:           seed,
+		Horizon:        horizon,
+		Attributes:     attrs,
+		AttrsPerDomain: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c.Dataset
+}
+
+func assertSameDataset(t *testing.T, want, got *history.Dataset) {
+	t.Helper()
+	if got.Len() != want.Len() || got.Horizon() != want.Horizon() {
+		t.Fatalf("dataset shape %d/%d, want %d/%d", got.Len(), got.Horizon(), want.Len(), want.Horizon())
+	}
+	for i := 0; i < want.Len(); i++ {
+		a, b := want.Attr(history.AttrID(i)), got.Attr(history.AttrID(i))
+		if a.Meta() != b.Meta() || a.NumVersions() != b.NumVersions() || a.ObservedUntil() != b.ObservedUntil() {
+			t.Fatalf("attribute %d differs: %v/%d/%d vs %v/%d/%d",
+				i, a.Meta(), a.NumVersions(), a.ObservedUntil(), b.Meta(), b.NumVersions(), b.ObservedUntil())
+		}
+	}
+}
+
+func TestSnapshotRoundTripCarriesWALOffset(t *testing.T) {
+	ds := snapDataset(t, 21, 12, 90)
+	dir := filepath.Join(t.TempDir(), "snap")
+	if err := WriteSnapshot(ds, dir, 3, 7, 4321); err != nil {
+		t.Fatal(err)
+	}
+	got, man, err := OpenSnapshot(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.WALOffset != 4321 {
+		t.Fatalf("manifest WAL offset %d, want 4321", man.WALOffset)
+	}
+	if man.Shards != 3 || man.Seed != 7 {
+		t.Fatalf("manifest partitioning %d/%d, want 3/7", man.Shards, man.Seed)
+	}
+	assertSameDataset(t, ds, got)
+}
+
+func TestSnapshotReplaceIsAtomic(t *testing.T) {
+	ds1 := snapDataset(t, 21, 12, 90)
+	ds2 := snapDataset(t, 22, 15, 120)
+	dir := filepath.Join(t.TempDir(), "snap")
+	if err := WriteSnapshot(ds1, dir, 2, 7, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSnapshot(ds2, dir, 2, 7, 200); err != nil {
+		t.Fatal(err)
+	}
+	got, man, err := OpenSnapshot(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.WALOffset != 200 {
+		t.Fatalf("manifest WAL offset %d, want 200", man.WALOffset)
+	}
+	assertSameDataset(t, ds2, got)
+	// The generation swap must not leave droppings behind.
+	for _, suffix := range []string{snapTmpSuffix, snapPrevSuffix} {
+		if _, err := os.Stat(dir + suffix); !os.IsNotExist(err) {
+			t.Fatalf("leftover generation %s%s after successful snapshot", dir, suffix)
+		}
+	}
+}
+
+// TestSnapshotCrashWindows simulates every crash point of the
+// generation swap and asserts OpenSnapshot recovers a complete older
+// generation each time.
+func TestSnapshotCrashWindows(t *testing.T) {
+	ds1 := snapDataset(t, 21, 12, 90)
+
+	t.Run("torn tmp generation", func(t *testing.T) {
+		// Crash mid-write of the new generation: .tmp exists but was
+		// never promoted. The live generation must still load.
+		dir := filepath.Join(t.TempDir(), "snap")
+		if err := WriteSnapshot(ds1, dir, 2, 7, 100); err != nil {
+			t.Fatal(err)
+		}
+		tmp := dir + snapTmpSuffix
+		if err := os.MkdirAll(tmp, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(tmp, "shard-0000.tind"), []byte("torn"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got, man, err := OpenSnapshot(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if man.WALOffset != 100 {
+			t.Fatalf("WAL offset %d, want 100", man.WALOffset)
+		}
+		assertSameDataset(t, ds1, got)
+		if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+			t.Fatal("torn tmp generation must be discarded on open")
+		}
+	})
+
+	t.Run("crash between renames", func(t *testing.T) {
+		// Crash after parking the live generation but before promoting
+		// the new one: dir is gone, .prev holds the old snapshot.
+		dir := filepath.Join(t.TempDir(), "snap")
+		if err := WriteSnapshot(ds1, dir, 2, 7, 100); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Rename(dir, dir+snapPrevSuffix); err != nil {
+			t.Fatal(err)
+		}
+		got, man, err := OpenSnapshot(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if man.WALOffset != 100 {
+			t.Fatalf("WAL offset %d, want 100", man.WALOffset)
+		}
+		assertSameDataset(t, ds1, got)
+	})
+
+	t.Run("no generation at all", func(t *testing.T) {
+		dir := filepath.Join(t.TempDir(), "snap")
+		if _, _, err := OpenSnapshot(dir); !errors.Is(err, os.ErrNotExist) {
+			t.Fatalf("error %v does not match os.ErrNotExist", err)
+		}
+	})
+}
+
+// TestSnapshotBackCompatManifest pins that a pre-WAL container (no
+// wal_offset field) opens as offset zero — replay the whole log.
+func TestSnapshotBackCompatManifest(t *testing.T) {
+	ds := snapDataset(t, 21, 12, 90)
+	dir := filepath.Join(t.TempDir(), "snap")
+	if err := WriteSharded(ds, dir, 2, 7); err != nil {
+		t.Fatal(err)
+	}
+	got, man, err := OpenSnapshot(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.WALOffset != 0 {
+		t.Fatalf("WAL offset %d for legacy container, want 0", man.WALOffset)
+	}
+	assertSameDataset(t, ds, got)
+	blob, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := string(blob); strings.Contains(s, "wal_offset") {
+		t.Fatalf("plain WriteSharded manifest must omit wal_offset (omitempty): %s", s)
+	}
+}

@@ -82,10 +82,11 @@ func (sx *ShardedIndex) AllPairsContext(ctx context.Context, p core.Params, work
 					o := index.QueryOptions{Mode: index.ModeForward, Params: p}
 					var res index.Result
 					var err error
-					if local, ok := sx.localQuery(b.t, sx.ds.Attr(g)); ok {
+					q := sx.attr(g)
+					if local, ok := sx.localQuery(b.t, q); ok {
 						res, err = seq[b.t].QueryByID(ctx, local, o)
 					} else {
-						res, err = seq[b.t].Query(ctx, sx.ds.Attr(g), o)
+						res, err = seq[b.t].Query(ctx, q, o)
 					}
 					if err != nil {
 						mu.Lock()

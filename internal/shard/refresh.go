@@ -32,7 +32,10 @@ import (
 // appends must not run concurrently with queries on the changed
 // attributes' shards.
 func (sx *ShardedIndex) Refresh(changed []history.AttrID, newHorizon timeline.Time) error {
-	if got := sx.ds.Horizon(); got != newHorizon {
+	sx.globalMu.RLock()
+	got := sx.ds.Horizon()
+	sx.globalMu.RUnlock()
+	if got != newHorizon {
 		return fmt.Errorf("shard: dataset horizon %d does not match newHorizon %d", got, newHorizon)
 	}
 	groups := make(map[int][]history.AttrID)
@@ -56,7 +59,7 @@ func (sx *ShardedIndex) Refresh(changed []history.AttrID, newHorizon timeline.Ti
 			locals := make([]history.AttrID, 0, len(group))
 			for _, g := range group {
 				local := sx.locals[g].local
-				if err := sds.Replace(local, sx.ds.Attr(g).Clone()); err != nil {
+				if err := sds.Replace(local, sx.attr(g).Clone()); err != nil {
 					return nil, err
 				}
 				locals = append(locals, local)
@@ -68,4 +71,25 @@ func (sx *ShardedIndex) Refresh(changed []history.AttrID, newHorizon timeline.Ti
 		}
 	}
 	return nil
+}
+
+// RefreshWith is the live-ingestion entry point, mirroring the
+// monolith's index.RefreshWith signature so both engines satisfy one
+// interface: prepare mutates the *global* dataset — swapping updated
+// history clones over stale entries and extending the horizon — under
+// the resolution write lock, then the shards owning the returned
+// attributes refresh shard-locally via Refresh. Published histories are
+// immutable (mutation is clone-and-replace), so in-flight queries
+// holding pre-swap pointers stay consistent; the write lock pins only
+// the table swap, never the per-shard matrix refreshes that follow,
+// preserving refresh locality. Callers serialize RefreshWith against
+// other refreshes, exactly as for Refresh.
+func (sx *ShardedIndex) RefreshWith(newHorizon timeline.Time, prepare func(ds *history.Dataset) ([]history.AttrID, error)) error {
+	sx.globalMu.Lock()
+	changed, err := prepare(sx.ds)
+	sx.globalMu.Unlock()
+	if err != nil {
+		return err
+	}
+	return sx.Refresh(changed, newHorizon)
 }

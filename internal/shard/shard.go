@@ -73,10 +73,19 @@ type ShardedIndex struct {
 	opt Options
 	ds  *history.Dataset // the global dataset, ids 0..n-1
 
+	// globalMu guards the global dataset's mutable surface — attribute
+	// table entries and the horizon — against resolution reads.
+	// RefreshWith (the live-ingestion path) swaps updated history clones
+	// into ds under the write half; localQuery, attr and external
+	// resolvers synchronize on the read half. The histories themselves
+	// are immutable once published, so the lock pins only the pointer
+	// swap, never a query's traversal of version data.
+	globalMu sync.RWMutex
+
 	shards   []*index.Index
-	datasets []*history.Dataset  // per-shard datasets of history clones
-	globals  [][]history.AttrID  // per shard: global ids in local order (ascending)
-	locals   []localRef          // per global id: owning shard + local id
+	datasets []*history.Dataset // per-shard datasets of history clones
+	globals  [][]history.AttrID // per shard: global ids in local order (ascending)
+	locals   []localRef         // per global id: owning shard + local id
 
 	buildElapsed time.Duration
 }
@@ -157,14 +166,35 @@ func (sx *ShardedIndex) ShardOwner(id history.AttrID) int { return sx.locals[id]
 // refresh-swapped — clone under its read lock and self-exclusion still
 // fires; every other shard queries with q itself, whose global pointer
 // matches nothing in that shard's dataset.
+//
+// Besides pointer identity, a history carrying a valid global id whose
+// provenance matches the current table entry also counts as "the
+// dataset's own attribute": under live ingestion the entry is swapped
+// for an updated clone (RefreshWith), and a caller that resolved q just
+// before the swap must still hit the by-local-id path — the owning
+// shard then answers from its freshest clone and self-exclusion keeps
+// firing.
 func (sx *ShardedIndex) localQuery(s int, q *history.History) (history.AttrID, bool) {
 	id := q.ID()
-	if id >= 0 && int(id) < sx.ds.Len() && sx.ds.Attr(id) == q {
-		if ref := sx.locals[id]; ref.shard == s {
-			return ref.local, true
+	if id >= 0 && int(id) < sx.ds.Len() {
+		sx.globalMu.RLock()
+		cur := sx.ds.Attr(id)
+		sx.globalMu.RUnlock()
+		if cur == q || cur.Meta() == q.Meta() {
+			if ref := sx.locals[id]; ref.shard == s {
+				return ref.local, true
+			}
 		}
 	}
 	return 0, false
+}
+
+// attr resolves the current history of a global attribute under the
+// resolution lock; the returned history is immutable.
+func (sx *ShardedIndex) attr(g history.AttrID) *history.History {
+	sx.globalMu.RLock()
+	defer sx.globalMu.RUnlock()
+	return sx.ds.Attr(g)
 }
 
 // Stats aggregates the per-shard build statistics into one monolith-

@@ -41,6 +41,7 @@ import (
 	"tind/internal/eval"
 	"tind/internal/history"
 	"tind/internal/index"
+	"tind/internal/ingest"
 	"tind/internal/many"
 	"tind/internal/obs"
 	"tind/internal/opendata"
@@ -49,6 +50,7 @@ import (
 	"tind/internal/shard"
 	"tind/internal/timeline"
 	"tind/internal/values"
+	"tind/internal/wal"
 	"tind/internal/wiki"
 )
 
@@ -310,6 +312,75 @@ func ReadShardedDataset(dir string) (*Dataset, *ShardManifest, error) {
 // IsShardedDataset reports whether path is a sharded dataset container
 // (a directory holding a manifest), as opposed to a single-file blob.
 func IsShardedDataset(path string) bool { return persist.IsSharded(path) }
+
+// Durable live ingestion (packages wal and ingest, DESIGN.md §10).
+type (
+	// WAL is an append-only CRC-framed write-ahead log of history deltas.
+	// Open truncates a torn tail (the crash-during-write artifact) and
+	// fails on interior corruption.
+	WAL = wal.Log
+	// WALOptions configures a log (fsync policy).
+	WALOptions = wal.Options
+	// WALRecord is one history delta: an append, an observation-window
+	// extension or a horizon extension. Values travel as raw strings, so
+	// a log replays against any snapshot of the same corpus.
+	WALRecord = wal.Record
+	// WALRecordType discriminates WALRecord.
+	WALRecordType = wal.Type
+	// WALSyncPolicy selects fsync-per-append or no explicit fsync.
+	WALSyncPolicy = wal.SyncPolicy
+	// Ingester runs the durable write path: atomic batch validation,
+	// WAL-then-acknowledge Submit, dirty-count/dirty-age apply triggers
+	// onto a refreshable engine, periodic snapshots.
+	Ingester = ingest.Ingester
+	// IngestEngine is the serving engine an Ingester folds deltas into;
+	// both Index and ShardedIndex satisfy it via RefreshWith.
+	IngestEngine = ingest.Engine
+	// IngestOptions configures an Ingester's triggers and snapshots.
+	IngestOptions = ingest.Options
+	// IngestSnapshotConfig configures periodic crash-recovery snapshots.
+	IngestSnapshotConfig = ingest.SnapshotConfig
+	// IngestStats is an Ingester's observable state, including the
+	// bounded-staleness gauges (pending records, oldest pending age,
+	// WAL lag).
+	IngestStats = ingest.Stats
+)
+
+// WAL record types and fsync policies.
+const (
+	WALAppend            = wal.TypeAppend
+	WALExtendObservation = wal.TypeExtendObservation
+	WALExtendHorizon     = wal.TypeExtendHorizon
+	WALSyncAlways        = wal.SyncAlways
+	WALSyncNever         = wal.SyncNever
+)
+
+// Ingestion sentinel errors: Submit returns an error wrapping
+// ErrIngestRejected when a batch fails validation (the batch leaves no
+// trace) and ErrIngestClosed after Close.
+var (
+	ErrIngestRejected = ingest.ErrRejected
+	ErrIngestClosed   = ingest.ErrClosed
+)
+
+// OpenWAL opens (creating if absent) a write-ahead log, truncating a
+// torn tail left by a crash.
+func OpenWAL(path string, opt WALOptions) (*WAL, error) { return wal.Open(path, opt) }
+
+// NewIngester wires the durable write path over eng (an Index or
+// ShardedIndex serving ds). Call Start to run the background apply loop
+// and Close to flush and stop it.
+func NewIngester(eng IngestEngine, ds *Dataset, log *WAL, opt IngestOptions) *Ingester {
+	return ingest.New(eng, ds, log, opt)
+}
+
+// ReplayWAL folds the log's records from byte offset from (0 = the whole
+// log; a snapshot manifest's WALOffset to replay only the suffix) into
+// ds, invoking progress (if non-nil) after each record. It returns the
+// offset replayed to and the record count.
+func ReplayWAL(ds *Dataset, log *WAL, from int64, progress func(replayed int, offset int64)) (int64, int, error) {
+	return ingest.Replay(ds, log, from, progress)
+}
 
 // Wikipedia substrate (package wiki) and preprocessing (package preprocess).
 type (

@@ -306,3 +306,86 @@ func TestPublicAPISharded(t *testing.T) {
 			got.Len(), ds.Len(), got.Horizon(), ds.Horizon())
 	}
 }
+
+func TestPublicAPIIngest(t *testing.T) {
+	c, err := tind.GenerateCorpus(tind.CorpusConfig{Seed: 5, Attributes: 30, Horizon: 150, AttrsPerDomain: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := c.Dataset
+	opt := tind.DefaultOptions(ds.Horizon())
+	opt.Reverse = true
+	idx, err := tind.BuildIndex(ds, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := t.TempDir() + "/facade.wal"
+	log, err := tind.OpenWAL(path, tind.WALOptions{Sync: tind.WALSyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ing := tind.NewIngester(idx, ds, log, tind.IngestOptions{MaxDirty: 1 << 30, MaxDirtyAge: time.Hour})
+	ing.Start()
+
+	oldHorizon := ds.Horizon()
+	target := tind.AttrID(0)
+	var obsEnd tind.Time
+	ing.View(func(ds *tind.Dataset) { obsEnd = ds.Attr(target).ObservedUntil() })
+	batch := []tind.WALRecord{
+		{Type: tind.WALExtendHorizon, Horizon: oldHorizon + 5},
+		{Type: tind.WALAppend, Attr: target, Start: obsEnd, End: oldHorizon + 5,
+			Values: []string{"facade-live-1", "facade-live-2"}},
+	}
+	if err := ing.Submit(batch); err != nil {
+		t.Fatal(err)
+	}
+	// A batch appending before the pending observation end must be
+	// rejected atomically, leaving the WAL untouched.
+	bad := []tind.WALRecord{{Type: tind.WALAppend, Attr: target, Start: 0, End: 1, Values: []string{"x"}}}
+	if err := ing.Submit(bad); !errors.Is(err, tind.ErrIngestRejected) {
+		t.Fatalf("Submit(out-of-order append) = %v, want ErrIngestRejected", err)
+	}
+	if err := ing.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	st := ing.Stats()
+	if st.AppliedRecords != 2 || st.PendingRecords != 0 || st.RejectedRecords != 1 {
+		t.Fatalf("stats after flush = %+v, want 2 applied, 0 pending, 1 rejected", st)
+	}
+	var gotHorizon tind.Time
+	ing.View(func(ds *tind.Dataset) { gotHorizon = ds.Horizon() })
+	if gotHorizon != oldHorizon+5 {
+		t.Fatalf("horizon = %d, want %d", gotHorizon, oldHorizon+5)
+	}
+	if err := ing.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// ReplayWAL over a regenerated corpus must land on the same state.
+	c2, err := tind.GenerateCorpus(tind.CorpusConfig{Seed: 5, Attributes: 30, Horizon: 150, AttrsPerDomain: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	log2, err := tind.OpenWAL(path, tind.WALOptions{Sync: tind.WALSyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log2.Close()
+	_, n, err := tind.ReplayWAL(c2.Dataset, log2, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("ReplayWAL replayed %d records, want 2", n)
+	}
+	if c2.Dataset.Horizon() != oldHorizon+5 {
+		t.Fatalf("replayed horizon = %d, want %d", c2.Dataset.Horizon(), oldHorizon+5)
+	}
+	if got := c2.Dataset.Attr(target).ObservedUntil(); got != oldHorizon+5 {
+		t.Fatalf("replayed observation end = %d, want %d", got, oldHorizon+5)
+	}
+}
