@@ -191,6 +191,59 @@ func TestCompareGate(t *testing.T) {
 	}
 }
 
+// mkMemReport builds a report whose single scenario carries the given
+// allocation profile alongside identical timing, so only the memory
+// gate can fire.
+func mkMemReport(bytesPerOp, allocsPerOp int64) *Report {
+	rep := mkReport(100, 50)
+	rep.Scenarios[0].BytesPerOp = bytesPerOp
+	rep.Scenarios[0].AllocsPerOp = allocsPerOp
+	return rep
+}
+
+// TestCompareMemoryGate: B/op and allocs/op regress growth-only under
+// the scenario's tolerance, improvements are notes, and either side
+// below the noise floor disarms that counter's gate.
+func TestCompareMemoryGate(t *testing.T) {
+	g := gateConfig{tolerance: 0.10}
+	const aboveB, aboveA = 2 * memBytesFloor, 2 * memAllocsFloor
+
+	// Within tolerance: clean.
+	if regs, _ := compare(mkMemReport(aboveB+aboveB/20, aboveA), mkMemReport(aboveB, aboveA), g); len(regs) != 0 {
+		t.Fatalf("5%% B/op growth flagged at 10%% tolerance: %v", regs)
+	}
+	// B/op growth beyond tolerance: regression.
+	regs, _ := compare(mkMemReport(2*aboveB, aboveA), mkMemReport(aboveB, aboveA), g)
+	if len(regs) != 1 || !strings.Contains(regs[0], "B/op") {
+		t.Fatalf("2x B/op growth not flagged as B/op regression: %v", regs)
+	}
+	// allocs/op growth beyond tolerance: regression.
+	regs, _ = compare(mkMemReport(aboveB, 2*aboveA), mkMemReport(aboveB, aboveA), g)
+	if len(regs) != 1 || !strings.Contains(regs[0], "allocs/op") {
+		t.Fatalf("2x allocs/op growth not flagged as allocs/op regression: %v", regs)
+	}
+	// Improvement (the batch API's whole point): a note, never a regression.
+	regs, notes := compare(mkMemReport(aboveB, aboveA), mkMemReport(4*aboveB, 4*aboveA), g)
+	if len(regs) != 0 || len(notes) != 2 {
+		t.Fatalf("allocation improvement handled wrong: regs=%v notes=%v", regs, notes)
+	}
+	// Either side under the floor: gate disarmed for that counter.
+	if regs, _ := compare(mkMemReport(memBytesFloor/2, memAllocsFloor/2), mkMemReport(memBytesFloor/8, memAllocsFloor/8), g); len(regs) != 0 {
+		t.Fatalf("sub-floor allocation growth gated: %v", regs)
+	}
+	if regs, _ := compare(mkMemReport(2*aboveB, 2*aboveA), mkMemReport(memBytesFloor/2, memAllocsFloor/2), g); len(regs) != 0 {
+		t.Fatalf("sub-floor baseline used as gating denominator: %v", regs)
+	}
+	// Per-scenario tolerance overrides cover the memory gate too.
+	gWide, err := parseGate("10%", "query/*=200%", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regs, _ := compare(mkMemReport(2*aboveB, 2*aboveA), mkMemReport(aboveB, aboveA), gWide); len(regs) != 0 {
+		t.Fatalf("override tolerance not applied to memory gate: %v", regs)
+	}
+}
+
 func TestReportRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	p := filepath.Join(dir, "BENCH_test.json")

@@ -95,6 +95,15 @@ type override struct {
 	tolerance float64
 }
 
+// Noise floors for the allocation gate: scenarios whose per-op memory
+// footprint is below these on either side are not gated — at that scale
+// the numbers are dominated by pool warm-up and GC bookkeeping rather
+// than the pipeline's own allocation behaviour.
+const (
+	memBytesFloor  = 64 << 10 // 64 KiB/op
+	memAllocsFloor = 100      // allocs/op
+)
+
 // counterTolerance bounds drift of the machine-independent work
 // counters. With identical seed and sizes the pipeline does identical
 // work, so these should match exactly; the slack only absorbs
@@ -232,6 +241,40 @@ func compare(cur, base *Report, g gateConfig) (regressions, notes []string) {
 			case ratio < 1-tol:
 				notes = append(notes, fmt.Sprintf("%s: improved — %s (%.1f%%)",
 					sc.Name, metric, 100*(1-ratio)))
+			}
+		}
+		// Allocation gate: growth-only, same tolerance schedule as wall
+		// time. B/op and allocs/op are near-deterministic for a seeded
+		// workload (unlike wall time), but tiny scenarios sit in runtime
+		// noise (pool warm-up, GC bookkeeping), so each counter has a
+		// floor below which the gate disarms — on either side, so a
+		// baseline under the floor never gates a run above it against a
+		// noise-dominated denominator. Improvements become notes: an
+		// allocation drop is exactly what the batch API is for, and the
+		// note is the prompt to re-baseline and lock it in.
+		memGates := []struct {
+			what  string
+			cur   int64
+			base  int64
+			floor int64
+		}{
+			{"B/op", sc.BytesPerOp, bs.BytesPerOp, memBytesFloor},
+			{"allocs/op", sc.AllocsPerOp, bs.AllocsPerOp, memAllocsFloor},
+		}
+		for _, m := range memGates {
+			if m.cur < m.floor || m.base < m.floor {
+				continue
+			}
+			ratio := float64(m.cur) / float64(m.base)
+			switch {
+			case ratio > 1+tol:
+				regressions = append(regressions, fmt.Sprintf(
+					"%s: %d %s vs baseline %d (%+.1f%%, tolerance %.0f%%)",
+					sc.Name, m.cur, m.what, m.base, 100*(ratio-1), 100*tol))
+			case ratio < 1-tol:
+				notes = append(notes, fmt.Sprintf(
+					"%s: improved — %d %s vs baseline %d (%.1f%%)",
+					sc.Name, m.cur, m.what, m.base, 100*(1-ratio)))
 			}
 		}
 		for _, cname := range gatedCounters {

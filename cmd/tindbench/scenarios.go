@@ -170,6 +170,38 @@ func (b *bench) runSize(n int) ([]Scenario, error) {
 	if err != nil {
 		return nil, err
 	}
+
+	// Batched execution of the same seeded workload: one QueryBatch call
+	// services the whole query set, so ns/op and — above all — allocs/op
+	// are directly comparable to the per-query scenarios; the gap is the
+	// batch API's amortization (row-major matrix sweeps, pooled scratch).
+	batchFor := func(mode index.Mode, ids []int, o index.QueryOptions) []index.BatchQuery {
+		batch := make([]index.BatchQuery, len(ids))
+		for i, id := range ids {
+			bo := o
+			bo.Mode = mode
+			batch[i] = index.BatchQuery{ByID: true, ID: history.AttrID(id), Options: bo}
+		}
+		return batch
+	}
+	runBatch := func(eng interface {
+		QueryBatch(context.Context, []index.BatchQuery, index.BatchOptions) ([]index.Result, error)
+	}, mode index.Mode, ids []int, o index.QueryOptions) func() error {
+		return func() error {
+			_, err := eng.QueryBatch(ctx, batchFor(mode, ids, o), index.BatchOptions{})
+			return err
+		}
+	}
+	err = add(b.scenario(fmt.Sprintf("query_batch/forward/%d", n), int64(nq),
+		runBatch(idx, index.ModeForward, qids[:nq], index.QueryOptions{Params: p})))
+	if err != nil {
+		return nil, err
+	}
+	err = add(b.scenario(fmt.Sprintf("query_batch/reverse/%d", n), int64(nq),
+		runBatch(idx, index.ModeReverse, qids[:nq], index.QueryOptions{Params: p})))
+	if err != nil {
+		return nil, err
+	}
 	if cfg.TopKQueries > 0 {
 		nt := min(cfg.TopKQueries, len(qids))
 		err = add(b.scenario(fmt.Sprintf("query/topk/%d", n), int64(nt),
@@ -199,6 +231,11 @@ func (b *bench) runSize(n int) ([]Scenario, error) {
 	}
 	err = add(b.scenario(fmt.Sprintf("shard_query/reverse/%d", n), int64(nq),
 		runShardQueries(index.ModeReverse, qids[:nq], index.QueryOptions{Params: p})))
+	if err != nil {
+		return nil, err
+	}
+	err = add(b.scenario(fmt.Sprintf("shard_query_batch/forward/%d", n), int64(nq),
+		runBatch(sx, index.ModeForward, qids[:nq], index.QueryOptions{Params: p})))
 	if err != nil {
 		return nil, err
 	}
@@ -312,6 +349,8 @@ func scenarioNames(cfg benchConfig) []string {
 			fmt.Sprintf("shard_build/%d", n),
 			fmt.Sprintf("query/forward/%d", n),
 			fmt.Sprintf("query/reverse/%d", n),
+			fmt.Sprintf("query_batch/forward/%d", n),
+			fmt.Sprintf("query_batch/reverse/%d", n),
 		)
 		if cfg.TopKQueries > 0 {
 			names = append(names, fmt.Sprintf("query/topk/%d", n))
@@ -319,6 +358,7 @@ func scenarioNames(cfg benchConfig) []string {
 		names = append(names,
 			fmt.Sprintf("shard_query/forward/%d", n),
 			fmt.Sprintf("shard_query/reverse/%d", n),
+			fmt.Sprintf("shard_query_batch/forward/%d", n),
 		)
 		if cfg.AllPairsMax > 0 && n <= cfg.AllPairsMax {
 			names = append(names, fmt.Sprintf("allpairs/%d", n))

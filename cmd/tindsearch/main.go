@@ -21,6 +21,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -211,12 +212,16 @@ func repl(ds *history.Dataset, idx *index.Index, p core.Params) {
 			if h == nil {
 				break
 			}
-			ranked, err := idx.TopK(h, p.Delta, p.Weight, k)
+			res, err := idx.Query(context.Background(), h, index.QueryOptions{
+				Mode: index.ModeTopK,
+				K:    k,
+				Params: core.Params{Delta: p.Delta, Weight: p.Weight},
+			})
 			if err != nil {
 				fmt.Println("error:", err)
 				break
 			}
-			for _, r := range ranked {
+			for _, r := range res.Ranked {
 				fmt.Printf("  #%d %s (violation %.1f)\n", r.ID, ds.Attr(r.ID).Meta(), r.Violation)
 			}
 		case "find", "rfind":
@@ -224,13 +229,11 @@ func repl(ds *history.Dataset, idx *index.Index, p core.Params) {
 			if h == nil {
 				break
 			}
-			var res index.Result
-			var err error
-			if fields[0] == "find" {
-				res, err = idx.Search(h, p)
-			} else {
-				res, err = idx.Reverse(h, p)
+			mode := index.ModeForward
+			if fields[0] == "rfind" {
+				mode = index.ModeReverse
 			}
+			res, err := idx.Query(context.Background(), h, index.QueryOptions{Mode: mode, Params: p})
 			if err != nil {
 				fmt.Println("error:", err)
 				break

@@ -136,8 +136,8 @@ func TestIngestEndpointDurableAck(t *testing.T) {
 		"unknown field":         `{"unexpected": 1}`,
 	} {
 		out := postJSON(t, ts.URL+"/ingest", body, http.StatusBadRequest)
-		if out["error"] == nil {
-			t.Fatalf("%s: rejection must carry a JSON error: %v", name, out)
+		if code, _ := errEnvelope(t, out); code != "rejected" && code != "invalid_parameter" {
+			t.Fatalf("%s: rejection code %q, want rejected or invalid_parameter: %v", name, code, out)
 		}
 	}
 	if fi, err := os.Stat(cc.wal); err != nil || fi.Size() != sizeAfterAck {
@@ -175,9 +175,9 @@ func TestIngestEndpointDurableAck(t *testing.T) {
 func TestIngestDisabledWithoutWAL(t *testing.T) {
 	_, ts := testServer(t)
 	out := postJSON(t, ts.URL+"/ingest", `{"deltas":[{"op":"extend_horizon","horizon":600}]}`, http.StatusNotImplemented)
-	msg, _ := out["error"].(string)
-	if !strings.Contains(msg, "-wal") {
-		t.Fatalf("501 must point at the -wal flag: %v", out)
+	code, msg := errEnvelope(t, out)
+	if code != "not_implemented" || !strings.Contains(msg, "-wal") {
+		t.Fatalf("501 envelope (%q, %q) must point at the -wal flag: %v", code, msg, out)
 	}
 }
 

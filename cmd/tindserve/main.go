@@ -15,6 +15,7 @@
 //	GET /search?attr=<id|page-substring>&eps=3&delta=7   Q ⊆ A results
 //	GET /reverse?attr=...&eps=3&delta=7                  A ⊆ Q results
 //	GET /topk?attr=...&k=10&delta=7                      ranked by violation
+//	POST /query/batch                                    many queries, one batched execution
 //	GET /explain?lhs=...&rhs=...&delta=7                 violated intervals
 //	GET /attr?attr=...                                   attribute details
 //	GET /stats                                           corpus, index and ingestion stats
@@ -79,7 +80,6 @@ import (
 	"syscall"
 	"time"
 
-	"tind/internal/core"
 	"tind/internal/datagen"
 	"tind/internal/history"
 	"tind/internal/index"
@@ -132,6 +132,12 @@ const statusClientClosedRequest = 499
 // search may re-run the underlying query several times, so one /topk
 // costs about as much as a few plain searches.
 const topKWeight = 2
+
+// batchWeight is the limiter weight of /query/batch requests. A batch
+// runs many sub-queries in one call, but the engine's row-major sweeps
+// amortize most of the per-query work, so a batch is charged like a few
+// plain searches rather than per sub-query.
+const batchWeight = 4
 
 func main() {
 	var (
@@ -292,6 +298,7 @@ func (s *server) closeServing() error {
 // satisfy it, so -shards swaps the engine without touching a handler.
 type queryIndex interface {
 	Query(ctx context.Context, q *history.History, o index.QueryOptions) (index.Result, error)
+	QueryBatch(ctx context.Context, batch []index.BatchQuery, o index.BatchOptions) ([]index.Result, error)
 	Stats() index.BuildStats
 }
 
@@ -557,9 +564,10 @@ func (s *server) routes() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
-	mux.Handle("GET /search", s.query(1, viewed(s.handleSearch(false))))
-	mux.Handle("GET /reverse", s.query(1, viewed(s.handleSearch(true))))
-	mux.Handle("GET /topk", s.query(topKWeight, viewed(s.handleTopK)))
+	mux.Handle("GET /search", s.query(1, viewed(s.handleQuery("forward"))))
+	mux.Handle("GET /reverse", s.query(1, viewed(s.handleQuery("reverse"))))
+	mux.Handle("GET /topk", s.query(topKWeight, viewed(s.handleQuery("topk"))))
+	mux.Handle("POST /query/batch", s.query(batchWeight, viewed(s.handleBatch)))
 	mux.Handle("GET /explain", s.query(1, viewed(s.handleExplain)))
 	mux.Handle("GET /attr", s.query(1, viewed(s.handleAttr)))
 	// /stats is not viewed: it reads ingester stats, whose lock is taken
@@ -651,14 +659,14 @@ func (s *server) query(weight int64, h queryHandler) http.Handler {
 			mHTTPShed("not_ready").Inc()
 			mHTTPRequests(endpoint, http.StatusServiceUnavailable).Inc()
 			w.Header().Set("Retry-After", "1")
-			httpError(w, http.StatusServiceUnavailable, errors.New("index still building, retry shortly"))
+			httpError(w, http.StatusServiceUnavailable, codeNotReady, errors.New("index still building, retry shortly"))
 			return
 		}
 		if !s.limiter.TryAcquire(weight) {
 			mHTTPShed("saturated").Inc()
 			mHTTPRequests(endpoint, http.StatusServiceUnavailable).Inc()
 			w.Header().Set("Retry-After", "1")
-			httpError(w, http.StatusServiceUnavailable, errors.New("server saturated, retry shortly"))
+			httpError(w, http.StatusServiceUnavailable, codeSaturated, errors.New("server saturated, retry shortly"))
 			return
 		}
 		mHTTPInFlight.Add(float64(weight))
@@ -720,7 +728,7 @@ func recoverJSON(next http.Handler) http.Handler {
 			}
 			slog.Error("panic serving request", "method", r.Method, "path", r.URL.Path,
 				"panic", rec, "stack", string(debug.Stack()))
-			httpError(w, http.StatusInternalServerError, fmt.Errorf("internal error: %v", rec))
+			httpError(w, http.StatusInternalServerError, codeInternal, fmt.Errorf("internal error: %v", rec))
 		}()
 		next.ServeHTTP(w, r)
 	})
@@ -806,217 +814,6 @@ func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]interface{}{"status": "ready"})
 }
 
-// attrResult is one attribute in a JSON response.
-type attrResult struct {
-	ID     history.AttrID `json:"id"`
-	Page   string         `json:"page"`
-	Table  string         `json:"table"`
-	Column string         `json:"column"`
-}
-
-func (c *corpus) attrResult(id history.AttrID) attrResult {
-	m := c.ds.Attr(id).Meta()
-	return attrResult{ID: id, Page: m.Page, Table: m.Table, Column: m.Column}
-}
-
-// resolve finds an attribute by id or page substring. The substring scan
-// runs over the precomputed lowercased page titles, keeping the original
-// first-match semantics without per-request lowercasing of the corpus.
-func (c *corpus) resolve(arg string) (*history.History, error) {
-	if arg == "" {
-		return nil, fmt.Errorf("missing attr parameter")
-	}
-	if id, err := strconv.Atoi(arg); err == nil {
-		if id < 0 || id >= c.ds.Len() {
-			return nil, fmt.Errorf("attribute id %d out of range [0,%d)", id, c.ds.Len())
-		}
-		return c.ds.Attr(history.AttrID(id)), nil
-	}
-	needle := strings.ToLower(arg)
-	for i, page := range c.pagesLower {
-		if strings.Contains(page, needle) {
-			return c.ds.Attr(history.AttrID(i)), nil
-		}
-	}
-	return nil, fmt.Errorf("no attribute matches %q", arg)
-}
-
-// params parses eps/delta query parameters with the paper's defaults.
-func (c *corpus) params(r *http.Request) (core.Params, error) {
-	p := core.DefaultDays(c.ds.Horizon())
-	if v := r.URL.Query().Get("eps"); v != "" {
-		e, err := strconv.ParseFloat(v, 64)
-		if err != nil || e < 0 {
-			return p, fmt.Errorf("bad eps %q", v)
-		}
-		p.Epsilon = e
-	}
-	if v := r.URL.Query().Get("delta"); v != "" {
-		d, err := strconv.Atoi(v)
-		if err != nil || d < 0 {
-			return p, fmt.Errorf("bad delta %q", v)
-		}
-		p.Delta = timeline.Time(d)
-	}
-	return p, nil
-}
-
-func (s *server) handleSearch(reverse bool) queryHandler {
-	return func(c *corpus, w http.ResponseWriter, r *http.Request) {
-		q, err := c.resolve(r.URL.Query().Get("attr"))
-		if err != nil {
-			httpError(w, http.StatusBadRequest, err)
-			return
-		}
-		p, err := c.params(r)
-		if err != nil {
-			httpError(w, http.StatusBadRequest, err)
-			return
-		}
-		mode := index.ModeForward
-		if reverse {
-			mode = index.ModeReverse
-		}
-		res, err := c.idx.Query(r.Context(), q, index.QueryOptions{
-			Mode:   mode,
-			Params: p,
-			Trace:  s.slowQuery > 0,
-		})
-		noteStats(r, &res.Stats)
-		if err != nil {
-			queryError(w, err)
-			return
-		}
-		results := make([]attrResult, 0, len(res.IDs))
-		for _, id := range res.IDs {
-			results = append(results, c.attrResult(id))
-		}
-		writeJSON(w, map[string]interface{}{
-			"query":      c.attrResult(q.ID()),
-			"eps":        p.Epsilon,
-			"delta":      int(p.Delta),
-			"results":    results,
-			"elapsed_ms": float64(res.Stats.Elapsed) / float64(time.Millisecond),
-			"candidates": res.Stats.InitialCandidates,
-			"validated":  res.Stats.Validated,
-		})
-	}
-}
-
-func (s *server) handleTopK(c *corpus, w http.ResponseWriter, r *http.Request) {
-	q, err := c.resolve(r.URL.Query().Get("attr"))
-	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
-		return
-	}
-	p, err := c.params(r)
-	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
-		return
-	}
-	k := 10
-	if v := r.URL.Query().Get("k"); v != "" {
-		if k, err = strconv.Atoi(v); err != nil || k <= 0 || k > 1000 {
-			httpError(w, http.StatusBadRequest, fmt.Errorf("bad k %q", v))
-			return
-		}
-	}
-	res, err := c.idx.Query(r.Context(), q, index.QueryOptions{
-		Mode:   index.ModeTopK,
-		Params: core.Params{Delta: p.Delta, Weight: p.Weight},
-		K:      k,
-		Trace:  s.slowQuery > 0,
-	})
-	noteStats(r, &res.Stats)
-	if err != nil {
-		queryError(w, err)
-		return
-	}
-	ranked := res.Ranked
-	type rankedResult struct {
-		attrResult
-		Violation float64 `json:"violation"`
-	}
-	results := make([]rankedResult, 0, len(ranked))
-	for _, rr := range ranked {
-		results = append(results, rankedResult{attrResult: c.attrResult(rr.ID), Violation: rr.Violation})
-	}
-	writeJSON(w, map[string]interface{}{
-		"query":   c.attrResult(q.ID()),
-		"results": results,
-	})
-}
-
-func (s *server) handleExplain(c *corpus, w http.ResponseWriter, r *http.Request) {
-	lhs, err := c.resolve(r.URL.Query().Get("lhs"))
-	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
-		return
-	}
-	rhs, err := c.resolve(r.URL.Query().Get("rhs"))
-	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
-		return
-	}
-	p, err := c.params(r)
-	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
-		return
-	}
-	type violation struct {
-		FromDay int     `json:"from_day"`
-		ToDay   int     `json:"to_day"` // exclusive
-		Weight  float64 `json:"weight"`
-		Missing string  `json:"missing_value"`
-	}
-	vios := core.Explain(lhs, rhs, p)
-	out := make([]violation, 0, len(vios))
-	var total float64
-	for _, v := range vios {
-		out = append(out, violation{
-			FromDay: int(v.Interval.Start),
-			ToDay:   int(v.Interval.End),
-			Weight:  v.Weight,
-			Missing: c.ds.Dict().String(v.Missing),
-		})
-		total += v.Weight
-	}
-	writeJSON(w, map[string]interface{}{
-		"lhs":             c.attrResult(lhs.ID()),
-		"rhs":             c.attrResult(rhs.ID()),
-		"violations":      out,
-		"total_violation": total,
-		"eps":             p.Epsilon,
-		"holds":           total <= p.Epsilon,
-	})
-}
-
-func (s *server) handleAttr(c *corpus, w http.ResponseWriter, r *http.Request) {
-	h, err := c.resolve(r.URL.Query().Get("attr"))
-	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
-		return
-	}
-	type version struct {
-		Day    int      `json:"day"`
-		Values []string `json:"values"`
-	}
-	versions := make([]version, 0, h.NumVersions())
-	for i := 0; i < h.NumVersions(); i++ {
-		v := h.Version(i)
-		versions = append(versions, version{
-			Day:    int(v.Start),
-			Values: c.ds.Dict().Strings(v.Values),
-		})
-	}
-	writeJSON(w, map[string]interface{}{
-		"attr":          c.attrResult(h.ID()),
-		"observed_from": int(h.ObservedFrom()),
-		"observed_to":   int(h.ObservedUntil()),
-		"versions":      versions,
-	})
-}
-
 // ingestDelta is one history delta in a POST /ingest request body.
 type ingestDelta struct {
 	Op      string         `json:"op"` // append | extend_observation | extend_horizon
@@ -1043,7 +840,7 @@ const ingestMaxBody = 8 << 20
 // serving index within the staleness bound.
 func (s *server) handleIngest(c *corpus, w http.ResponseWriter, r *http.Request) {
 	if c.ing == nil {
-		httpError(w, http.StatusNotImplemented, errors.New("live ingestion disabled: start with -wal"))
+		httpError(w, http.StatusNotImplemented, codeNotImplemented, errors.New("live ingestion disabled: start with -wal"))
 		return
 	}
 	var req struct {
@@ -1052,11 +849,11 @@ func (s *server) handleIngest(c *corpus, w http.ResponseWriter, r *http.Request)
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, ingestMaxBody))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		httpError(w, http.StatusBadRequest, codeInvalidParameter, fmt.Errorf("bad request body: %w", err))
 		return
 	}
 	if len(req.Deltas) == 0 {
-		httpError(w, http.StatusBadRequest, errors.New("empty delta batch"))
+		httpError(w, http.StatusBadRequest, codeInvalidParameter, errors.New("empty delta batch"))
 		return
 	}
 	recs := make([]wal.Record, len(req.Deltas))
@@ -1076,7 +873,7 @@ func (s *server) handleIngest(c *corpus, w http.ResponseWriter, r *http.Request)
 		case "extend_horizon":
 			rec.Type = wal.TypeExtendHorizon
 		default:
-			httpError(w, http.StatusBadRequest, fmt.Errorf("delta %d: unknown op %q", i, d.Op))
+			httpError(w, http.StatusBadRequest, codeInvalidParameter, fmt.Errorf("delta %d: unknown op %q", i, d.Op))
 			return
 		}
 		recs[i] = rec
@@ -1084,13 +881,13 @@ func (s *server) handleIngest(c *corpus, w http.ResponseWriter, r *http.Request)
 	if err := c.ing.Submit(recs); err != nil {
 		switch {
 		case errors.Is(err, ingest.ErrRejected):
-			httpError(w, http.StatusBadRequest, err)
+			httpError(w, http.StatusBadRequest, codeRejected, err)
 		case errors.Is(err, ingest.ErrClosed):
 			w.Header().Set("Retry-After", "1")
-			httpError(w, http.StatusServiceUnavailable, err)
+			httpError(w, http.StatusServiceUnavailable, codeNotReady, err)
 		default:
 			// WAL append failure: the delta is not durable, surface it loudly.
-			httpError(w, http.StatusInternalServerError, err)
+			httpError(w, http.StatusInternalServerError, codeInternal, err)
 		}
 		return
 	}
@@ -1152,29 +949,3 @@ func (s *server) handleStats(c *corpus, w http.ResponseWriter, r *http.Request) 
 	writeJSON(w, body)
 }
 
-// queryError maps a failed query to its HTTP status: deadline expiry is
-// a 504 the client can act on, a disconnected client gets the 499
-// convention, anything else is a 500.
-func queryError(w http.ResponseWriter, err error) {
-	switch {
-	case errors.Is(err, index.ErrDeadlineExceeded):
-		httpError(w, http.StatusGatewayTimeout, err)
-	case errors.Is(err, index.ErrCanceled):
-		httpError(w, statusClientClosedRequest, err)
-	default:
-		httpError(w, http.StatusInternalServerError, err)
-	}
-}
-
-func writeJSON(w http.ResponseWriter, v interface{}) {
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(v); err != nil {
-		slog.Error("encoding response", "err", err)
-	}
-}
-
-func httpError(w http.ResponseWriter, code int, err error) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
-}

@@ -147,8 +147,8 @@ func TestErrorResponses(t *testing.T) {
 	}
 	for _, path := range cases {
 		out := getJSON(t, ts.URL+path, http.StatusBadRequest)
-		if out["error"] == nil {
-			t.Errorf("%s: error message missing", path)
+		if code, _ := errEnvelope(t, out); code != "invalid_parameter" {
+			t.Errorf("%s: code %q, want invalid_parameter", path, code)
 		}
 	}
 }

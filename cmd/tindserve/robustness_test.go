@@ -40,8 +40,8 @@ func TestHealthzBeforeAndAfterReady(t *testing.T) {
 		t.Fatal("/readyz 503 must carry Retry-After")
 	}
 	out := getJSON(t, ts.URL+"/search?attr=0", http.StatusServiceUnavailable)
-	if out["error"] == nil {
-		t.Fatal("not-ready query must return a JSON error")
+	if code, _ := errEnvelope(t, out); code != "not_ready" {
+		t.Fatalf("not-ready query: code %q, want not_ready", code)
 	}
 
 	c, err := datagen.Generate(datagen.Config{Seed: 4, Attributes: 40, Horizon: 300, AttrsPerDomain: 20})
@@ -66,9 +66,9 @@ func TestPanicRecoveryReturnsJSON500(t *testing.T) {
 	defer ts.Close()
 
 	out := getJSON(t, ts.URL+"/boom", http.StatusInternalServerError)
-	msg, _ := out["error"].(string)
-	if !strings.Contains(msg, "kaboom") {
-		t.Fatalf("panic message not surfaced: %v", out)
+	code, msg := errEnvelope(t, out)
+	if code != "internal" || !strings.Contains(msg, "kaboom") {
+		t.Fatalf("panic envelope (%q, %q) must be internal/kaboom: %v", code, msg, out)
 	}
 	// The server must survive the panic and keep answering.
 	getJSON(t, ts.URL+"/boom", http.StatusInternalServerError)
@@ -127,9 +127,9 @@ func TestQueryDeadlineExpiry(t *testing.T) {
 	_, ts := testServerConfig(t, config{queryTimeout: time.Nanosecond})
 	for _, path := range []string{"/search?attr=0", "/reverse?attr=0", "/topk?attr=0&k=3"} {
 		out := getJSON(t, ts.URL+path, http.StatusGatewayTimeout)
-		msg, _ := out["error"].(string)
-		if !strings.Contains(msg, "deadline") {
-			t.Fatalf("%s: deadline error not surfaced: %v", path, out)
+		code, msg := errEnvelope(t, out)
+		if code != "deadline_exceeded" || !strings.Contains(msg, "deadline") {
+			t.Fatalf("%s: deadline envelope (%q, %q): %v", path, code, msg, out)
 		}
 	}
 }

@@ -1,0 +1,163 @@
+package bitmatrix
+
+import (
+	"math/rand"
+	"testing"
+
+	"tind/internal/bloom"
+	"tind/internal/values"
+)
+
+// randomMatrix builds a small matrix over random value-set columns and
+// returns it with the per-column filters used to fill it.
+func randomMatrix(t *testing.T, rng *rand.Rand, p bloom.Params, n int) (*Matrix, []*bloom.Filter) {
+	t.Helper()
+	m := NewMatrix(p, n)
+	cols := make([]*bloom.Filter, n)
+	for c := 0; c < n; c++ {
+		f := bloom.New(p)
+		for v := 0; v < 1+rng.Intn(12); v++ {
+			f.Add(values.Value(rng.Intn(200)))
+		}
+		cols[c] = f
+		m.SetColumn(c, f)
+	}
+	return m, cols
+}
+
+func randomQueries(rng *rand.Rand, p bloom.Params, k int) []*bloom.Filter {
+	qs := make([]*bloom.Filter, k)
+	for i := range qs {
+		f := bloom.New(p)
+		for v := 0; v < 1+rng.Intn(8); v++ {
+			f.Add(values.Value(rng.Intn(200)))
+		}
+		qs[i] = f
+	}
+	return qs
+}
+
+// TestBatchSweepsMatchSingle pins the batched row-major sweeps to the
+// query-at-a-time reference implementations bit for bit.
+func TestBatchSweepsMatchSingle(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	p := bloom.Params{M: 256, K: 2}
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(130)
+		m, _ := randomMatrix(t, rng, p, n)
+		qs := randomQueries(rng, p, 1+rng.Intn(9))
+
+		outs := make([]*Vec, len(qs))
+		for i := range outs {
+			outs[i] = NewVecFull(n)
+		}
+		loads, hits := m.SupersetsBatch(qs, outs)
+		if loads == 0 || hits < loads {
+			t.Fatalf("trial %d: implausible superset sweep counters loads=%d hits=%d", trial, loads, hits)
+		}
+		for i, q := range qs {
+			want := m.Supersets(q, nil)
+			if got := outs[i]; got.Count() != want.Count() || !equalVec(got, want) {
+				t.Fatalf("trial %d query %d: SupersetsBatch mismatch", trial, i)
+			}
+		}
+
+		for i := range outs {
+			outs[i].Fill()
+		}
+		loads, hits = m.SubsetsBatch(qs, outs)
+		if hits < loads {
+			t.Fatalf("trial %d: implausible subset sweep counters loads=%d hits=%d", trial, loads, hits)
+		}
+		for i, q := range qs {
+			want := m.Subsets(q, nil)
+			if got := outs[i]; !equalVec(got, want) {
+				t.Fatalf("trial %d query %d: SubsetsBatch mismatch", trial, i)
+			}
+		}
+	}
+}
+
+// TestIntoVariantsMatchAllocating pins SupersetsInto/ViolatorsInto to
+// their allocating counterparts, including base narrowing and scratch
+// reuse across calls.
+func TestIntoVariantsMatchAllocating(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	p := bloom.Params{M: 256, K: 2}
+	n := 97
+	m, _ := randomMatrix(t, rng, p, n)
+	out := NewVec(n)
+	var bits []int
+	for trial := 0; trial < 30; trial++ {
+		q := randomQueries(rng, p, 1)[0]
+		base := NewVec(n)
+		for c := 0; c < n; c++ {
+			if rng.Intn(3) > 0 {
+				base.Set(c)
+			}
+		}
+		bits = m.SupersetsInto(q, base, out, bits)
+		if want := m.Supersets(q, base); !equalVec(out, want) {
+			t.Fatalf("trial %d: SupersetsInto(base) mismatch", trial)
+		}
+		bits = m.SupersetsInto(q, nil, out, bits)
+		if want := m.Supersets(q, nil); !equalVec(out, want) {
+			t.Fatalf("trial %d: SupersetsInto(nil base) mismatch", trial)
+		}
+		bits = m.ViolatorsInto(q, base, out, bits)
+		if want := m.Violators(q, base); !equalVec(out, want) {
+			t.Fatalf("trial %d: ViolatorsInto mismatch", trial)
+		}
+	}
+}
+
+func TestVecScratchHelpers(t *testing.T) {
+	v := NewVec(70)
+	v.Set(3)
+	v.Set(69)
+	if got := v.AppendOnes(nil); len(got) != 2 || got[0] != 3 || got[1] != 69 {
+		t.Fatalf("AppendOnes = %v", got)
+	}
+	buf := make([]int, 0, 4)
+	if got := v.AppendOnes(buf); len(got) != 2 {
+		t.Fatalf("AppendOnes into buf = %v", got)
+	}
+	v.Fill()
+	if v.Count() != 70 {
+		t.Fatalf("Fill: count = %d, want 70", v.Count())
+	}
+	v.Reset()
+	if v.Count() != 0 {
+		t.Fatalf("Reset: count = %d, want 0", v.Count())
+	}
+	o := NewVec(70)
+	o.Set(5)
+	v.CopyFrom(o)
+	if v.Count() != 1 || !v.Get(5) {
+		t.Fatalf("CopyFrom: wrong bits")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("CopyFrom with mismatched lengths did not panic")
+		}
+	}()
+	v.CopyFrom(NewVec(64))
+}
+
+func equalVec(a, b *Vec) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	eq := true
+	a.ForEach(func(i int) bool {
+		if !b.Get(i) {
+			eq = false
+			return false
+		}
+		return true
+	})
+	if !eq {
+		return false
+	}
+	return a.Count() == b.Count()
+}

@@ -93,6 +93,39 @@ func (v *Vec) Clone() *Vec {
 	return c
 }
 
+// Reset clears all bits, retaining the allocation.
+func (v *Vec) Reset() {
+	for i := range v.words {
+		v.words[i] = 0
+	}
+}
+
+// Fill sets all n bits, retaining the allocation — the pooled equivalent
+// of NewVecFull for recycled candidate sets.
+func (v *Vec) Fill() {
+	for i := range v.words {
+		v.words[i] = ^uint64(0)
+	}
+	v.clearTail()
+}
+
+// CopyFrom overwrites v with o's bits. The vectors must have the same
+// length; candidate scratch is only ever recycled within one index, so a
+// mismatch is a construction bug.
+func (v *Vec) CopyFrom(o *Vec) {
+	if v.n != o.n {
+		panic(fmt.Sprintf("bitmatrix: CopyFrom length mismatch %d vs %d", v.n, o.n))
+	}
+	copy(v.words, o.words)
+}
+
+// AppendOnes appends the indices of all set bits to dst — the
+// allocation-free variant of Ones for pooled scratch.
+func (v *Vec) AppendOnes(dst []int) []int {
+	v.ForEach(func(i int) bool { dst = append(dst, i); return true })
+	return dst
+}
+
 // ForEach calls fn for every set bit in ascending order. Returning false
 // from fn stops the iteration.
 func (v *Vec) ForEach(fn func(i int) bool) {
@@ -229,4 +262,131 @@ func (m *Matrix) Violators(q *bloom.Filter, base *Vec) *Vec {
 	out := base.Clone()
 	out.AndNot(ok)
 	return out
+}
+
+// checkQuery panics on a params mismatch, which always indicates an
+// index-construction bug.
+func (m *Matrix) checkQuery(q *bloom.Filter) {
+	if q.Params() != m.params {
+		panic(fmt.Sprintf("bitmatrix: query params %v do not match matrix params %v", q.Params(), m.params))
+	}
+}
+
+// SupersetsInto is Supersets writing into a caller-owned vector: out is
+// overwritten with base ∧ (∧ rows at query set bits), or with the full
+// set when base is nil. bits is reused as the set-bit scratch and
+// returned (possibly grown) so pooled query arenas allocate nothing on
+// the steady state.
+func (m *Matrix) SupersetsInto(q *bloom.Filter, base, out *Vec, bits []int) []int {
+	m.checkQuery(q)
+	if base != nil {
+		out.CopyFrom(base)
+	} else {
+		out.Fill()
+	}
+	bits = q.SetBits(bits[:0])
+	for _, b := range bits {
+		out.And(m.rows[b])
+		if out.Count() == 0 {
+			break
+		}
+	}
+	return bits
+}
+
+// SubsetsInto is Subsets writing into a caller-owned vector: out is
+// overwritten with base ∧ ¬(∨ rows at query zero bits) — applied as one
+// AndNot per zero-bit row, which is associative and needs no
+// intermediate union vector — or with the full set minus those rows when
+// base is nil. bits is the reusable zero-bit scratch, returned possibly
+// grown.
+func (m *Matrix) SubsetsInto(q *bloom.Filter, base, out *Vec, bits []int) []int {
+	m.checkQuery(q)
+	if base != nil {
+		out.CopyFrom(base)
+	} else {
+		out.Fill()
+	}
+	bits = q.ZeroBits(bits[:0])
+	for _, b := range bits {
+		out.AndNot(m.rows[b])
+	}
+	return bits
+}
+
+// ViolatorsInto is Violators writing into a caller-owned vector:
+// out = base ∧ (∨ rows at query zero bits), algebraically identical to
+// base ∧ ¬Subsets(q, base) without the intermediate clone. bits is the
+// reusable zero-bit scratch, returned possibly grown.
+func (m *Matrix) ViolatorsInto(q *bloom.Filter, base, out *Vec, bits []int) []int {
+	m.checkQuery(q)
+	out.Reset()
+	bits = q.ZeroBits(bits[:0])
+	for _, b := range bits {
+		out.Or(m.rows[b])
+	}
+	out.And(base)
+	return bits
+}
+
+// SupersetsBatch runs the superset probe for many query filters in one
+// row-major sweep: each matrix row is visited once and ANDed into every
+// batch entry whose filter has that bit set, so one row load services the
+// whole batch. outs[i] must be pre-initialized to the i-th entry's base
+// candidate set (typically full) and is narrowed in place. The returned
+// counters quantify the amortization: loads is the number of rows
+// visited by at least one query, hits the number of per-query row
+// applications a query-at-a-time execution would have loaded rows for.
+func (m *Matrix) SupersetsBatch(qs []*bloom.Filter, outs []*Vec) (loads, hits int) {
+	if len(qs) != len(outs) {
+		panic(fmt.Sprintf("bitmatrix: SupersetsBatch got %d filters for %d outputs", len(qs), len(outs)))
+	}
+	for _, q := range qs {
+		m.checkQuery(q)
+	}
+	for b, row := range m.rows {
+		loaded := false
+		for i, q := range qs {
+			if !q.Bit(b) {
+				continue
+			}
+			loaded = true
+			hits++
+			outs[i].And(row)
+		}
+		if loaded {
+			loads++
+		}
+	}
+	return loads, hits
+}
+
+// SubsetsBatch runs the subset (reverse) probe for many query filters in
+// one row-major sweep: each row is visited once and removed (AndNot) from
+// every batch entry whose filter has that bit clear — associative, so the
+// result equals base ∧ ¬(∨ rows at zero bits) exactly like Subsets.
+// outs[i] must be pre-initialized to the entry's base candidate set.
+// Counter semantics match SupersetsBatch.
+func (m *Matrix) SubsetsBatch(qs []*bloom.Filter, outs []*Vec) (loads, hits int) {
+	if len(qs) != len(outs) {
+		panic(fmt.Sprintf("bitmatrix: SubsetsBatch got %d filters for %d outputs", len(qs), len(outs)))
+	}
+	for _, q := range qs {
+		m.checkQuery(q)
+	}
+	for b, row := range m.rows {
+		loaded := false
+		for i, q := range qs {
+			if q.Bit(b) {
+				continue
+			}
+			loaded = true
+			hits++
+			outs[i].AndNot(row)
+		}
+		if loaded {
+			loads++
+		}
+	}
+	return loads, hits
 }

@@ -145,6 +145,13 @@ func (f *Filter) PopCount() int {
 	return n
 }
 
+// Bit reports whether bit position i is set. The batched bit-matrix
+// sweeps iterate rows in matrix order and test each query filter at the
+// current row, so the accessor must be cheap and allocation-free.
+func (f *Filter) Bit(i int) bool {
+	return f.words[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
 // SetBits appends the indices of all set bits to dst. Bit-matrix queries
 // iterate the set bits of the query filter (rows to AND, Section 4.1).
 func (f *Filter) SetBits(dst []int) []int {

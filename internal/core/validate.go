@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"slices"
 	"sort"
 
 	"tind/internal/history"
@@ -211,6 +212,13 @@ func ViolationWeightNaive(q, a *history.History, p Params) float64 {
 // Equation 6).
 func OccurrenceWeights(q *history.History, w timeline.WeightFunc) map[values.Value]float64 {
 	acc := make(map[values.Value]float64, q.AllValues().Len())
+	occurrenceWeightsInto(q, w, acc)
+	return acc
+}
+
+// occurrenceWeightsInto accumulates w_v(Q) into acc, clearing it first.
+func occurrenceWeightsInto(q *history.History, w timeline.WeightFunc, acc map[values.Value]float64) {
+	clear(acc)
 	for i := 0; i < q.NumVersions(); i++ {
 		ws := w.Sum(q.Validity(i))
 		if ws == 0 {
@@ -220,7 +228,6 @@ func OccurrenceWeights(q *history.History, w timeline.WeightFunc) map[values.Val
 			acc[v] += ws
 		}
 	}
-	return acc
 }
 
 // RequiredValues returns R_{ε,w}(Q) = {v | w_v(Q) > ε} (Equation 7): the
@@ -235,4 +242,24 @@ func RequiredValues(q *history.History, epsilon float64, w timeline.WeightFunc) 
 		}
 	}
 	return values.NewSet(ids...)
+}
+
+// RequiredValuesScratch computes R_{ε,w}(Q) like RequiredValues but with
+// caller-owned scratch, for batched query execution: acc is cleared and
+// reused as the occurrence-weight accumulator, buf receives the result.
+// The returned set ALIASES the returned buffer — it is valid only until
+// the scratch is next reused, and a caller that retains it longer must
+// copy it first. (The set invariant holds without values.NewSet: map keys
+// are distinct and buf is sorted here.)
+func RequiredValuesScratch(q *history.History, epsilon float64, w timeline.WeightFunc,
+	acc map[values.Value]float64, buf []values.Value) (values.Set, []values.Value) {
+	occurrenceWeightsInto(q, w, acc)
+	buf = buf[:0]
+	for v, ow := range acc {
+		if ow > epsilon {
+			buf = append(buf, v)
+		}
+	}
+	slices.Sort(buf)
+	return values.Set(buf), buf
 }

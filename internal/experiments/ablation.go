@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"io"
 
 	"tind/internal/core"
@@ -46,7 +47,7 @@ func Ablation(cfg Config, w io.Writer) error {
 		var initial, after, validated float64
 		lat := &stats.Sample{}
 		for _, q := range queries {
-			res, err := idx.Search(q, p)
+			res, err := idx.Query(context.Background(), q, index.QueryOptions{Mode: index.ModeForward, Params: p})
 			if err != nil {
 				return err
 			}

@@ -5,6 +5,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -112,25 +113,19 @@ func sampleQueries(ds *history.Dataset, n int, seed int64) []*history.History {
 // measureSearch runs the query workload against the index and collects
 // per-query latencies in milliseconds plus the total result count.
 func measureSearch(idx *index.Index, queries []*history.History, p core.Params) (*stats.Sample, int, error) {
-	s := &stats.Sample{}
-	results := 0
-	for _, q := range queries {
-		res, err := idx.Search(q, p)
-		if err != nil {
-			return nil, 0, err
-		}
-		s.AddDuration(res.Stats.Elapsed)
-		results += len(res.IDs)
-	}
-	return s, results, nil
+	return measureQueries(idx, queries, index.QueryOptions{Mode: index.ModeForward, Params: p})
 }
 
 // measureReverse mirrors measureSearch for reverse queries.
 func measureReverse(idx *index.Index, queries []*history.History, p core.Params) (*stats.Sample, int, error) {
+	return measureQueries(idx, queries, index.QueryOptions{Mode: index.ModeReverse, Params: p})
+}
+
+func measureQueries(idx *index.Index, queries []*history.History, o index.QueryOptions) (*stats.Sample, int, error) {
 	s := &stats.Sample{}
 	results := 0
 	for _, q := range queries {
-		res, err := idx.Reverse(q, p)
+		res, err := idx.Query(context.Background(), q, o)
 		if err != nil {
 			return nil, 0, err
 		}

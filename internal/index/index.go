@@ -168,6 +168,11 @@ type Index struct {
 	// pruning must never eliminate them. They still pass through M_T
 	// pruning and exact validation, keeping results exact.
 	dirty *bitmatrix.Vec
+	// pool recycles batched-query scratch (candidate vectors, arenas).
+	// A pointer so the shallow copies WithValidationWorkers takes share
+	// one pool; nil (an Index assembled without Build) degrades to
+	// unpooled allocation.
+	pool *queryPool
 }
 
 // BuildStats reports what Build produced.
@@ -211,7 +216,7 @@ func Build(ds *history.Dataset, opt Options) (*Index, error) {
 			ErrInvalidOptions, opt.Params.Weight.Horizon(), ds.Horizon())
 	}
 
-	idx := &Index{mu: &sync.RWMutex{}, ds: ds, opt: opt}
+	idx := &Index{mu: &sync.RWMutex{}, ds: ds, opt: opt, pool: newQueryPool()}
 	n := ds.Len()
 
 	// Filter construction (value-set unions + hashing) dominates build

@@ -58,6 +58,18 @@ var (
 		"Attributes refreshed since the last full build and therefore exempt from slice pruning.")
 	mIndexSliceCoverage = reg.Gauge("tind_index_slice_pruning_coverage",
 		"Fraction of attributes still covered by slice pruning (1 - dirty/attributes).")
+	// Batched-execution instruments. The amortization factor of the
+	// row-major matrix sweeps is row_hits / row_loads: hits counts the
+	// per-query row applications a query-at-a-time execution would have
+	// loaded rows for, loads the rows actually visited.
+	mBatchQueries = reg.Counter("tind_query_batches_total",
+		"QueryBatch calls started.")
+	mBatchSize = reg.Histogram("tind_query_batch_size",
+		"Sub-queries per QueryBatch call.", obs.CountBuckets)
+	mBatchRowLoads = reg.Counter("tind_query_batch_matrix_row_loads_total",
+		"Matrix rows visited by batched candidate sweeps.")
+	mBatchRowHits = reg.Counter("tind_query_batch_matrix_row_hits_total",
+		"Per-query row applications serviced by batched candidate sweeps.")
 )
 
 func init() {

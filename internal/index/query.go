@@ -89,8 +89,9 @@ type TraceSpan = obs.Span
 // together with the partial statistics gathered so far. Stats.Timings is
 // populated on every return, successful or not.
 func (x *Index) Query(ctx context.Context, q *history.History, o QueryOptions) (Result, error) {
+	start := time.Now()
 	if err := o.validate(); err != nil {
-		return Result{}, err
+		return errResult(start), err
 	}
 	// Shared lock for the whole query: Refresh mutates M_T/M_R columns,
 	// the dirty mask and the option weight in place, so it must not
@@ -100,6 +101,21 @@ func (x *Index) Query(ctx context.Context, q *history.History, o QueryOptions) (
 	return x.queryLocked(ctx, q, o)
 }
 
+// errResult stamps the Timings contract onto an otherwise empty Result:
+// Stats.Elapsed and Timings.Total are set on every return, including
+// option-validation failures that never reach the query pipeline. The
+// elapsed time is clamped to at least one nanosecond so "populated"
+// stays observable even under a coarse clock.
+func errResult(start time.Time) Result {
+	var res Result
+	res.Stats.Elapsed = time.Since(start)
+	if res.Stats.Elapsed <= 0 {
+		res.Stats.Elapsed = time.Nanosecond
+	}
+	res.Stats.Timings.Total = res.Stats.Elapsed
+	return res
+}
+
 // QueryByID is Query with one of the dataset's own attributes as the
 // query, resolved under the index's read lock. Callers racing a
 // refresh that swaps dataset entries (the sharded scatter path, where
@@ -107,13 +123,14 @@ func (x *Index) Query(ctx context.Context, q *history.History, o QueryOptions) (
 // the attribute themselves: a pointer fetched outside the lock could be
 // the stale pre-refresh clone, silently breaking self-exclusion.
 func (x *Index) QueryByID(ctx context.Context, id history.AttrID, o QueryOptions) (Result, error) {
+	start := time.Now()
 	if err := o.validate(); err != nil {
-		return Result{}, err
+		return errResult(start), err
 	}
 	x.mu.RLock()
 	defer x.mu.RUnlock()
 	if id < 0 || int(id) >= x.ds.Len() {
-		return Result{}, fmt.Errorf("%w: query attribute %d out of range", ErrInvalidOptions, id)
+		return errResult(start), fmt.Errorf("%w: query attribute %d out of range", ErrInvalidOptions, id)
 	}
 	return x.queryLocked(ctx, x.ds.Attr(id), o)
 }
@@ -155,26 +172,98 @@ func (x *Index) queryLocked(ctx context.Context, q *history.History, o QueryOpti
 }
 
 // queryRun carries the cross-phase state of one Query call: the clock,
-// the optional trace, and the mode's metrics.
+// the optional trace, and the mode's metrics. Under batched execution it
+// additionally carries the worker's arena, the shared pool, and — for
+// matrix-eligible entries — the batch-probed phase-1 candidate set.
 type queryRun struct {
 	x     *Index
 	mode  Mode
 	start time.Time
 	tr    *obs.Trace
+
+	// ar is the executing worker's scratch arena; nil outside QueryBatch,
+	// in which case every helper falls back to fresh allocation.
+	ar *arena
+	// pool recycles candidate vectors; nil outside QueryBatch. search
+	// returns every pooled candidate vector it owns on all exit paths.
+	pool *queryPool
+	// pre transfers ownership of the batch-probed candidate set (with
+	// preReq the forward required values it was probed for, and preShare
+	// this entry's share of the amortized sweep time). search consumes
+	// it on its first pass and nils it out.
+	pre      *bitmatrix.Vec
+	preReq   values.Set
+	preShare time.Duration
+	// valWorkers overrides Options.ValidationWorkers when positive;
+	// QueryBatch pins it to 1 while parallelizing across sub-queries.
+	valWorkers int
 }
 
-// phase times one pipeline phase: the returned func records the elapsed
-// time into *dst (accumulating, so top-k escalations sum), the mode's
-// phase histogram and the trace.
-func (r *queryRun) phase(name string, dst *time.Duration) func() {
-	start := time.Now()
-	endSpan := r.tr.Span(name)
-	return func() {
-		endSpan()
-		d := time.Since(start)
-		*dst += d
-		qm[r.mode].phases[name].ObserveDuration(d)
+// newCand returns a dataset-width candidate vector with unspecified
+// contents, pooled under batched execution.
+func (r *queryRun) newCand() *bitmatrix.Vec {
+	if r.pool != nil {
+		return r.pool.getVec(r.x.ds.Len())
 	}
+	return bitmatrix.NewVec(r.x.ds.Len())
+}
+
+// filterFor builds a Bloom filter over the set, reusing the arena's
+// filter when available. The returned filter is only valid until the
+// next filterFor call on the same run.
+func (r *queryRun) filterFor(s values.Set) *bloom.Filter {
+	if r.ar != nil {
+		r.ar.filter.Reset()
+		r.ar.filter.AddSet(s)
+		return r.ar.filter
+	}
+	return bloom.FromSet(r.x.opt.Bloom, s)
+}
+
+// vioMap returns an empty violation accumulator, reusing the arena's.
+func (r *queryRun) vioMap() map[int]float64 {
+	if r.ar != nil {
+		clear(r.ar.vio)
+		return r.ar.vio
+	}
+	return make(map[int]float64)
+}
+
+// requiredValues computes R_{ε,w}(q), using the arena's scratch under
+// batched execution. The returned set then aliases the arena and is only
+// valid until the next requiredValues call on the same run — callers keep
+// it strictly within the current sub-query and never hand it to a Result.
+func (r *queryRun) requiredValues(q *history.History, epsilon float64, w timeline.WeightFunc) values.Set {
+	if r.ar != nil {
+		var s values.Set
+		s, r.ar.vbuf = core.RequiredValuesScratch(q, epsilon, w, r.ar.occ, r.ar.vbuf)
+		return s
+	}
+	return core.RequiredValues(q, epsilon, w)
+}
+
+// phase times one pipeline phase: end() records the elapsed time into
+// *dst (accumulating, so top-k escalations sum), the mode's phase
+// histogram and the trace. phaseTimer is a value, not a closure, so the
+// hot batched path times its four phases without heap allocation (the
+// nil-trace Span is a static func).
+func (r *queryRun) phase(name string, dst *time.Duration) phaseTimer {
+	return phaseTimer{r: r, name: name, dst: dst, start: time.Now(), endSpan: r.tr.Span(name)}
+}
+
+type phaseTimer struct {
+	r       *queryRun
+	name    string
+	dst     *time.Duration
+	start   time.Time
+	endSpan func()
+}
+
+func (p phaseTimer) end() {
+	p.endSpan()
+	d := time.Since(p.start)
+	*p.dst += d
+	qm[p.r.mode].phases[p.name].ObserveDuration(d)
 }
 
 // finish seals the statistics of the run: total time, trace, and the
@@ -200,6 +289,17 @@ func (r *queryRun) finish(st *QueryStats, err error) {
 func (r *queryRun) search(ctx context.Context, q *history.History, p core.Params, reverse bool) (Result, error) {
 	x := r.x
 	var st QueryStats
+	var cand *bitmatrix.Vec
+	// Pooled candidate vectors go back to the pool on every exit path —
+	// including aborts and the unconsumed batch-probed set of an entry
+	// that never reached phase 1.
+	defer func() {
+		if r.pool != nil {
+			r.pool.putVec(cand)
+			r.pool.putVec(r.pre)
+			r.pre = nil
+		}
+	}()
 	abort := func(err error) (Result, error) {
 		return Result{Stats: st}, err
 	}
@@ -209,29 +309,46 @@ func (r *queryRun) search(ctx context.Context, q *history.History, p core.Params
 
 	// Phase 1: candidate generation via the required-values matrix —
 	// M_T supersets for forward search (line 2 of Algorithm 1), M_R
-	// subsets for reverse search.
+	// subsets for reverse search. A batch-probed entry consumes its
+	// amortized candidate set instead, accounting its share of the
+	// row-major sweep to this phase.
 	endPhase := r.phase(phaseMTPrune, &st.Timings.MTPrune)
-	var cand *bitmatrix.Vec
 	var req values.Set // forward only: required values, reused by the subset check
-	if reverse {
+	if r.pre != nil {
+		cand, req = r.pre, r.preReq
+		r.pre, r.preReq = nil, nil
+		st.Timings.MTPrune += r.preShare
+	} else if reverse {
 		if x.mR != nil && p.Epsilon <= x.opt.Params.Epsilon {
-			qf := bloom.FromSet(x.opt.Bloom, q.AllValues())
-			cand = x.mR.Subsets(qf, nil)
+			qf := r.filterFor(q.AllValues())
+			cand = r.newCand()
+			if r.ar != nil {
+				r.ar.bits = x.mR.SubsetsInto(qf, nil, cand, r.ar.bits)
+			} else {
+				x.mR.SubsetsInto(qf, nil, cand, nil)
+			}
 		} else {
-			cand = bitmatrix.NewVecFull(x.ds.Len())
+			cand = r.newCand()
+			cand.Fill()
 		}
 	} else {
-		req = core.RequiredValues(q, p.Epsilon, p.Weight)
+		req = r.requiredValues(q, p.Epsilon, p.Weight)
 		if x.opt.DisableRequiredValues {
-			cand = bitmatrix.NewVecFull(x.ds.Len())
+			cand = r.newCand()
+			cand.Fill()
 		} else {
-			qf := bloom.FromSet(x.opt.Bloom, req)
-			cand = x.mT.Supersets(qf, nil)
+			qf := r.filterFor(req)
+			cand = r.newCand()
+			if r.ar != nil {
+				r.ar.bits = x.mT.SupersetsInto(qf, nil, cand, r.ar.bits)
+			} else {
+				x.mT.SupersetsInto(qf, nil, cand, nil)
+			}
 		}
 	}
 	x.excludeSelf(q, cand)
 	st.InitialCandidates = cand.Count()
-	endPhase()
+	endPhase.end()
 
 	// Phase 2: time-slice pruning with violation tracking. Only sound
 	// when the query δ does not exceed the index δ (and, for reverse
@@ -239,12 +356,12 @@ func (r *queryRun) search(ctx context.Context, q *history.History, p core.Params
 	endPhase = r.phase(phaseSlicePrune, &st.Timings.SlicePrune)
 	var err error
 	if reverse {
-		err = x.reverseSlicePrune(ctx, q, p, cand, &st)
+		err = r.reverseSlicePrune(ctx, q, p, cand, &st)
 	} else {
-		err = x.forwardSlicePrune(ctx, q, p, cand, &st)
+		err = r.forwardSlicePrune(ctx, q, p, cand, &st)
 	}
 	st.AfterSlices = cand.Count()
-	endPhase()
+	endPhase.end()
 	if err != nil {
 		return abort(err)
 	}
@@ -256,7 +373,7 @@ func (r *queryRun) search(ctx context.Context, q *history.History, p core.Params
 	if reverse {
 		qAll := q.AllValues()
 		keep = func(c history.AttrID) bool {
-			creq := core.RequiredValues(x.ds.Attr(c), p.Epsilon, p.Weight)
+			creq := r.requiredValues(x.ds.Attr(c), p.Epsilon, p.Weight)
 			return creq.SubsetOf(qAll)
 		}
 	} else {
@@ -266,7 +383,7 @@ func (r *queryRun) search(ctx context.Context, q *history.History, p core.Params
 	}
 	err = x.subsetCheck(ctx, cand, keep)
 	st.AfterSubsetCheck = cand.Count()
-	endPhase()
+	endPhase.end()
 	if err != nil {
 		return abort(err)
 	}
@@ -279,8 +396,8 @@ func (r *queryRun) search(ctx context.Context, q *history.History, p core.Params
 		}
 		return core.HoldsContext(ctx, q, x.ds.Attr(c), p)
 	}
-	ids, err := x.validate(ctx, cand, &st, check)
-	endPhase()
+	ids, err := r.validate(ctx, cand, &st, check)
+	endPhase.end()
 	if err != nil {
 		return abort(err)
 	}
@@ -289,18 +406,22 @@ func (r *queryRun) search(ctx context.Context, q *history.History, p core.Params
 }
 
 // forwardSlicePrune runs lines 4-15 of Algorithm 1 over all slices.
-func (x *Index) forwardSlicePrune(ctx context.Context, q *history.History, p core.Params,
+func (r *queryRun) forwardSlicePrune(ctx context.Context, q *history.History, p core.Params,
 	cand *bitmatrix.Vec, st *QueryStats) error {
+	x := r.x
 	if p.Delta > x.opt.Params.Delta || st.InitialCandidates == 0 {
 		return nil
 	}
-	vio := make(map[int]float64)
+	vio := r.vioMap()
+	// The query's version boundaries are the same in every slice; compute
+	// them once rather than per slice.
+	bounds := q.ChangeTimes()
 	for _, ts := range x.slices {
 		if err := ctxErr(ctx); err != nil {
 			return err
 		}
 		st.SlicesUsed++
-		x.pruneSlice(q, p, ts, cand, vio)
+		r.pruneSlice(q, bounds, p, ts, cand, vio)
 		if cand.Count() == 0 {
 			break
 		}
@@ -313,13 +434,14 @@ func (x *Index) forwardSlicePrune(ctx context.Context, q *history.History, p cor
 // window is provably violated by at least its cheapest version in the
 // slice. The slice count is capped per Options.ReverseSlices (more hurt,
 // Figure 14).
-func (x *Index) reverseSlicePrune(ctx context.Context, q *history.History, p core.Params,
+func (r *queryRun) reverseSlicePrune(ctx context.Context, q *history.History, p core.Params,
 	cand *bitmatrix.Vec, st *QueryStats) error {
+	x := r.x
 	if p.Delta > x.opt.Params.Delta || st.InitialCandidates == 0 ||
 		!sameWeight(p.Weight, x.opt.Params.Weight) {
 		return nil
 	}
-	vio := make(map[int]float64)
+	vio := r.vioMap()
 	used := 0
 	for _, ts := range x.slices {
 		if err := ctxErr(ctx); err != nil {
@@ -334,7 +456,13 @@ func (x *Index) reverseSlicePrune(ctx context.Context, q *history.History, p cor
 		used++
 		st.SlicesUsed++
 		qWin := q.Union(ts.iv.Expand(2 * x.opt.Params.Delta))
-		violators := ts.matrix.Violators(bloom.FromSet(x.opt.Bloom, qWin), cand)
+		var violators *bitmatrix.Vec
+		if ar := r.ar; ar != nil {
+			ar.bits = ts.matrix.ViolatorsInto(r.filterFor(qWin), cand, ar.probe, ar.bits)
+			violators = ar.probe
+		} else {
+			violators = ts.matrix.Violators(bloom.FromSet(x.opt.Bloom, qWin), cand)
+		}
 		if x.dirty != nil {
 			violators.AndNot(x.dirty)
 		}
@@ -394,7 +522,7 @@ func (r *queryRun) topK(ctx context.Context, q *history.History, o QueryOptions)
 			// Exact weight for ranking (the search only certifies ≤ ε).
 			v, err := core.ViolationWeightContext(ctx, q, x.ds.Attr(id), p)
 			if err != nil {
-				endRank()
+				endRank.end()
 				return Result{Stats: st}, typedErr(ctx, err)
 			}
 			ranked = append(ranked, Ranked{ID: id, Violation: v})
@@ -405,7 +533,7 @@ func (r *queryRun) topK(ctx context.Context, q *history.History, o QueryOptions)
 			}
 			return ranked[i].ID < ranked[j].ID
 		})
-		endRank()
+		endRank.end()
 		if len(ranked) >= k {
 			ranked = ranked[:k]
 		} else if eps < total {

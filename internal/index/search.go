@@ -55,6 +55,8 @@ type Result struct {
 // but still returns exact results via M_T and validation.
 //
 // Deprecated: use Query with ModeForward, which this wraps.
+//
+//go:fix inline
 func (x *Index) Search(q *history.History, p core.Params) (Result, error) {
 	return x.Query(context.Background(), q, QueryOptions{Mode: ModeForward, Params: p})
 }
@@ -67,6 +69,8 @@ func (x *Index) Search(q *history.History, p core.Params) (Result, error) {
 // partial statistics gathered so far.
 //
 // Deprecated: use Query with ModeForward, which this wraps.
+//
+//go:fix inline
 func (x *Index) SearchContext(ctx context.Context, q *history.History, p core.Params) (Result, error) {
 	return x.Query(ctx, q, QueryOptions{Mode: ModeForward, Params: p})
 }
@@ -78,6 +82,8 @@ func (x *Index) SearchContext(ctx context.Context, q *history.History, p core.Pa
 // fall back to exhaustive validation and remain exact.
 //
 // Deprecated: use Query with ModeReverse, which this wraps.
+//
+//go:fix inline
 func (x *Index) Reverse(q *history.History, p core.Params) (Result, error) {
 	return x.Query(context.Background(), q, QueryOptions{Mode: ModeReverse, Params: p})
 }
@@ -86,6 +92,8 @@ func (x *Index) Reverse(q *history.History, p core.Params) (Result, error) {
 // points and typed errors as SearchContext.
 //
 // Deprecated: use Query with ModeReverse, which this wraps.
+//
+//go:fix inline
 func (x *Index) ReverseContext(ctx context.Context, q *history.History, p core.Params) (Result, error) {
 	return x.Query(ctx, q, QueryOptions{Mode: ModeReverse, Params: p})
 }
@@ -113,19 +121,30 @@ func (x *Index) subsetCheck(ctx context.Context, cand *bitmatrix.Vec, keep func(
 // pruneSlice applies one time-slice index to the candidate set: for every
 // distinct version of Q within the slice interval, candidates whose
 // indexed window set misses the version accumulate the version's weight as
-// a partial violation and are pruned once the budget is exceeded.
-func (x *Index) pruneSlice(q *history.History, p core.Params, ts timeSlice,
-	cand *bitmatrix.Vec, vio map[int]float64) {
+// a partial violation and are pruned once the budget is exceeded. bounds
+// are the query's version boundaries (q.ChangeTimes()), hoisted out by
+// the caller because they are slice-independent. Under batched execution
+// the per-sub-interval probe result, violated set, filter and cut buffer
+// all come from the run's arena instead of fresh allocations.
+func (r *queryRun) pruneSlice(q *history.History, bounds []timeline.Time, p core.Params,
+	ts timeSlice, cand *bitmatrix.Vec, vio map[int]float64) {
+	x := r.x
 	// Distinct versions of Q within the interval: version boundaries
 	// intersected with I, plus I's own boundaries (line 6).
-	bounds := q.ChangeTimes()
-	cuts := []timeline.Time{ts.iv.Start}
+	var cuts []timeline.Time
+	if r.ar != nil {
+		cuts = r.ar.cuts[:0]
+	}
+	cuts = append(cuts, ts.iv.Start)
 	for _, b := range bounds {
 		if b > ts.iv.Start && b < ts.iv.End {
 			cuts = append(cuts, b)
 		}
 	}
 	cuts = append(cuts, ts.iv.End)
+	if r.ar != nil {
+		r.ar.cuts = cuts
+	}
 	// Q's observation end caps the last sub-interval.
 	for j := 0; j+1 < len(cuts); j++ {
 		sub := timeline.NewInterval(cuts[j], cuts[j+1])
@@ -137,12 +156,20 @@ func (x *Index) pruneSlice(q *history.History, p core.Params, ts timeSlice,
 		if sub.IsEmpty() {
 			continue
 		}
-		cI := ts.matrix.Supersets(bloom.FromSet(x.opt.Bloom, qv), cand)
 		// PV = C ∧ ¬C_I (line 10): candidates violated in this
 		// sub-interval. Dirty candidates have stale slice entries and are
 		// exempt (validation handles them).
-		pv := cand.Clone()
-		pv.AndNot(cI)
+		var pv *bitmatrix.Vec
+		if ar := r.ar; ar != nil {
+			ar.bits = ts.matrix.SupersetsInto(r.filterFor(qv), cand, ar.probe, ar.bits)
+			pv = ar.pv
+			pv.CopyFrom(cand)
+			pv.AndNot(ar.probe)
+		} else {
+			cI := ts.matrix.Supersets(bloom.FromSet(x.opt.Bloom, qv), cand)
+			pv = cand.Clone()
+			pv.AndNot(cI)
+		}
 		if x.dirty != nil {
 			pv.AndNot(x.dirty)
 		}
@@ -189,10 +216,23 @@ func (x *Index) excludeSelf(q *history.History, cand *bitmatrix.Vec) {
 // order. The check itself may abort (a done context surfacing through
 // core.HoldsContext); the first such error stops all workers at the next
 // candidate boundary and is returned, mapped to the typed query errors.
-func (x *Index) validate(ctx context.Context, cand *bitmatrix.Vec, st *QueryStats, check func(history.AttrID) (bool, error)) ([]history.AttrID, error) {
-	todo := cand.Ones()
+// Under batched execution the work list and result accumulator come from
+// the run's arena; the returned ids are always freshly allocated, so a
+// Result never aliases pooled memory.
+func (r *queryRun) validate(ctx context.Context, cand *bitmatrix.Vec, st *QueryStats, check func(history.AttrID) (bool, error)) ([]history.AttrID, error) {
+	x := r.x
+	var todo []int
+	if r.ar != nil {
+		r.ar.todo = cand.AppendOnes(r.ar.todo[:0])
+		todo = r.ar.todo
+	} else {
+		todo = cand.Ones()
+	}
 	st.Validated = len(todo)
 	workers := x.opt.ValidationWorkers
+	if r.valWorkers > 0 {
+		workers = r.valWorkers
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -201,6 +241,9 @@ func (x *Index) validate(ctx context.Context, cand *bitmatrix.Vec, st *QueryStat
 	}
 	if workers <= 1 {
 		var ids []history.AttrID
+		if r.ar != nil {
+			ids = r.ar.ids[:0]
+		}
 		for _, c := range todo {
 			ok, err := check(history.AttrID(c))
 			if err != nil {
@@ -209,6 +252,15 @@ func (x *Index) validate(ctx context.Context, cand *bitmatrix.Vec, st *QueryStat
 			if ok {
 				ids = append(ids, history.AttrID(c))
 			}
+		}
+		if r.ar != nil {
+			r.ar.ids = ids
+			if len(ids) == 0 {
+				return nil, nil
+			}
+			out := make([]history.AttrID, len(ids))
+			copy(out, ids)
+			return out, nil
 		}
 		return ids, nil
 	}

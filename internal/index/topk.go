@@ -21,6 +21,8 @@ type Ranked struct {
 // in the paper). Results are ordered by ascending violation, ties by id.
 //
 // Deprecated: use Query with ModeTopK, which this wraps.
+//
+//go:fix inline
 func (x *Index) TopK(q *history.History, delta timeline.Time, w timeline.WeightFunc, k int) ([]Ranked, error) {
 	return x.TopKContext(context.Background(), q, delta, w, k)
 }

@@ -1,0 +1,119 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"tind/internal/history"
+	"tind/internal/index"
+)
+
+// QueryBatch serves index.Index.QueryBatch over the partition. The whole
+// batch is regrouped per shard up front — every shard receives ONE batch
+// containing all sub-queries, so each shard's row-major matrix sweep
+// amortizes across the entire call rather than per sub-query — then the
+// per-shard batches scatter concurrently and each entry gathers exactly
+// like a single Query: result-set union for forward/reverse, k-way merge
+// by (violation, global id) for top-k, funnel statistics summed.
+//
+// Sub-queries naming one of the dataset's own attributes (ByID, or a
+// Query pointer that resolves to a current dataset entry) run on their
+// owning shard by shard-local id so the shard resolves its freshest —
+// possibly refresh-swapped — clone under its own lock and self-exclusion
+// still fires; every other shard receives the history itself.
+//
+// Results come back in batch order. Every entry's Elapsed/Timings.Total
+// is the batch's scatter-gather wall time; per-phase timings sum across
+// shards per entry.
+func (sx *ShardedIndex) QueryBatch(ctx context.Context, batch []index.BatchQuery, o index.BatchOptions) ([]index.Result, error) {
+	start := time.Now()
+	if o.Workers < 0 {
+		return nil, fmt.Errorf("%w: negative batch workers %d", index.ErrInvalidOptions, o.Workers)
+	}
+	for i := range batch {
+		if batch[i].ByID {
+			if batch[i].ID < 0 || int(batch[i].ID) >= len(sx.locals) {
+				return nil, fmt.Errorf("%w: batch entry %d: query attribute %d out of range",
+					index.ErrInvalidOptions, i, batch[i].ID)
+			}
+		} else if batch[i].Query == nil {
+			return nil, fmt.Errorf("%w: batch entry %d: nil query history", index.ErrInvalidOptions, i)
+		}
+	}
+	if len(batch) == 0 {
+		return nil, nil
+	}
+
+	ns := len(sx.shards)
+	perShard := make([][]index.BatchQuery, ns)
+	for s := range perShard {
+		perShard[s] = make([]index.BatchQuery, len(batch))
+	}
+	for i, bq := range batch {
+		owner, local, q := sx.resolveEntry(bq)
+		for s := 0; s < ns; s++ {
+			if s == owner {
+				perShard[s][i] = index.BatchQuery{ByID: true, ID: local, Options: bq.Options}
+			} else {
+				perShard[s][i] = index.BatchQuery{Query: q, Options: bq.Options}
+			}
+		}
+	}
+
+	shardResults := make([][]index.Result, ns)
+	errs := make([]error, ns)
+	var wg sync.WaitGroup
+	for s := 0; s < ns; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			shardResults[s], errs[s] = sx.shards[s].QueryBatch(ctx, perShard[s], o)
+		}(s)
+	}
+	wg.Wait()
+
+	elapsed := time.Since(start)
+	results := make([]index.Result, len(batch))
+	leg := make([]index.Result, ns)
+	for i := range batch {
+		for s := 0; s < ns; s++ {
+			leg[s] = index.Result{}
+			if i < len(shardResults[s]) {
+				leg[s] = shardResults[s][i]
+			}
+		}
+		results[i] = sx.gather(batch[i].Options, leg, elapsed)
+	}
+	for s, err := range errs {
+		if err != nil {
+			return results, fmt.Errorf("shard %d: %w", s, err)
+		}
+	}
+	return results, nil
+}
+
+// resolveEntry determines how one batch entry lands on the partition:
+// the owning shard (or -1) with the entry's shard-local id, and the
+// history every non-owning shard queries with. The provenance rules
+// mirror localQuery: a ByID entry or a Query pointer matching the
+// current dataset entry belongs to its owner; anything else — including
+// a stale pre-refresh clone — scatters as an external history.
+func (sx *ShardedIndex) resolveEntry(bq index.BatchQuery) (owner int, local history.AttrID, q *history.History) {
+	if bq.ByID {
+		ref := sx.locals[bq.ID]
+		return ref.shard, ref.local, sx.attr(bq.ID)
+	}
+	q = bq.Query
+	if id := q.ID(); id >= 0 && int(id) < len(sx.locals) {
+		sx.globalMu.RLock()
+		cur := sx.ds.Attr(id)
+		sx.globalMu.RUnlock()
+		if cur == q || cur.Meta() == q.Meta() {
+			ref := sx.locals[id]
+			return ref.shard, ref.local, q
+		}
+	}
+	return -1, 0, q
+}

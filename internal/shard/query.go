@@ -53,23 +53,40 @@ func (sx *ShardedIndex) Query(ctx context.Context, q *history.History, o index.Q
 	}
 	wg.Wait()
 
-	var res index.Result
-	for s := range results {
-		mergeStats(&res.Stats, &results[s].Stats)
-	}
-	res.Stats.Elapsed = time.Since(start)
-	res.Stats.Timings.Total = res.Stats.Elapsed
+	elapsed := time.Since(start)
 	for s, err := range errs {
 		if err != nil {
-			return index.Result{Stats: res.Stats}, fmt.Errorf("shard %d: %w", s, err)
+			return index.Result{Stats: sx.gatherStats(results, elapsed)}, fmt.Errorf("shard %d: %w", s, err)
 		}
 	}
+	return sx.gather(o, results, elapsed), nil
+}
 
+// gatherStats folds the per-shard statistics of one query into the
+// monolith-shaped total, with the scatter-gather wall time as Elapsed
+// and Timings.Total.
+func (sx *ShardedIndex) gatherStats(perShard []index.Result, elapsed time.Duration) index.QueryStats {
+	var st index.QueryStats
+	for s := range perShard {
+		mergeStats(&st, &perShard[s].Stats)
+	}
+	st.Elapsed = elapsed
+	st.Timings.Total = elapsed
+	return st
+}
+
+// gather merges one query's per-shard results into the global answer:
+// per-shard result sets union (they are disjoint by construction), top-k
+// rankings k-way merge by (violation, global id) truncated to K, and
+// shard-local ids map to global AttrIDs via the partition table. Shared
+// by the single-query and batched scatter paths.
+func (sx *ShardedIndex) gather(o index.QueryOptions, perShard []index.Result, elapsed time.Duration) index.Result {
+	res := index.Result{Stats: sx.gatherStats(perShard, elapsed)}
 	switch o.Mode {
 	case index.ModeTopK:
 		var ranked []index.Ranked
-		for s := range results {
-			for _, r := range results[s].Ranked {
+		for s := range perShard {
+			for _, r := range perShard[s].Ranked {
 				ranked = append(ranked, index.Ranked{ID: sx.globals[s][r.ID], Violation: r.Violation})
 			}
 		}
@@ -86,8 +103,8 @@ func (sx *ShardedIndex) Query(ctx context.Context, q *history.History, o index.Q
 		res.Stats.Results = len(ranked)
 	default:
 		var ids []history.AttrID
-		for s := range results {
-			for _, lid := range results[s].IDs {
+		for s := range perShard {
+			for _, lid := range perShard[s].IDs {
 				ids = append(ids, sx.globals[s][lid])
 			}
 		}
@@ -95,7 +112,7 @@ func (sx *ShardedIndex) Query(ctx context.Context, q *history.History, o index.Q
 		res.IDs = ids
 		res.Stats.Results = len(ids)
 	}
-	return res, nil
+	return res
 }
 
 // mergeStats folds one shard's QueryStats into the gathered total:

@@ -19,10 +19,21 @@
 //	// ... add more attributes ...
 //
 //	idx, _ := tind.BuildIndex(ds, tind.DefaultOptions(horizon))
-//	res, _ := idx.Search(h, tind.DefaultParams(horizon))
+//	res, _ := idx.Query(ctx, h, tind.QueryOptions{
+//		Mode: tind.ModeForward, Params: tind.DefaultParams(horizon),
+//	})
 //	for _, id := range res.IDs {
 //		fmt.Println(ds.Attr(id).Meta())
 //	}
+//
+// Many queries against the same index are cheapest through QueryBatch,
+// which amortizes the matrix probes across the batch and recycles its
+// scratch memory:
+//
+//	results, _ := idx.QueryBatch(ctx, []tind.BatchQuery{
+//		{Query: h, Options: tind.QueryOptions{Mode: tind.ModeForward, Params: p}},
+//		{Query: h2, Options: tind.QueryOptions{Mode: tind.ModeReverse, Params: p}},
+//	}, tind.BatchOptions{})
 //
 // The package also exposes the substrates the paper's evaluation needs: a
 // wikitext table parser and revision matcher (ParseTables, NewExtractor),
@@ -193,6 +204,11 @@ type (
 	QueryMode = index.Mode
 	// QueryOptions parameterizes one Index.Query call.
 	QueryOptions = index.QueryOptions
+	// BatchQuery is one sub-query of an Index.QueryBatch or
+	// ShardedIndex.QueryBatch call.
+	BatchQuery = index.BatchQuery
+	// BatchOptions configures one QueryBatch call.
+	BatchOptions = index.BatchOptions
 	// SearchResult is a query answer with statistics.
 	SearchResult = index.Result
 	// QueryStats records how a query was answered.
