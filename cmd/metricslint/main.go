@@ -1,0 +1,274 @@
+// Command metricslint validates the observability surface of a running
+// tindserve: the Prometheus text exposition on /metrics (every sample
+// line must parse, every metric family must carry non-empty HELP and a
+// known TYPE, every histogram must close with a +Inf bucket), the
+// OpenMetrics rendering (terminated by # EOF, exemplars syntactically
+// valid), and the JSON debugging endpoints /debug/events and /slo.
+//
+// CI boots a tiny-corpus server and points this tool at it (see
+// scripts/metricslint.sh); a non-zero exit means a metric was added or
+// changed without keeping the exposition contract.
+//
+// Usage:
+//
+//	metricslint -url http://127.0.0.1:8080
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// sampleRe matches one text-format sample line: a metric name, optional
+// {labels}, a value, and an optional timestamp. Exemplars (OpenMetrics
+// " # {...} value [ts]" suffixes) are stripped before matching.
+var sampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (\S+)( [0-9.e+-]+)?$`)
+
+// knownTypes are the exposition TYPE values this codebase emits.
+var knownTypes = map[string]bool{"counter": true, "gauge": true, "histogram": true}
+
+type lintError struct {
+	context string
+	msg     string
+}
+
+func (e lintError) String() string { return e.context + ": " + e.msg }
+
+type linter struct {
+	errs []lintError
+}
+
+func (l *linter) errorf(context, format string, args ...interface{}) {
+	l.errs = append(l.errs, lintError{context, fmt.Sprintf(format, args...)})
+}
+
+// family strips the sample-name suffixes that samples of one metric
+// family share: histogram series and the counter _total convention.
+func family(name string) string {
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(name, suffix) {
+			return strings.TrimSuffix(name, suffix)
+		}
+	}
+	return name
+}
+
+// lintExposition checks one text exposition (Prometheus 0.0.4 or
+// OpenMetrics). openMetrics toggles the format-specific rules: the
+// # EOF terminator requirement, exemplar validation, and the
+// counter-metadata-without-_total naming convention.
+func (l *linter) lintExposition(context, text string, openMetrics bool) {
+	help := map[string]string{} // family -> help text
+	typ := map[string]string{}  // family -> type
+	families := map[string]bool{}
+	infBucket := map[string]bool{} // histogram family -> saw le="+Inf"
+	sawEOF := false
+
+	sc := bufio.NewScanner(strings.NewReader(text))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		ctx := fmt.Sprintf("%s:%d", context, lineNo)
+		switch {
+		case line == "":
+			continue
+		case line == "# EOF":
+			sawEOF = true
+			continue
+		case strings.HasPrefix(line, "# HELP "):
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, text, ok := strings.Cut(rest, " ")
+			if !ok || strings.TrimSpace(text) == "" {
+				l.errorf(ctx, "HELP line without help text: %q", line)
+				continue
+			}
+			help[name] = text
+		case strings.HasPrefix(line, "# TYPE "):
+			rest := strings.TrimPrefix(line, "# TYPE ")
+			name, t, ok := strings.Cut(rest, " ")
+			if !ok || !knownTypes[t] {
+				l.errorf(ctx, "TYPE line with unknown type: %q", line)
+				continue
+			}
+			typ[name] = t
+		case strings.HasPrefix(line, "#"):
+			// Other comments are legal and ignored.
+		default:
+			sample := line
+			if openMetrics {
+				if base, ex, ok := strings.Cut(line, " # "); ok {
+					sample = strings.TrimRight(base, " ")
+					l.lintExemplar(ctx, ex)
+				}
+			}
+			m := sampleRe.FindStringSubmatch(sample)
+			if m == nil {
+				l.errorf(ctx, "unparseable sample line: %q", line)
+				continue
+			}
+			name, labels, value := m[1], m[2], m[3]
+			if _, err := strconv.ParseFloat(value, 64); err != nil {
+				l.errorf(ctx, "sample %s: bad value %q", name, value)
+			}
+			// Resolve the sample to its family: an exact metadata match
+			// wins (a gauge may legitimately end in _count), otherwise
+			// strip the histogram series suffixes — and under OpenMetrics
+			// the _total that counter metadata drops.
+			fam := name
+			if _, ok := typ[fam]; !ok {
+				fam = family(name)
+				if openMetrics {
+					fam = strings.TrimSuffix(fam, "_total")
+				}
+			}
+			families[fam] = true
+			if strings.HasSuffix(name, "_bucket") && strings.Contains(labels, `le="+Inf"`) {
+				infBucket[fam] = true
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		l.errorf(context, "reading exposition: %v", err)
+		return
+	}
+
+	for fam := range families {
+		if strings.TrimSpace(help[fam]) == "" {
+			l.errorf(context, "metric family %s has no # HELP text", fam)
+		}
+		t, ok := typ[fam]
+		if !ok {
+			l.errorf(context, "metric family %s has no # TYPE line", fam)
+			continue
+		}
+		if t == "histogram" && !infBucket[fam] {
+			l.errorf(context, "histogram %s has no le=\"+Inf\" bucket", fam)
+		}
+	}
+	if openMetrics && !sawEOF {
+		l.errorf(context, "OpenMetrics exposition not terminated by # EOF")
+	}
+}
+
+// lintExemplar validates the OpenMetrics exemplar suffix of a bucket
+// line: {labels} value [timestamp].
+func (l *linter) lintExemplar(ctx, ex string) {
+	if !strings.HasPrefix(ex, "{") {
+		l.errorf(ctx, "exemplar without label set: %q", ex)
+		return
+	}
+	end := strings.Index(ex, "}")
+	if end < 0 {
+		l.errorf(ctx, "exemplar labels not closed: %q", ex)
+		return
+	}
+	fields := strings.Fields(ex[end+1:])
+	if len(fields) < 1 || len(fields) > 2 {
+		l.errorf(ctx, "exemplar needs a value and optional timestamp: %q", ex)
+		return
+	}
+	for _, f := range fields {
+		if _, err := strconv.ParseFloat(f, 64); err != nil {
+			l.errorf(ctx, "exemplar field %q is not a number", f)
+		}
+	}
+}
+
+// fetch GETs a URL with an optional Accept header and returns the body.
+func fetch(client *http.Client, url, accept string) (string, string, error) {
+	req, err := http.NewRequest("GET", url, nil)
+	if err != nil {
+		return "", "", err
+	}
+	if accept != "" {
+		req.Header.Set("Accept", accept)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return "", "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", "", fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+	}
+	return string(body), resp.Header.Get("Content-Type"), nil
+}
+
+// lintJSON asserts a URL answers a JSON object containing the required
+// top-level keys.
+func (l *linter) lintJSON(client *http.Client, url string, requiredKeys ...string) {
+	body, _, err := fetch(client, url, "")
+	if err != nil {
+		l.errorf(url, "%v", err)
+		return
+	}
+	var obj map[string]interface{}
+	if err := json.Unmarshal([]byte(body), &obj); err != nil {
+		l.errorf(url, "response is not a JSON object: %v", err)
+		return
+	}
+	for _, k := range requiredKeys {
+		if _, ok := obj[k]; !ok {
+			l.errorf(url, "JSON response missing key %q", k)
+		}
+	}
+}
+
+func main() {
+	url := flag.String("url", "http://127.0.0.1:8080", "base URL of a running tindserve")
+	timeout := flag.Duration("timeout", 10*time.Second, "per-request timeout")
+	flag.Parse()
+
+	client := &http.Client{Timeout: *timeout}
+	l := &linter{}
+
+	// Prometheus 0.0.4 rendering.
+	text, ct, err := fetch(client, *url+"/metrics", "")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "metricslint: %v\n", err)
+		os.Exit(1)
+	}
+	if !strings.HasPrefix(ct, "text/plain") {
+		l.errorf("/metrics", "content type %q, want text/plain", ct)
+	}
+	l.lintExposition("/metrics", text, false)
+
+	// OpenMetrics rendering with exemplars.
+	om, ct, err := fetch(client, *url+"/metrics", "application/openmetrics-text")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "metricslint: %v\n", err)
+		os.Exit(1)
+	}
+	if !strings.HasPrefix(ct, "application/openmetrics-text") {
+		l.errorf("/metrics(openmetrics)", "content type %q, want application/openmetrics-text", ct)
+	}
+	l.lintExposition("/metrics(openmetrics)", om, true)
+
+	// JSON debugging endpoints.
+	l.lintJSON(client, *url+"/debug/events", "count", "events")
+	l.lintJSON(client, *url+"/slo", "healthy", "objectives")
+
+	if len(l.errs) > 0 {
+		for _, e := range l.errs {
+			fmt.Fprintf(os.Stderr, "metricslint: %s\n", e)
+		}
+		fmt.Fprintf(os.Stderr, "metricslint: %d problem(s)\n", len(l.errs))
+		os.Exit(1)
+	}
+	fmt.Println("metricslint: exposition and debug endpoints clean")
+}

@@ -20,6 +20,7 @@ import (
 	"tind/internal/core"
 	"tind/internal/history"
 	"tind/internal/index"
+	"tind/internal/obs"
 	"tind/internal/timeline"
 )
 
@@ -264,9 +265,14 @@ func (s *server) handleQuery(mode string) queryHandler {
 			httpError(w, http.StatusBadRequest, codeInvalidParameter, err)
 			return
 		}
-		o.Trace = s.slowQuery > 0
+		// Tracing is always on; the tail sampler in the middleware decides
+		// after completion whether the spans are retained in the wide
+		// event, so slow or errored queries keep their trace even when no
+		// slow-query threshold was configured.
+		o.Trace = true
 		res, err := c.idx.Query(r.Context(), q, o)
 		noteStats(r, &res.Stats)
+		noteQuery(r, obs.EventQuery, mode, 0)
 		if err != nil {
 			queryError(w, err)
 			return
@@ -320,11 +326,22 @@ func (s *server) handleBatch(c *corpus, w http.ResponseWriter, r *http.Request) 
 			httpError(w, http.StatusBadRequest, codeInvalidParameter, fmt.Errorf("query %d: %w", i, err))
 			return
 		}
+		// Same middleware contract as handleQuery: every entry traces, the
+		// tail sampler decides retention after the batch completes.
+		o.Trace = true
 		batch[i] = index.BatchQuery{Query: q, Options: o}
 		queries[i] = q
 	}
+	// The aggregate is noted before execution so even an errored or
+	// timed-out batch reaches the slow-query log and the event ring with
+	// whatever the engine accumulated (stats stay zero if it never ran).
+	agg := &index.QueryStats{}
+	noteStats(r, agg)
+	noteQuery(r, obs.EventBatch, "batch", len(batch))
 	start := time.Now()
 	results, err := c.idx.QueryBatch(r.Context(), batch, index.BatchOptions{})
+	elapsed := time.Since(start)
+	*agg = aggregateBatchStats(results, elapsed)
 	if err != nil {
 		queryError(w, err)
 		return
@@ -335,9 +352,39 @@ func (s *server) handleBatch(c *corpus, w http.ResponseWriter, r *http.Request) 
 	}
 	writeJSON(w, map[string]interface{}{
 		"batch_size": len(bodies),
-		"elapsed_ms": float64(time.Since(start)) / float64(time.Millisecond),
+		"elapsed_ms": float64(elapsed) / float64(time.Millisecond),
 		"results":    bodies,
 	})
+}
+
+// aggregateBatchStats folds per-entry batch results into one batch-level
+// QueryStats for the slow-query log and the wide event: funnel counts
+// and phase timings sum across entries, traces concatenate in entry
+// order, and the per-shard attribution is taken from the first entry —
+// sharded batch legs cover the whole regrouped batch, so every entry
+// reports the same PerShard slice.
+func aggregateBatchStats(results []index.Result, elapsed time.Duration) index.QueryStats {
+	agg := index.QueryStats{Elapsed: elapsed}
+	agg.Timings.Total = elapsed
+	for _, res := range results {
+		st := res.Stats
+		agg.InitialCandidates += st.InitialCandidates
+		agg.AfterSlices += st.AfterSlices
+		agg.AfterSubsetCheck += st.AfterSubsetCheck
+		agg.Validated += st.Validated
+		agg.Results += st.Results
+		agg.SlicesUsed += st.SlicesUsed
+		agg.Timings.MTPrune += st.Timings.MTPrune
+		agg.Timings.SlicePrune += st.Timings.SlicePrune
+		agg.Timings.SubsetCheck += st.Timings.SubsetCheck
+		agg.Timings.Validate += st.Timings.Validate
+		agg.Timings.Rank += st.Timings.Rank
+		agg.Trace = append(agg.Trace, st.Trace...)
+		if agg.PerShard == nil && len(st.PerShard) > 0 {
+			agg.PerShard = st.PerShard
+		}
+	}
+	return agg
 }
 
 func (s *server) handleExplain(c *corpus, w http.ResponseWriter, r *http.Request) {

@@ -20,7 +20,9 @@
 //	GET /attr?attr=...                                   attribute details
 //	GET /stats                                           corpus, index and ingestion stats
 //	POST /ingest                                         live history deltas (with -wal)
-//	GET /metrics                                         Prometheus text exposition
+//	GET /metrics                                         Prometheus text (OpenMetrics + exemplars via Accept)
+//	GET /debug/events                                    wide-event ring: one structured event per query
+//	GET /slo                                             burn-rate status of the declared objectives
 //	GET /debug/pprof/*                                   profiling (only with -pprof)
 //	GET /healthz                                         process liveness
 //	GET /readyz                                          200 once the index is built
@@ -51,12 +53,23 @@
 //
 // Observability: /metrics serves the process-wide obs registry (query
 // phase latencies, candidate funnels, Bloom fill ratios, HTTP counters,
-// runtime gauges) in the Prometheus text format; /healthz reports
-// p50/p95/p99 query latency since start. Logs are structured (log/slog);
-// every admitted query gets an ID, echoed in the X-Query-ID response
-// header, and queries slower than -slow-query-threshold are logged with
-// that ID and their per-phase trace. -pprof opt-in exposes the standard
-// /debug/pprof endpoints.
+// runtime gauges) in the Prometheus text format — or, when the scraper
+// accepts application/openmetrics-text, in OpenMetrics with per-bucket
+// exemplars carrying query IDs; /healthz reports p50/p95/p99 query
+// latency since start. Every query and batch records one wide event
+// (phase timings, per-shard attribution, candidate funnel, error class)
+// into a ring served at /debug/events; tracing is always on and a tail
+// sampler retains the spans of errored queries and the slowest ~5%, so
+// the trace of a tail-latency incident exists even when no slow-query
+// threshold was configured. Declarative SLOs (query latency vs
+// -slo-latency-threshold, 5xx ratio, ingest staleness vs -max-staleness)
+// are evaluated into multi-window burn-rate gauges
+// (tind_slo_burn_rate{slo,window}) served at /slo; with
+// -slo-burn-degrade a sustained burn flips /readyz to degraded. Logs are
+// structured (log/slog); every admitted query gets an ID, echoed in the
+// X-Query-ID response header, and queries slower than
+// -slow-query-threshold are logged with that ID and their per-phase
+// trace. -pprof opt-in exposes the standard /debug/pprof endpoints.
 package main
 
 import (
@@ -158,16 +171,22 @@ func main() {
 		maxStale     = flag.Duration("max-staleness", 30*time.Second, "flip /readyz to degraded when the oldest unapplied delta exceeds this (0 = never)")
 		maxDirty     = flag.Int("ingest-max-dirty", 256, "apply pending deltas once this many records queue")
 		maxDirtyAge  = flag.Duration("ingest-max-dirty-age", 2*time.Second, "apply pending deltas once the oldest queues this long")
+		sloLatency   = flag.Duration("slo-latency-threshold", 500*time.Millisecond, "query_latency SLO: queries slower than this burn error budget")
+		sloInterval  = flag.Duration("slo-interval", 10*time.Second, "SLO burn-rate evaluation interval")
+		sloDegrade   = flag.Float64("slo-burn-degrade", 0, "flip /readyz to degraded when every SLO window burns at least this fast (0 = never)")
 	)
 	flag.Parse()
 
 	cfg := config{
-		queryTimeout: *queryTimeout,
-		maxInFlight:  *maxInFlight,
-		drainTimeout: *drainTimeout,
-		slowQuery:    *slowQuery,
-		pprof:        *pprofF,
-		maxStaleness: *maxStale,
+		queryTimeout:   *queryTimeout,
+		maxInFlight:    *maxInFlight,
+		drainTimeout:   *drainTimeout,
+		slowQuery:      *slowQuery,
+		pprof:          *pprofF,
+		maxStaleness:   *maxStale,
+		sloLatency:     *sloLatency,
+		sloInterval:    *sloInterval,
+		sloBurnDegrade: *sloDegrade,
 	}
 
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -207,6 +226,14 @@ type config struct {
 	// maxStaleness flips /readyz to degraded when the oldest acknowledged
 	// but unapplied delta is older than this; 0 disables the check.
 	maxStaleness time.Duration
+	// sloLatency is the query_latency objective's threshold: queries
+	// slower than this count against the error budget.
+	sloLatency time.Duration
+	// sloInterval is how often the SLO engine re-evaluates burn rates.
+	sloInterval time.Duration
+	// sloBurnDegrade flips /readyz to degraded when every burn-rate
+	// window of some objective is at least this high; 0 disables.
+	sloBurnDegrade float64
 }
 
 // run serves on ln until ctx is done (SIGINT/SIGTERM in production),
@@ -222,6 +249,11 @@ func run(ctx context.Context, cfg config, ln net.Listener, load func(rp *replayP
 	// GC pauses on /metrics for the whole life of the process.
 	stopSampler := obs.NewRuntimeSampler(obs.Default()).Start(10 * time.Second)
 	defer stopSampler()
+
+	// The SLO engine ticks for the whole life of the process so the burn
+	// windows accumulate history even while the index is still building.
+	stopSLO := s.slo.Start()
+	defer stopSLO()
 
 	writeTimeout := time.Minute
 	if cfg.queryTimeout > 0 {
@@ -519,6 +551,14 @@ type server struct {
 	replay replayProgress
 	// maxStaleness flips /readyz to degraded when ingestion falls behind.
 	maxStaleness time.Duration
+	// sampler decides after each query completes whether its trace is
+	// retained in the wide event — errored queries and the slowest tail
+	// always keep theirs.
+	sampler *obs.TailSampler
+	// slo evaluates the declared objectives into burn-rate gauges; with
+	// sloBurnDegrade > 0 a sustained burn also degrades /readyz.
+	slo            *obs.SLOEngine
+	sloBurnDegrade float64
 }
 
 func newServer(cfg config) *server {
@@ -527,12 +567,15 @@ func newServer(cfg config) *server {
 		capacity = int64(4 * runtime.GOMAXPROCS(0))
 	}
 	return &server{
-		limiter:      sem.New(capacity),
-		queryTimeout: cfg.queryTimeout,
-		slowQuery:    cfg.slowQuery,
-		pprof:        cfg.pprof,
-		maxStaleness: cfg.maxStaleness,
-		log:          slog.Default(),
+		limiter:        sem.New(capacity),
+		queryTimeout:   cfg.queryTimeout,
+		slowQuery:      cfg.slowQuery,
+		pprof:          cfg.pprof,
+		maxStaleness:   cfg.maxStaleness,
+		sampler:        obs.NewTailSampler(tailSamplePercentile, tailSampleWindow),
+		slo:            newSLOEngine(cfg),
+		sloBurnDegrade: cfg.sloBurnDegrade,
+		log:            slog.Default(),
 	}
 }
 
@@ -574,9 +617,13 @@ func (s *server) routes() http.Handler {
 	// before the dataset lock on the submit path — see handleStats.
 	mux.Handle("GET /stats", s.query(1, s.handleStats))
 	mux.Handle("POST /ingest", s.query(1, s.handleIngest))
-	// /metrics is deliberately outside the query middleware: scrapes must
-	// work while the index is still building and must never be shed.
+	// /metrics, /debug/events and /slo are deliberately outside the query
+	// middleware: scrapes and debugging must work while the index is still
+	// building and must never be shed — a degraded server is exactly when
+	// they matter.
 	mux.HandleFunc("GET /metrics", handleMetrics)
+	mux.HandleFunc("GET /debug/events", s.handleEvents)
+	mux.HandleFunc("GET /slo", s.handleSLO)
 	if s.pprof {
 		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
@@ -587,9 +634,18 @@ func (s *server) routes() http.Handler {
 	return recoverJSON(mux)
 }
 
-// handleMetrics serves the process-wide registry in the Prometheus text
-// exposition format.
+// handleMetrics serves the process-wide registry. Scrapers that accept
+// OpenMetrics get that rendering — it carries the per-bucket exemplars
+// linking latency spikes to query IDs in /debug/events — everyone else
+// gets the Prometheus 0.0.4 text format.
 func handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if wantsOpenMetrics(r) {
+		w.Header().Set("Content-Type", openMetricsContentType)
+		if err := obs.Default().WriteOpenMetrics(w); err != nil {
+			slog.Error("writing metrics", "err", err)
+		}
+		return
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	if err := obs.Default().WritePrometheus(w); err != nil {
 		slog.Error("writing metrics", "err", err)
@@ -609,19 +665,37 @@ func (w *statusRecorder) WriteHeader(code int) {
 }
 
 // queryNote carries per-query diagnostics from a handler back to the
-// query middleware, which owns the slow-query log.
+// query middleware, which owns the slow-query log and the wide-event
+// record.
 type queryNote struct {
 	stats *index.QueryStats
+	// kind and mode classify the wide event (obs.EventQuery with
+	// mode=forward/reverse/topk, or obs.EventBatch); batch is the batch
+	// size for obs.EventBatch.
+	kind  string
+	mode  string
+	batch int
 }
 
 type noteKey struct{}
 
 // noteStats records the query stats of the request for the slow-query
-// log. Handlers that run an index query call it; the others stay silent
-// and a slow request logs without a phase breakdown.
+// log and the wide event. Handlers that run an index query call it; the
+// others stay silent, a slow request logs without a phase breakdown and
+// no event is recorded.
 func noteStats(r *http.Request, st *index.QueryStats) {
 	if n, ok := r.Context().Value(noteKey{}).(*queryNote); ok {
 		n.stats = st
+	}
+}
+
+// noteQuery classifies the request for its wide event. Only requests
+// that also noteStats emit one.
+func noteQuery(r *http.Request, kind, mode string, batch int) {
+	if n, ok := r.Context().Value(noteKey{}).(*queryNote); ok {
+		n.kind = kind
+		n.mode = mode
+		n.batch = batch
 	}
 }
 
@@ -689,7 +763,13 @@ func (s *server) query(weight int64, h queryHandler) http.Handler {
 		elapsed := time.Since(start)
 		mHTTPRequests(endpoint, sr.status).Inc()
 		mHTTPSeconds(endpoint).ObserveDuration(elapsed)
-		mQuerySeconds.ObserveDuration(elapsed)
+		// The query-latency observation carries the query ID as an
+		// exemplar, so a p99 spike on the histogram links straight to the
+		// offending wide event in /debug/events.
+		mQuerySeconds.ObserveExemplar(elapsed.Seconds(), obs.L("query_id", strconv.FormatUint(qid, 10)))
+		if note.stats != nil {
+			s.recordQueryEvent(note, qid, endpoint, sr.status, elapsed)
+		}
 		if s.slowQuery > 0 && elapsed >= s.slowQuery {
 			mSlowQueries.Inc()
 			attrs := []any{
@@ -761,7 +841,9 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // handleReadyz reports serving readiness. Three states: not ready while
 // the corpus loads (with structured WAL-replay progress when a recovery
 // replay is running), degraded when live ingestion has fallen behind the
-// -max-staleness bound or its last apply failed, and ready otherwise.
+// -max-staleness bound, its last apply failed, or (with -slo-burn-degrade)
+// every burn-rate window of some SLO is exhausting the error budget, and
+// ready otherwise.
 func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	c := s.corpus.Load()
 	if c == nil {
@@ -807,6 +889,23 @@ func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 				"pending_records":   st.PendingRecords,
 				"oldest_pending_ms": float64(st.OldestPendingAge) / float64(time.Millisecond),
 				"max_staleness_ms":  float64(s.maxStaleness) / float64(time.Millisecond),
+			})
+			return
+		}
+	}
+	// A sustained multi-window budget burn also degrades readiness when
+	// the operator opted in with -slo-burn-degrade: the orchestrator can
+	// then pull a tail-latency-sick replica out of rotation before it
+	// exhausts the budget.
+	if s.sloBurnDegrade > 0 {
+		if reason := s.slo.Degraded(); reason != "" {
+			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			json.NewEncoder(w).Encode(map[string]interface{}{
+				"status": "degraded",
+				"error":  reason,
+				"slo":    s.slo.Status(),
 			})
 			return
 		}
@@ -948,4 +1047,3 @@ func (s *server) handleStats(c *corpus, w http.ResponseWriter, r *http.Request) 
 	}
 	writeJSON(w, body)
 }
-

@@ -1,0 +1,256 @@
+// Wide-event, tail-sampling and SLO wiring of tindserve: the query
+// middleware records one structured event per query/batch into the
+// process-wide obs ring (served at GET /debug/events), the tail sampler
+// decides post-completion which events keep their trace, and the SLO
+// engine turns the HTTP histograms and ingest staleness gauge into
+// multi-window burn-rate gauges (GET /slo, optionally feeding /readyz).
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"tind/internal/index"
+	"tind/internal/obs"
+)
+
+// Tail-sampling defaults: always-on span capture with retention for the
+// slowest 5% of recent queries (plus every errored one), estimated over
+// a ring of the last 1024 requests.
+const (
+	tailSamplePercentile = 0.95
+	tailSampleWindow     = 1024
+)
+
+// newSLOEngine declares the service objectives over the process
+// registry:
+//
+//   - query_latency: at least 99% of admitted queries complete within
+//     cfg.sloLatency, measured on tind_http_query_seconds (the HTTP
+//     wall-time histogram, so shard stragglers and gather overhead
+//     count).
+//   - http_error_ratio: at most 0.1% of query requests answer 5xx.
+//   - ingest_staleness: the oldest acknowledged-but-unapplied delta
+//     stays inside cfg.maxStaleness (always healthy when ingestion is
+//     disabled or unbounded — the gauge reads 0).
+//
+// Burn rates are published as tind_slo_burn_rate{slo,window} and served
+// on GET /slo; with cfg.sloBurnDegrade > 0 a sustained multi-window burn
+// flips /readyz to degraded.
+func newSLOEngine(cfg config) *obs.SLOEngine {
+	latencyThreshold := cfg.sloLatency.Seconds()
+	maxStale := cfg.maxStaleness.Seconds()
+	return obs.NewSLOEngine(obs.Default(), obs.SLOOptions{
+		Interval:    cfg.sloInterval,
+		DegradeBurn: cfg.sloBurnDegrade,
+	},
+		obs.SLO{
+			Name:        "query_latency",
+			Description: fmt.Sprintf("99%% of queries complete within %v", cfg.sloLatency),
+			Target:      0.99,
+			Bad: func(s *obs.Snapshot) float64 {
+				m, _ := s.Get("tind_http_query_seconds")
+				return m.CountAbove(latencyThreshold)
+			},
+			Total: func(s *obs.Snapshot) float64 {
+				m, _ := s.Get("tind_http_query_seconds")
+				return float64(m.Count)
+			},
+		},
+		obs.SLO{
+			Name:        "http_error_ratio",
+			Description: "99.9% of query requests answer without a 5xx",
+			Target:      0.999,
+			Bad: func(s *obs.Snapshot) float64 {
+				return sumRequests(s, func(code int) bool { return code >= 500 })
+			},
+			Total: func(s *obs.Snapshot) float64 {
+				return sumRequests(s, func(int) bool { return true })
+			},
+		},
+		obs.SLO{
+			Name:        "ingest_staleness",
+			Description: fmt.Sprintf("99%% of checks find ingestion within the %v staleness bound", cfg.maxStaleness),
+			Target:      0.99,
+			Probe: func(s *obs.Snapshot) bool {
+				if maxStale <= 0 {
+					return true
+				}
+				return s.Value("tind_ingest_oldest_pending_seconds") <= maxStale
+			},
+		},
+	)
+}
+
+// sumRequests folds tind_http_requests_total over every (endpoint, code)
+// label set whose status code the predicate accepts.
+func sumRequests(s *obs.Snapshot, accept func(code int) bool) float64 {
+	var sum float64
+	for _, m := range s.Metrics {
+		if m.Name != "tind_http_requests_total" {
+			continue
+		}
+		code, err := strconv.Atoi(m.Label("code"))
+		if err != nil {
+			continue
+		}
+		if accept(code) {
+			sum += m.Value
+		}
+	}
+	return sum
+}
+
+// errorClass buckets an HTTP status for the wide event's error_class
+// field: empty on success, otherwise a stable operator-facing class.
+func errorClass(status int) string {
+	switch {
+	case status == statusClientClosedRequest:
+		return "canceled"
+	case status == http.StatusGatewayTimeout:
+		return "deadline_exceeded"
+	case status >= 500:
+		return "internal"
+	case status >= 400:
+		return "client_error"
+	default:
+		return ""
+	}
+}
+
+// eventPhases converts the index phase timings to the obs event shape.
+func eventPhases(t index.Timings) obs.EventPhases {
+	return obs.EventPhases{
+		MTPrune:     t.MTPrune,
+		SlicePrune:  t.SlicePrune,
+		SubsetCheck: t.SubsetCheck,
+		Validate:    t.Validate,
+		Rank:        t.Rank,
+	}
+}
+
+// eventShards converts per-shard attribution to the obs event shape.
+func eventShards(ps []index.ShardStat) []obs.EventShard {
+	if len(ps) == 0 {
+		return nil
+	}
+	out := make([]obs.EventShard, len(ps))
+	for i, s := range ps {
+		out[i] = obs.EventShard{
+			Shard:      s.Shard,
+			Elapsed:    s.Elapsed,
+			Phases:     eventPhases(s.Timings),
+			Candidates: s.InitialCandidates,
+			Validated:  s.Validated,
+			Results:    s.Results,
+		}
+	}
+	return out
+}
+
+// recordQueryEvent builds and records the wide event of one completed
+// query-shaped request, deciding trace retention through the tail
+// sampler. Called by the query middleware for every request whose
+// handler noted stats.
+func (s *server) recordQueryEvent(note *queryNote, qid uint64, endpoint string, status int, elapsed time.Duration) {
+	st := note.stats
+	errClass := errorClass(status)
+	ev := obs.Event{
+		Kind:       note.kind,
+		QueryID:    qid,
+		Mode:       note.mode,
+		Endpoint:   endpoint,
+		Status:     status,
+		BatchSize:  note.batch,
+		Duration:   elapsed,
+		ErrorClass: errClass,
+		Candidates: st.InitialCandidates,
+		Validated:  st.Validated,
+		Results:    st.Results,
+		Phases:     eventPhases(st.Timings),
+		Shards:     eventShards(st.PerShard),
+	}
+	if s.sampler.Admit(elapsed, errClass != "") {
+		ev.Trace = st.Trace
+	}
+	obs.Events().Record(ev)
+}
+
+// eventsMaxLimit caps one /debug/events response.
+const eventsMaxLimit = 1000
+
+// handleEvents serves GET /debug/events: the wide-event ring, newest
+// first, filterable by kind, mode, min_duration (Go duration syntax),
+// error=true and limit. Registered outside the query middleware so it
+// works while the index builds and is never shed — inspecting a
+// degraded server must not depend on the server being healthy.
+func (s *server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	qs := r.URL.Query()
+	f := obs.EventFilter{
+		Kind:  qs.Get("kind"),
+		Mode:  qs.Get("mode"),
+		Limit: 100,
+	}
+	if v := qs.Get("min_duration"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, codeInvalidParameter, fmt.Errorf("bad min_duration %q: %w", v, err))
+			return
+		}
+		f.MinDuration = d
+	}
+	if v := qs.Get("error"); v != "" {
+		b, err := strconv.ParseBool(v)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, codeInvalidParameter, fmt.Errorf("bad error %q: %w", v, err))
+			return
+		}
+		f.ErrorsOnly = b
+	}
+	if v := qs.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 || n > eventsMaxLimit {
+			httpError(w, http.StatusBadRequest, codeInvalidParameter,
+				fmt.Errorf("bad limit %q: want an integer in [1,%d]", v, eventsMaxLimit))
+			return
+		}
+		f.Limit = n
+	}
+	events := obs.Events().Select(f)
+	writeJSON(w, map[string]interface{}{
+		"count":  len(events),
+		"events": events,
+	})
+}
+
+// handleSLO serves GET /slo: the latest multi-window evaluation of every
+// declared objective. Like /debug/events it bypasses the query
+// middleware — SLO state is exactly what an operator needs while the
+// server is refusing queries.
+func (s *server) handleSLO(w http.ResponseWriter, r *http.Request) {
+	statuses := s.slo.Status()
+	healthy := true
+	for _, st := range statuses {
+		if !st.Healthy {
+			healthy = false
+		}
+	}
+	writeJSON(w, map[string]interface{}{
+		"healthy":    healthy,
+		"objectives": statuses,
+	})
+}
+
+// openMetricsContentType is the negotiated content type of the
+// OpenMetrics rendering (which carries exemplars; the 0.0.4 text format
+// cannot).
+const openMetricsContentType = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+// wantsOpenMetrics reports whether the scraper negotiated the
+// OpenMetrics exposition via Accept.
+func wantsOpenMetrics(r *http.Request) bool {
+	return strings.Contains(r.Header.Get("Accept"), "application/openmetrics-text")
+}

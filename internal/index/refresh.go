@@ -2,11 +2,13 @@ package index
 
 import (
 	"fmt"
+	"time"
 
 	"tind/internal/bitmatrix"
 	"tind/internal/bloom"
 	"tind/internal/core"
 	"tind/internal/history"
+	"tind/internal/obs"
 	"tind/internal/timeline"
 )
 
@@ -64,8 +66,12 @@ func (x *Index) RefreshWith(newHorizon timeline.Time, prepare func(ds *history.D
 	return x.refreshLocked(changed, newHorizon)
 }
 
-// refreshLocked is the body of Refresh; the caller holds x.mu.
+// refreshLocked is the body of Refresh; the caller holds x.mu. Every
+// completed refresh — it holds the write lock, so it stalls queries —
+// records one wide event with its duration and the number of refreshed
+// attributes.
 func (x *Index) refreshLocked(changed []history.AttrID, newHorizon timeline.Time) error {
+	start := time.Now()
 	c, ok := x.opt.Params.Weight.(timeline.Constant)
 	if !ok {
 		return fmt.Errorf("index: Refresh requires a constant index weighting (have %v); rebuild instead",
@@ -103,5 +109,10 @@ func (x *Index) refreshLocked(changed []history.AttrID, newHorizon timeline.Time
 		coverage = 1 - float64(dirty)/float64(n)
 	}
 	mIndexSliceCoverage.Set(coverage)
+	obs.Events().Record(obs.Event{
+		Kind:     obs.EventRefresh,
+		Records:  len(changed),
+		Duration: time.Since(start),
+	})
 	return nil
 }

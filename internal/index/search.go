@@ -34,6 +34,25 @@ type QueryStats struct {
 	// Trace holds the per-phase spans when QueryOptions.Trace was set;
 	// nil otherwise. Top-k escalations append one span set per round.
 	Trace []TraceSpan
+	// PerShard attributes the query across a sharded execution: one entry
+	// per scatter leg, with that leg's wall time (including shard lock
+	// wait — the straggler signal) and shard-local funnel. Nil on a
+	// monolithic index. For batched sharded execution the legs cover the
+	// whole regrouped batch, so every entry of the batch reports the same
+	// PerShard slice.
+	PerShard []ShardStat
+}
+
+// ShardStat is one shard's contribution to a sharded query: the scatter
+// leg's wall-clock time plus the shard-local phase timings and funnel
+// counts, so a straggling shard is attributable from a single event.
+type ShardStat struct {
+	Shard             int
+	Elapsed           time.Duration // leg wall time, gate to gather
+	Timings           Timings       // shard-local phase breakdown
+	InitialCandidates int
+	Validated         int
+	Results           int
 }
 
 // Result is the answer to a tIND (or reverse tIND) search. When a query

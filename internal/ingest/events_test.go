@@ -1,0 +1,66 @@
+package ingest
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+
+	"tind/internal/obs"
+	"tind/internal/wal"
+)
+
+// TestApplyRecordsEventAndHistogram asserts that folding a pending batch
+// into the engine emits one ingest_apply wide event (with record count,
+// duration and the WAL's last fsync cost) and lands in the
+// tind_ingest_apply_seconds histogram.
+func TestApplyRecordsEventAndHistogram(t *testing.T) {
+	ds := genDataset(t)
+	x := buildMono(t, ds, genHorizon)
+	log, err := wal.Open(filepath.Join(t.TempDir(), "ingest.wal"), wal.Options{Sync: wal.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log.Close()
+	in := New(x, ds, log, Options{MaxDirty: 1 << 20, MaxDirtyAge: time.Hour})
+	defer in.Close()
+
+	before := obs.Default().Snapshot()
+	seqBefore := obs.Events().LastSeq()
+	g := newDeltaGen(ds, 9)
+	batch := g.round(4)
+	if err := in.Submit(batch); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	diff := obs.Default().Snapshot().Diff(before)
+	if got := diff.Count("tind_ingest_apply_seconds"); got < 1 {
+		t.Errorf("tind_ingest_apply_seconds count delta = %d, want >= 1", got)
+	}
+
+	// The newest ingest_apply event carries the batch.
+	var ev *obs.Event
+	for _, e := range obs.Events().Select(obs.EventFilter{Kind: obs.EventIngestApply}) {
+		if e.Seq > seqBefore {
+			ev = &e
+			break // newest-first
+		}
+	}
+	if ev == nil {
+		t.Fatal("no ingest_apply event recorded")
+	}
+	if ev.Records != len(batch) {
+		t.Errorf("event.Records = %d, want %d", ev.Records, len(batch))
+	}
+	if ev.Duration <= 0 {
+		t.Errorf("event.Duration = %v, want > 0", ev.Duration)
+	}
+	if ev.ErrorClass != "" {
+		t.Errorf("event.ErrorClass = %q, want empty", ev.ErrorClass)
+	}
+	if ev.WALFsync <= 0 {
+		t.Errorf("event.WALFsync = %v, want > 0 under SyncAlways", ev.WALFsync)
+	}
+}

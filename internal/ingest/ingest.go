@@ -55,6 +55,9 @@ var (
 		"Bytes of WAL past the last applied offset.")
 	mReplayApplied = obs.Default().Counter("tind_ingest_replay_applied_total",
 		"WAL records folded into the dataset during startup replay.")
+	mApplySeconds = obs.Default().Histogram("tind_ingest_apply_seconds",
+		"Latency of folding one pending batch into the serving engine (RefreshWith under the dataset lock).",
+		obs.LatencyBuckets)
 )
 
 // ErrRejected is wrapped by every validation failure in Submit: the
@@ -450,11 +453,24 @@ func (in *Ingester) apply() error {
 	for i, p := range batch {
 		recs[i] = p.rec
 	}
+	applyStart := time.Now()
 	in.dsMu.Lock()
 	err := in.eng.RefreshWith(target, func(ds *history.Dataset) ([]history.AttrID, error) {
 		return applyRecords(ds, recs, false)
 	})
 	in.dsMu.Unlock()
+	applyDur := time.Since(applyStart)
+	mApplySeconds.ObserveDuration(applyDur)
+	ev := obs.Event{
+		Kind:     obs.EventIngestApply,
+		Records:  len(batch),
+		Duration: applyDur,
+		WALFsync: in.log.LastFsync(),
+	}
+	if err != nil {
+		ev.ErrorClass = "apply_failed"
+	}
+	obs.Events().Record(ev)
 	if err != nil {
 		// Validation admitted the batch, so an apply failure is a bug or
 		// an I/O-level problem; the records stay in the WAL for replay,
@@ -506,12 +522,17 @@ func (in *Ingester) apply() error {
 // published histories are immutable.
 func (in *Ingester) snapshot(offset int64) error {
 	cfg := in.opt.Snapshot
+	snapStart := time.Now()
 	in.dsMu.RLock()
 	err := persist.WriteSnapshot(in.ds, cfg.Dir, cfg.Shards, cfg.Seed, offset)
 	in.dsMu.RUnlock()
+	ev := obs.Event{Kind: obs.EventSnapshot, Duration: time.Since(snapStart)}
 	if err != nil {
+		ev.ErrorClass = "snapshot_failed"
+		obs.Events().Record(ev)
 		return err
 	}
+	obs.Events().Record(ev)
 	in.mu.Lock()
 	in.snapshots++
 	in.snapOffset = offset

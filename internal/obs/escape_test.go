@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestLabelEscapingRoundTrip drives hostile label values through the
+// full path a scraper sees — registration, exposition rendering — and
+// back through the snapshot parser, asserting the value survives both
+// directions byte-for-byte.
+func TestLabelEscapingRoundTrip(t *testing.T) {
+	cases := []struct {
+		name    string
+		value   string
+		escaped string // expected rendering inside the quotes
+	}{
+		{"plain", "forward", "forward"},
+		{"backslash", `a\b`, `a\\b`},
+		{"double_quote", `say "hi"`, `say \"hi\"`},
+		{"newline", "line1\nline2", `line1\nline2`},
+		{"all_three", "\\\"\n", `\\\"\n`},
+		{"trailing_backslash", `ends\`, `ends\\`},
+		{"consecutive", `\\"`, `\\\\\"`},
+		{"empty", "", ""},
+		{"utf8", "héllo→", "héllo→"},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := NewRegistry()
+			c := r.Counter("tind_test_escape_total", "Escape probe.", L("v", tc.value))
+			c.Inc()
+
+			// Exposition renders the escaped form.
+			var b strings.Builder
+			if err := r.WritePrometheus(&b); err != nil {
+				t.Fatalf("WritePrometheus: %v", err)
+			}
+			want := `tind_test_escape_total{v="` + tc.escaped + `"} 1`
+			if !strings.Contains(b.String(), want+"\n") {
+				t.Fatalf("exposition missing %q:\n%s", want, b.String())
+			}
+
+			// The snapshot stores the same rendered key; ParseLabels must
+			// recover the original value exactly.
+			m, ok := r.Snapshot().Get("tind_test_escape_total", L("v", tc.value))
+			if !ok {
+				t.Fatal("snapshot lookup by original labels failed")
+			}
+			labels, err := ParseLabels(m.Labels)
+			if err != nil {
+				t.Fatalf("ParseLabels(%q): %v", m.Labels, err)
+			}
+			if tc.value == "" {
+				if m.Label("v") != "" {
+					t.Fatalf("Label(v) = %q, want empty", m.Label("v"))
+				}
+				return
+			}
+			if len(labels) != 1 || labels[0].Key != "v" || labels[0].Value != tc.value {
+				t.Fatalf("round trip %q -> %q -> %+v", tc.value, m.Labels, labels)
+			}
+			if got := m.Label("v"); got != tc.value {
+				t.Fatalf("Metric.Label(v) = %q, want %q", got, tc.value)
+			}
+		})
+	}
+}
+
+func TestParseLabelsMultipleAndMalformed(t *testing.T) {
+	labels, err := ParseLabels(`mode="forward",phase="mt_prune"`)
+	if err != nil {
+		t.Fatalf("ParseLabels: %v", err)
+	}
+	if len(labels) != 2 || labels[0].Value != "forward" || labels[1].Key != "phase" {
+		t.Fatalf("ParseLabels = %+v", labels)
+	}
+
+	for _, bad := range []string{`mode`, `mode=forward`, `mode="forw`, `mode="a"x`} {
+		if _, err := ParseLabels(bad); err == nil {
+			t.Errorf("ParseLabels(%q) succeeded, want error", bad)
+		}
+	}
+}

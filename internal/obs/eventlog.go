@@ -1,0 +1,250 @@
+package obs
+
+import (
+	"encoding/json"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Event kinds recorded by the serving stack. One wide event is emitted
+// per unit of server work — a query, a batch, an ingest apply, a
+// snapshot, an engine refresh — carrying everything an operator needs to
+// reconstruct what that unit did: identity, phase timings, per-shard
+// attribution, funnel counts, durability costs and the error class.
+const (
+	EventQuery       = "query"
+	EventBatch       = "batch"
+	EventIngestApply = "ingest_apply"
+	EventSnapshot    = "snapshot"
+	EventRefresh     = "refresh"
+)
+
+// EventPhases is the per-phase breakdown of a query-shaped event,
+// mirroring index.Timings without importing it (obs sits below index in
+// the dependency order).
+type EventPhases struct {
+	MTPrune     time.Duration
+	SlicePrune  time.Duration
+	SubsetCheck time.Duration
+	Validate    time.Duration
+	Rank        time.Duration
+}
+
+func (p EventPhases) zero() bool { return p == EventPhases{} }
+
+// EventShard attributes one scatter-gather leg of a sharded query: the
+// leg's wall time (including shard lock wait and any injected fault
+// latency — the straggler signal) and the shard-local funnel.
+type EventShard struct {
+	Shard      int
+	Elapsed    time.Duration
+	Phases     EventPhases
+	Candidates int
+	Validated  int
+	Results    int
+}
+
+// Event is one wide, structured record of a unit of server work. Fields
+// not meaningful for a kind stay zero and are omitted from the JSON
+// rendering. Events are value types: once handed to EventLog.Record the
+// caller must not mutate the slices it passed (Shards, Trace).
+type Event struct {
+	Seq  uint64    // assigned by Record
+	Time time.Time // assigned by Record when zero
+	Kind string
+
+	// Query-shaped fields.
+	QueryID    uint64 // server-assigned query id (X-Query-ID)
+	Mode       string // forward | reverse | topk | batch
+	Endpoint   string
+	Status     int // HTTP status, query/batch events only
+	BatchSize  int
+	Candidates int
+	Validated  int
+	Results    int
+	Phases     EventPhases
+	Shards     []EventShard // sharded execution only
+	// Trace holds the retained spans when the tail sampler kept this
+	// event's trace; nil when it was dropped (phase timings remain).
+	Trace []Span
+
+	// Ingest-shaped fields.
+	Records  int           // records applied / refreshed
+	WALFsync time.Duration // most recent WAL fsync latency at apply time
+
+	Duration   time.Duration
+	ErrorClass string // empty on success
+}
+
+// MarshalJSON renders the event for /debug/events with millisecond
+// floats for every duration — the shape operators and dashboards read —
+// omitting fields that are zero for this event's kind.
+func (e Event) MarshalJSON() ([]byte, error) {
+	type spanJSON struct {
+		Name    string  `json:"name"`
+		StartMs float64 `json:"start_ms"`
+		DurMs   float64 `json:"duration_ms"`
+	}
+	type shardJSON struct {
+		Shard      int                `json:"shard"`
+		ElapsedMs  float64            `json:"elapsed_ms"`
+		Phases     map[string]float64 `json:"phases_ms,omitempty"`
+		Candidates int                `json:"candidates"`
+		Validated  int                `json:"validated"`
+		Results    int                `json:"results"`
+	}
+	out := struct {
+		Seq        uint64             `json:"seq"`
+		Time       time.Time          `json:"time"`
+		Kind       string             `json:"kind"`
+		QueryID    uint64             `json:"query_id,omitempty"`
+		Mode       string             `json:"mode,omitempty"`
+		Endpoint   string             `json:"endpoint,omitempty"`
+		Status     int                `json:"status,omitempty"`
+		BatchSize  int                `json:"batch_size,omitempty"`
+		DurationMs float64            `json:"duration_ms"`
+		ErrorClass string             `json:"error_class,omitempty"`
+		Candidates int                `json:"candidates,omitempty"`
+		Validated  int                `json:"validated,omitempty"`
+		Results    int                `json:"results,omitempty"`
+		Phases     map[string]float64 `json:"phases_ms,omitempty"`
+		Shards     []shardJSON        `json:"shards,omitempty"`
+		Trace      []spanJSON         `json:"trace,omitempty"`
+		Records    int                `json:"records,omitempty"`
+		WALFsyncMs float64            `json:"wal_fsync_ms,omitempty"`
+	}{
+		Seq: e.Seq, Time: e.Time, Kind: e.Kind,
+		QueryID: e.QueryID, Mode: e.Mode, Endpoint: e.Endpoint,
+		Status: e.Status, BatchSize: e.BatchSize,
+		DurationMs: ms(e.Duration), ErrorClass: e.ErrorClass,
+		Candidates: e.Candidates, Validated: e.Validated, Results: e.Results,
+		Phases:  phaseMap(e.Phases),
+		Records: e.Records, WALFsyncMs: ms(e.WALFsync),
+	}
+	for _, s := range e.Shards {
+		out.Shards = append(out.Shards, shardJSON{
+			Shard: s.Shard, ElapsedMs: ms(s.Elapsed), Phases: phaseMap(s.Phases),
+			Candidates: s.Candidates, Validated: s.Validated, Results: s.Results,
+		})
+	}
+	for _, s := range e.Trace {
+		out.Trace = append(out.Trace, spanJSON{Name: s.Name, StartMs: ms(s.Start), DurMs: ms(s.Duration())})
+	}
+	return json.Marshal(out)
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+func phaseMap(p EventPhases) map[string]float64 {
+	if p.zero() {
+		return nil
+	}
+	m := map[string]float64{
+		"mt_prune":     ms(p.MTPrune),
+		"slice_prune":  ms(p.SlicePrune),
+		"subset_check": ms(p.SubsetCheck),
+		"validate":     ms(p.Validate),
+	}
+	if p.Rank > 0 {
+		m["rank"] = ms(p.Rank)
+	}
+	return m
+}
+
+// EventFilter selects events from the ring. Zero fields match anything.
+type EventFilter struct {
+	Kind        string        // exact kind match
+	Mode        string        // exact mode match
+	MinDuration time.Duration // keep events at least this long
+	ErrorsOnly  bool          // keep only events with a non-empty error class
+	Limit       int           // newest-first cap; 0 means no cap
+}
+
+func (f EventFilter) match(e *Event) bool {
+	if f.Kind != "" && e.Kind != f.Kind {
+		return false
+	}
+	if f.Mode != "" && e.Mode != f.Mode {
+		return false
+	}
+	if e.Duration < f.MinDuration {
+		return false
+	}
+	if f.ErrorsOnly && e.ErrorClass == "" {
+		return false
+	}
+	return true
+}
+
+// EventLog is a fixed-size ring buffer of wide events. Recording claims
+// a slot with one atomic add and copies the event under that slot's own
+// mutex, so concurrent writers only contend when the ring has wrapped
+// all the way around — the hot query path pays one uncontended
+// lock/copy/unlock per completed query, never an allocation.
+type EventLog struct {
+	slots []eventSlot
+	seq   atomic.Uint64
+}
+
+type eventSlot struct {
+	mu sync.Mutex
+	ev Event
+}
+
+// NewEventLog returns a ring holding the most recent capacity events
+// (minimum 16).
+func NewEventLog(capacity int) *EventLog {
+	if capacity < 16 {
+		capacity = 16
+	}
+	return &EventLog{slots: make([]eventSlot, capacity)}
+}
+
+// defaultEvents is the process-wide ring the instrumented packages
+// record into; cmd/tindserve serves it at /debug/events.
+var defaultEvents = NewEventLog(4096)
+
+// Events returns the process-wide event ring.
+func Events() *EventLog { return defaultEvents }
+
+// Record stamps the event with the next sequence number (and the
+// current time, when unset) and stores it, overwriting the oldest event
+// once the ring is full. It returns the assigned sequence number.
+func (l *EventLog) Record(ev Event) uint64 {
+	seq := l.seq.Add(1)
+	ev.Seq = seq
+	if ev.Time.IsZero() {
+		ev.Time = time.Now()
+	}
+	s := &l.slots[(seq-1)%uint64(len(l.slots))]
+	s.mu.Lock()
+	s.ev = ev
+	s.mu.Unlock()
+	return seq
+}
+
+// LastSeq returns the sequence number of the most recently recorded
+// event (0 when none).
+func (l *EventLog) LastSeq() uint64 { return l.seq.Load() }
+
+// Select returns the events matching the filter, newest first.
+func (l *EventLog) Select(f EventFilter) []Event {
+	out := make([]Event, 0, len(l.slots))
+	for i := range l.slots {
+		s := &l.slots[i]
+		s.mu.Lock()
+		ev := s.ev
+		s.mu.Unlock()
+		if ev.Seq == 0 || !f.match(&ev) {
+			continue
+		}
+		out = append(out, ev)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq > out[j].Seq })
+	if f.Limit > 0 && len(out) > f.Limit {
+		out = out[:f.Limit]
+	}
+	return out
+}

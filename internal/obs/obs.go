@@ -76,6 +76,9 @@ type Histogram struct {
 	counts  []atomic.Int64 // len(bounds)+1, non-cumulative per bucket
 	sumBits atomic.Uint64
 	count   atomic.Int64
+	// ex holds the latest exemplar per bucket (len(bounds)+1); nil until
+	// the first ObserveExemplar. See exemplar.go.
+	ex []atomic.Pointer[Exemplar]
 }
 
 // Observe records one value.
@@ -321,6 +324,7 @@ func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Labe
 	return r.lookup(name, help, kindHistogram, labels, func() interface{} {
 		h := &Histogram{bounds: append([]float64(nil), bounds...)}
 		h.counts = make([]atomic.Int64, len(bounds)+1)
+		h.ex = make([]atomic.Pointer[Exemplar], len(bounds)+1)
 		return h
 	}).(*Histogram)
 }

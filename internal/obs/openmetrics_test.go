@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestWriteOpenMetricsFormat(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("tind_test_requests_total", "Requests served.")
+	c.Add(3)
+	g := r.Gauge("tind_test_pressure", "Current pressure.")
+	g.Set(0.5)
+	h := r.Histogram("tind_test_latency_seconds", "Latency.", []float64{0.01, 0.1, 1})
+	h.Observe(0.005)
+	h.ObserveExemplar(0.05, L("query_id", "q-42"))
+
+	var b strings.Builder
+	if err := r.WriteOpenMetrics(&b); err != nil {
+		t.Fatalf("WriteOpenMetrics: %v", err)
+	}
+	out := b.String()
+
+	if !strings.HasSuffix(out, "# EOF\n") {
+		t.Errorf("missing # EOF terminator:\n%s", out)
+	}
+	// Counter metadata drops _total; the sample keeps it.
+	if !strings.Contains(out, "# TYPE tind_test_requests counter\n") {
+		t.Errorf("counter TYPE should use name without _total:\n%s", out)
+	}
+	if !strings.Contains(out, "tind_test_requests_total 3\n") {
+		t.Errorf("counter sample should keep _total:\n%s", out)
+	}
+	if !strings.Contains(out, "tind_test_pressure 0.5\n") {
+		t.Errorf("gauge sample missing:\n%s", out)
+	}
+	// The exemplar rides the bucket that 0.05 landed in (le="0.1").
+	found := false
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, `tind_test_latency_seconds_bucket{le="0.1"}`) {
+			found = true
+			if !strings.Contains(line, `# {query_id="q-42"} 0.05`) {
+				t.Errorf("bucket line missing exemplar: %s", line)
+			}
+		}
+		if strings.HasPrefix(line, `tind_test_latency_seconds_bucket{le="0.01"}`) &&
+			strings.Contains(line, "#") {
+			t.Errorf("bucket without exemplar should have no clause: %s", line)
+		}
+	}
+	if !found {
+		t.Fatalf("no le=0.1 bucket line:\n%s", out)
+	}
+	if !strings.Contains(out, "tind_test_latency_seconds_sum") || !strings.Contains(out, "tind_test_latency_seconds_count 2\n") {
+		t.Errorf("histogram sum/count missing:\n%s", out)
+	}
+}
+
+func TestObserveExemplarCountsMatchObserve(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("tind_test_h", "h", []float64{1, 10})
+	h.Observe(0.5)
+	h.ObserveExemplar(5, L("query_id", "a"))
+	h.ObserveExemplar(50, L("query_id", "b"))
+	if h.Count() != 3 {
+		t.Fatalf("Count = %d, want 3", h.Count())
+	}
+	if got := h.Sum(); got != 55.5 {
+		t.Fatalf("Sum = %g, want 55.5", got)
+	}
+	cum := h.BucketCounts()
+	if cum[0] != 1 || cum[1] != 2 || cum[2] != 3 {
+		t.Fatalf("BucketCounts = %v, want [1 2 3]", cum)
+	}
+	ex := h.Exemplars()
+	if ex[0] != nil {
+		t.Errorf("bucket 0 should have no exemplar")
+	}
+	if ex[1] == nil || ex[1].Value != 5 || ex[1].Labels[0].Value != "a" {
+		t.Errorf("bucket 1 exemplar = %+v, want value 5 query_id a", ex[1])
+	}
+	if ex[2] == nil || ex[2].Value != 50 {
+		t.Errorf("+Inf bucket exemplar = %+v, want value 50", ex[2])
+	}
+	if ex[1].Time.IsZero() || time.Since(ex[1].Time) > time.Minute {
+		t.Errorf("exemplar timestamp not set sanely: %v", ex[1].Time)
+	}
+}
+
+func TestObserveExemplarReplaces(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("tind_test_h2", "h", []float64{1})
+	h.ObserveExemplar(0.3, L("query_id", "old"))
+	h.ObserveExemplar(0.7, L("query_id", "new"))
+	ex := h.Exemplars()
+	if ex[0] == nil || ex[0].Labels[0].Value != "new" || ex[0].Value != 0.7 {
+		t.Fatalf("exemplar = %+v, want latest (new, 0.7)", ex[0])
+	}
+}
+
+func TestCountAbove(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("tind_test_h3", "h", []float64{0.1, 0.5, 1})
+	for _, v := range []float64{0.05, 0.05, 0.3, 0.7, 2} {
+		h.Observe(v)
+	}
+	snap := r.Snapshot()
+	m, ok := snap.Get("tind_test_h3")
+	if !ok {
+		t.Fatal("metric not captured")
+	}
+	// Exactly at a bound: everything in higher buckets.
+	if got := m.CountAbove(0.5); got != 2 {
+		t.Errorf("CountAbove(0.5) = %g, want 2", got)
+	}
+	// Beyond the last bound: only the +Inf mass.
+	if got := m.CountAbove(1); got != 1 {
+		t.Errorf("CountAbove(1) = %g, want 1", got)
+	}
+	if got := m.CountAbove(5); got != 1 {
+		t.Errorf("CountAbove(5) = %g, want 1 (+Inf mass)", got)
+	}
+	// Mid-bucket interpolates: threshold 0.3 splits the (0.1, 0.5] bucket
+	// (1 obs) at halfway -> 0.5 of it, plus 2 above.
+	if got := m.CountAbove(0.3); got != 2.5 {
+		t.Errorf("CountAbove(0.3) = %g, want 2.5", got)
+	}
+	// Below everything: all observations.
+	if got := m.CountAbove(0); got != 5 {
+		t.Errorf("CountAbove(0) = %g, want 5", got)
+	}
+	// Non-histogram.
+	if got := (Metric{Kind: "counter", Value: 9}).CountAbove(1); got != 0 {
+		t.Errorf("CountAbove on counter = %g, want 0", got)
+	}
+}

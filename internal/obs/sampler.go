@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// TailSampler decides — after a query completes — whether its trace is
+// worth keeping: errored queries always are, and so is anything at or
+// above the configured duration percentile of recent traffic. This
+// replaces head-based gating (a fixed slow-query threshold deciding
+// up-front whether to trace at all): spans are always captured cheaply,
+// and the retention decision uses the one piece of information a head
+// sampler can never have — how the query actually went.
+//
+// The sampler keeps a fixed ring of recent durations and refreshes its
+// percentile threshold every window/4 admissions, so the cost per query
+// is a mutex'd ring write and usually one comparison.
+type TailSampler struct {
+	mu        sync.Mutex
+	pct       float64 // e.g. 0.95: keep the slowest 5%
+	ring      []time.Duration
+	n         int // observations so far (saturates at len(ring))
+	next      int // ring write cursor
+	sinceCalc int
+	threshold time.Duration
+	scratch   []time.Duration
+}
+
+// samplerWarmup admissions are always kept while the sampler has too
+// little data to estimate a percentile.
+const samplerWarmup = 32
+
+// NewTailSampler returns a sampler keeping errored queries plus the
+// slowest (1-percentile) share, estimated over a ring of window recent
+// durations. percentile is clamped to [0.5, 0.999]; window to ≥ 64.
+func NewTailSampler(percentile float64, window int) *TailSampler {
+	if percentile < 0.5 {
+		percentile = 0.5
+	}
+	if percentile > 0.999 {
+		percentile = 0.999
+	}
+	if window < 64 {
+		window = 64
+	}
+	return &TailSampler{
+		pct:     percentile,
+		ring:    make([]time.Duration, window),
+		scratch: make([]time.Duration, window),
+	}
+}
+
+// Admit records the query's duration and reports whether its trace
+// should be retained.
+func (s *TailSampler) Admit(d time.Duration, errored bool) bool {
+	s.mu.Lock()
+	s.ring[s.next] = d
+	s.next = (s.next + 1) % len(s.ring)
+	if s.n < len(s.ring) {
+		s.n++
+	}
+	s.sinceCalc++
+	if s.sinceCalc >= len(s.ring)/4 || (s.threshold == 0 && s.n >= samplerWarmup) {
+		s.recalc()
+	}
+	keep := errored || s.n < samplerWarmup || (s.threshold > 0 && d >= s.threshold)
+	s.mu.Unlock()
+	return keep
+}
+
+// Threshold returns the current keep-if-slower-than estimate (0 while
+// warming up).
+func (s *TailSampler) Threshold() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.threshold
+}
+
+// recalc re-estimates the percentile threshold from the ring. Called
+// with s.mu held.
+func (s *TailSampler) recalc() {
+	s.sinceCalc = 0
+	if s.n == 0 {
+		return
+	}
+	buf := s.scratch[:s.n]
+	copy(buf, s.ring[:s.n])
+	sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+	i := int(s.pct * float64(s.n))
+	if i >= s.n {
+		i = s.n - 1
+	}
+	s.threshold = buf[i]
+	if s.threshold == 0 {
+		// Sub-resolution durations would keep everything; keep at least
+		// something distinguishable.
+		s.threshold = 1
+	}
+}

@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTailSamplerWarmupKeepsAll(t *testing.T) {
+	s := NewTailSampler(0.95, 64)
+	for i := 0; i < samplerWarmup-1; i++ {
+		if !s.Admit(time.Millisecond, false) {
+			t.Fatalf("admission %d dropped during warmup", i)
+		}
+	}
+}
+
+func TestTailSamplerErrorsAlwaysKept(t *testing.T) {
+	s := NewTailSampler(0.95, 64)
+	for i := 0; i < 500; i++ {
+		s.Admit(time.Millisecond, false)
+	}
+	if !s.Admit(time.Nanosecond, true) {
+		t.Fatal("errored query dropped")
+	}
+}
+
+func TestTailSamplerKeepsTail(t *testing.T) {
+	s := NewTailSampler(0.9, 64)
+	// Uniform 1..100ms traffic; after warmup the ~p90 threshold should
+	// drop fast queries and keep slow ones.
+	for i := 0; i < 300; i++ {
+		s.Admit(time.Duration(i%100+1)*time.Millisecond, false)
+	}
+	if th := s.Threshold(); th < 50*time.Millisecond || th > 100*time.Millisecond {
+		t.Fatalf("threshold = %v, want ~p90 of 1..100ms", th)
+	}
+	if s.Admit(time.Millisecond, false) {
+		t.Error("1ms query kept despite ~90ms threshold")
+	}
+	if !s.Admit(200*time.Millisecond, false) {
+		t.Error("200ms query dropped despite ~90ms threshold")
+	}
+}
+
+func TestTailSamplerAdaptsDown(t *testing.T) {
+	s := NewTailSampler(0.9, 64)
+	for i := 0; i < 200; i++ {
+		s.Admit(100*time.Millisecond, false)
+	}
+	// Traffic gets uniformly fast; the threshold must follow within a
+	// recalc interval or two.
+	for i := 0; i < 200; i++ {
+		s.Admit(time.Millisecond, false)
+	}
+	if th := s.Threshold(); th > 2*time.Millisecond {
+		t.Fatalf("threshold = %v did not adapt down to ~1ms traffic", th)
+	}
+}

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"math"
+	"strconv"
 	"strings"
 )
 
@@ -206,6 +207,129 @@ func (s *Snapshot) Diff(prev *Snapshot) *Snapshot {
 	}
 	return out
 }
+
+// CountAbove estimates how many of a histogram metric's observations
+// exceeded threshold, interpolating linearly within the bucket the
+// threshold falls into (the inverse of Quantile's estimate). Thresholds
+// at or beyond the highest finite bound return only the +Inf mass.
+// Returns 0 for non-histograms and empty histograms. Applied to a Diff
+// result it counts only the observations between the two snapshots,
+// which is what the SLO engine's windowed bad-event counters use.
+func (m Metric) CountAbove(threshold float64) float64 {
+	if m.Kind != string(kindHistogram) || m.Count == 0 {
+		return 0
+	}
+	total := float64(m.Count)
+	if len(m.Buckets) == 0 {
+		return total
+	}
+	var below int64
+	lower := 0.0
+	for _, b := range m.Buckets {
+		if threshold <= b.LE {
+			in := float64(b.Count - below)
+			width := b.LE - lower
+			var aboveIn float64
+			if in > 0 && width > 0 && threshold > lower {
+				aboveIn = in * (b.LE - threshold) / width
+			} else if threshold <= lower {
+				aboveIn = in
+			}
+			return aboveIn + (total - float64(b.Count))
+		}
+		below = b.Count
+		lower = b.LE
+	}
+	return total - float64(below) // threshold beyond the last bound: +Inf mass
+}
+
+// Label returns the value of one key in the metric's rendered label set,
+// or "" when absent or unparseable.
+func (m Metric) Label(key string) string {
+	labels, err := ParseLabels(m.Labels)
+	if err != nil {
+		return ""
+	}
+	for _, l := range labels {
+		if l.Key == key {
+			return l.Value
+		}
+	}
+	return ""
+}
+
+// ParseLabels parses a rendered `k1="v1",k2="v2"` label set back into
+// labels, undoing the exposition-format escaping (\\, \", \n). It is
+// the inverse of renderLabels and is what tests use to round-trip label
+// values through the exposition.
+func ParseLabels(s string) ([]Label, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []Label
+	i := 0
+	for i < len(s) {
+		eq := strings.IndexByte(s[i:], '=')
+		if eq < 0 {
+			return nil, errMalformedLabels(s, i)
+		}
+		key := s[i : i+eq]
+		i += eq + 1
+		if i >= len(s) || s[i] != '"' {
+			return nil, errMalformedLabels(s, i)
+		}
+		i++
+		var b strings.Builder
+		closed := false
+		for i < len(s) {
+			c := s[i]
+			if c == '\\' && i+1 < len(s) {
+				switch s[i+1] {
+				case '\\':
+					b.WriteByte('\\')
+				case '"':
+					b.WriteByte('"')
+				case 'n':
+					b.WriteByte('\n')
+				default:
+					b.WriteByte(c)
+					b.WriteByte(s[i+1])
+				}
+				i += 2
+				continue
+			}
+			if c == '"' {
+				closed = true
+				i++
+				break
+			}
+			b.WriteByte(c)
+			i++
+		}
+		if !closed {
+			return nil, errMalformedLabels(s, i)
+		}
+		out = append(out, Label{Key: key, Value: b.String()})
+		if i < len(s) {
+			if s[i] != ',' {
+				return nil, errMalformedLabels(s, i)
+			}
+			i++
+		}
+	}
+	return out, nil
+}
+
+type labelParseError struct {
+	input string
+	pos   int
+}
+
+func (e *labelParseError) Error() string {
+	return "obs: malformed label set " + strconv.Quote(e.input) + " at offset " + strconv.Itoa(e.pos)
+}
+
+func errMalformedLabels(s string, pos int) error { return &labelParseError{input: s, pos: pos} }
 
 // prevLookup finds a metric by name and pre-rendered label key.
 func prevLookup(s *Snapshot, name, labels string) (Metric, bool) {

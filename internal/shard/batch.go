@@ -64,12 +64,16 @@ func (sx *ShardedIndex) QueryBatch(ctx context.Context, batch []index.BatchQuery
 
 	shardResults := make([][]index.Result, ns)
 	errs := make([]error, ns)
+	legTimes := make([]time.Duration, ns)
 	var wg sync.WaitGroup
 	for s := 0; s < ns; s++ {
 		wg.Add(1)
 		go func(s int) {
 			defer wg.Done()
+			t0 := time.Now()
+			sx.injectDelay(s)
 			shardResults[s], errs[s] = sx.shards[s].QueryBatch(ctx, perShard[s], o)
+			legTimes[s] = time.Since(t0)
 		}(s)
 	}
 	wg.Wait()
@@ -84,7 +88,9 @@ func (sx *ShardedIndex) QueryBatch(ctx context.Context, batch []index.BatchQuery
 				leg[s] = shardResults[s][i]
 			}
 		}
-		results[i] = sx.gather(batch[i].Options, leg, elapsed)
+		// legTimes cover the whole regrouped per-shard batch, so every
+		// entry reports the same PerShard leg attribution.
+		results[i] = sx.gather(batch[i].Options, leg, legTimes, elapsed)
 	}
 	for s, err := range errs {
 		if err != nil {

@@ -39,16 +39,20 @@ func (sx *ShardedIndex) Query(ctx context.Context, q *history.History, o index.Q
 	n := len(sx.shards)
 	results := make([]index.Result, n)
 	errs := make([]error, n)
+	legs := make([]time.Duration, n)
 	var wg sync.WaitGroup
 	for s := 0; s < n; s++ {
 		wg.Add(1)
 		go func(s int) {
 			defer wg.Done()
+			t0 := time.Now()
+			sx.injectDelay(s)
 			if local, ok := sx.localQuery(s, q); ok {
 				results[s], errs[s] = sx.shards[s].QueryByID(ctx, local, o)
 			} else {
 				results[s], errs[s] = sx.shards[s].Query(ctx, q, o)
 			}
+			legs[s] = time.Since(t0)
 		}(s)
 	}
 	wg.Wait()
@@ -56,19 +60,31 @@ func (sx *ShardedIndex) Query(ctx context.Context, q *history.History, o index.Q
 	elapsed := time.Since(start)
 	for s, err := range errs {
 		if err != nil {
-			return index.Result{Stats: sx.gatherStats(results, elapsed)}, fmt.Errorf("shard %d: %w", s, err)
+			return index.Result{Stats: sx.gatherStats(results, legs, elapsed)}, fmt.Errorf("shard %d: %w", s, err)
 		}
 	}
-	return sx.gather(o, results, elapsed), nil
+	return sx.gather(o, results, legs, elapsed), nil
 }
 
 // gatherStats folds the per-shard statistics of one query into the
 // monolith-shaped total, with the scatter-gather wall time as Elapsed
-// and Timings.Total.
-func (sx *ShardedIndex) gatherStats(perShard []index.Result, elapsed time.Duration) index.QueryStats {
+// and Timings.Total, and attributes each scatter leg in PerShard (leg
+// wall time from legs, shard-local timings and funnel from the shard's
+// own stats) so stragglers stay visible after the merge.
+func (sx *ShardedIndex) gatherStats(perShard []index.Result, legs []time.Duration, elapsed time.Duration) index.QueryStats {
 	var st index.QueryStats
+	st.PerShard = make([]index.ShardStat, len(perShard))
 	for s := range perShard {
-		mergeStats(&st, &perShard[s].Stats)
+		src := &perShard[s].Stats
+		mergeStats(&st, src)
+		st.PerShard[s] = index.ShardStat{
+			Shard:             s,
+			Elapsed:           legs[s],
+			Timings:           src.Timings,
+			InitialCandidates: src.InitialCandidates,
+			Validated:         src.Validated,
+			Results:           src.Results,
+		}
 	}
 	st.Elapsed = elapsed
 	st.Timings.Total = elapsed
@@ -80,8 +96,8 @@ func (sx *ShardedIndex) gatherStats(perShard []index.Result, elapsed time.Durati
 // rankings k-way merge by (violation, global id) truncated to K, and
 // shard-local ids map to global AttrIDs via the partition table. Shared
 // by the single-query and batched scatter paths.
-func (sx *ShardedIndex) gather(o index.QueryOptions, perShard []index.Result, elapsed time.Duration) index.Result {
-	res := index.Result{Stats: sx.gatherStats(perShard, elapsed)}
+func (sx *ShardedIndex) gather(o index.QueryOptions, perShard []index.Result, legs []time.Duration, elapsed time.Duration) index.Result {
+	res := index.Result{Stats: sx.gatherStats(perShard, legs, elapsed)}
 	switch o.Mode {
 	case index.ModeTopK:
 		var ranked []index.Ranked

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"tind/internal/history"
@@ -87,7 +88,35 @@ type ShardedIndex struct {
 	globals  [][]history.AttrID // per shard: global ids in local order (ascending)
 	locals   []localRef         // per global id: owning shard + local id
 
+	// delays holds per-shard injected scatter-leg latency (nanoseconds),
+	// the fault hook behind SetShardDelay. Zero everywhere in production.
+	delays []atomic.Int64
+
 	buildElapsed time.Duration
+}
+
+// SetShardDelay injects d of artificial latency into every scatter leg
+// hitting shard s — a fault hook for straggler drills and the
+// observability tests, which use it to verify that per-shard attribution
+// (QueryStats.PerShard, /debug/events) singles out a slow shard. A zero
+// or negative d clears the fault. Safe to call concurrently with queries.
+func (sx *ShardedIndex) SetShardDelay(s int, d time.Duration) {
+	if s < 0 || s >= len(sx.delays) {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	sx.delays[s].Store(int64(d))
+}
+
+// injectDelay sleeps the shard's configured fault latency, if any.
+// Called at the top of each scatter leg so the delay lands inside the
+// leg's measured wall time, exactly like a genuinely slow shard.
+func (sx *ShardedIndex) injectDelay(s int) {
+	if d := sx.delays[s].Load(); d > 0 {
+		time.Sleep(time.Duration(d))
+	}
 }
 
 // Build partitions ds into opt.Shards independent indexes and builds
@@ -108,6 +137,7 @@ func Build(ds *history.Dataset, opt Options) (*ShardedIndex, error) {
 		datasets: make([]*history.Dataset, opt.Shards),
 		globals:  make([][]history.AttrID, opt.Shards),
 		locals:   make([]localRef, n),
+		delays:   make([]atomic.Int64, opt.Shards),
 	}
 	for g := 0; g < n; g++ {
 		s := history.ShardOf(history.AttrID(g), opt.Seed, opt.Shards)

@@ -1,0 +1,35 @@
+package wal
+
+import (
+	"testing"
+
+	"tind/internal/obs"
+)
+
+// TestFsyncLatencyRecorded asserts that a SyncAlways append times its
+// fsync: the tind_wal_fsync_seconds histogram gains an observation and
+// LastFsync reports a positive duration.
+func TestFsyncLatencyRecorded(t *testing.T) {
+	l, _ := openTemp(t, Options{Sync: SyncAlways})
+
+	before := obs.Default().Snapshot()
+	if _, err := l.Append(Record{Type: TypeAppend, Attr: 3, Start: 100, End: 110, Values: []string{"x"}}); err != nil {
+		t.Fatal(err)
+	}
+	if l.LastFsync() <= 0 {
+		t.Errorf("LastFsync = %v, want > 0 after SyncAlways append", l.LastFsync())
+	}
+	diff := obs.Default().Snapshot().Diff(before)
+	if got := diff.Count("tind_wal_fsync_seconds"); got != 1 {
+		t.Errorf("tind_wal_fsync_seconds count delta = %d, want 1", got)
+	}
+
+	// Explicit Sync also lands in the histogram.
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	diff = obs.Default().Snapshot().Diff(before)
+	if got := diff.Count("tind_wal_fsync_seconds"); got != 2 {
+		t.Errorf("after explicit Sync, count delta = %d, want 2", got)
+	}
+}

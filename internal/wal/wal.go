@@ -33,6 +33,8 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"sync/atomic"
+	"time"
 
 	"tind/internal/history"
 	"tind/internal/obs"
@@ -48,6 +50,8 @@ var (
 		"Bytes appended to the write-ahead log, including frame headers.")
 	mFsyncs = obs.Default().Counter("tind_wal_fsync_total",
 		"fsync calls issued by the write-ahead log.")
+	mFsyncSeconds = obs.Default().Histogram("tind_wal_fsync_seconds",
+		"Latency of write-ahead log fsync calls.", obs.LatencyBuckets)
 	mTruncatedBytes = obs.Default().Counter("tind_wal_truncated_tail_bytes_total",
 		"Bytes discarded by torn-tail truncation at open.")
 	mReplayRecords = obs.Default().Counter("tind_wal_replay_records_total",
@@ -140,6 +144,31 @@ type Log struct {
 	opt     Options
 	size    int64 // committed end offset: header + every valid frame
 	records int   // valid records found at open plus records appended
+
+	// lastFsyncNanos is the duration of the most recent fsync, read by
+	// the ingest apply path to stamp its wide events with the durability
+	// cost the acknowledged records paid.
+	lastFsyncNanos atomic.Int64
+}
+
+// LastFsync returns the duration of the log's most recent fsync (zero
+// before the first).
+func (l *Log) LastFsync() time.Duration {
+	return time.Duration(l.lastFsyncNanos.Load())
+}
+
+// syncTimed fsyncs the file, recording latency into the histogram and
+// the last-fsync gauge shared with ingest events.
+func (l *Log) syncTimed() error {
+	start := time.Now()
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	d := time.Since(start)
+	l.lastFsyncNanos.Store(int64(d))
+	mFsyncSeconds.ObserveDuration(d)
+	mFsyncs.Inc()
+	return nil
 }
 
 // Open opens (creating if missing) the log at path, validates every
@@ -230,10 +259,9 @@ func (l *Log) Append(recs ...Record) (int64, error) {
 		return l.size, err
 	}
 	if l.opt.Sync == SyncAlways {
-		if err := l.f.Sync(); err != nil {
+		if err := l.syncTimed(); err != nil {
 			return l.size, err
 		}
-		mFsyncs.Inc()
 	}
 	l.size += int64(len(buf))
 	l.records += len(recs)
@@ -243,13 +271,7 @@ func (l *Log) Append(recs ...Record) (int64, error) {
 }
 
 // Sync forces an fsync regardless of policy.
-func (l *Log) Sync() error {
-	if err := l.f.Sync(); err != nil {
-		return err
-	}
-	mFsyncs.Inc()
-	return nil
-}
+func (l *Log) Sync() error { return l.syncTimed() }
 
 // Close closes the underlying file without syncing; call Sync first if
 // the policy is SyncNever and the tail matters.
