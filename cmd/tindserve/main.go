@@ -171,6 +171,7 @@ func main() {
 		maxStale     = flag.Duration("max-staleness", 30*time.Second, "flip /readyz to degraded when the oldest unapplied delta exceeds this (0 = never)")
 		maxDirty     = flag.Int("ingest-max-dirty", 256, "apply pending deltas once this many records queue")
 		maxDirtyAge  = flag.Duration("ingest-max-dirty-age", 2*time.Second, "apply pending deltas once the oldest queues this long")
+		resliceCov   = flag.Float64("reslice-min-coverage", 0.5, "background-reslice the index when slice-pruning coverage drops below this (0 = never)")
 		sloLatency   = flag.Duration("slo-latency-threshold", 500*time.Millisecond, "query_latency SLO: queries slower than this burn error budget")
 		sloInterval  = flag.Duration("slo-interval", 10*time.Second, "SLO burn-rate evaluation interval")
 		sloDegrade   = flag.Float64("slo-burn-degrade", 0, "flip /readyz to degraded when every SLO window burns at least this fast (0 = never)")
@@ -207,6 +208,7 @@ func main() {
 			corpus: *corpusF, attrs: *attrs, horizon: *horizon, seed: *seed, shards: *shards,
 			wal: *walF, snapshot: *snapshotF, snapshotEvery: *snapEvery,
 			maxDirty: *maxDirty, maxDirtyAge: *maxDirtyAge,
+			resliceMinCoverage: *resliceCov,
 		}, rp)
 	}
 	if err := run(ctx, cfg, ln, load); err != nil {
@@ -347,6 +349,10 @@ type corpusConfig struct {
 	snapshotEvery int
 	maxDirty      int
 	maxDirtyAge   time.Duration
+	// resliceMinCoverage arms the ingest loop's background re-slicing:
+	// when slice-pruning coverage falls below it, the engine reslices and
+	// coverage returns to 1 without blocking queries. 0 disables.
+	resliceMinCoverage float64
 }
 
 // serving is the full serving state a load produces: dataset, engine and
@@ -471,7 +477,10 @@ func loadServing(cc corpusConfig, rp *replayProgress) (*serving, error) {
 	}
 
 	if log != nil {
-		iopt := ingest.Options{MaxDirty: cc.maxDirty, MaxDirtyAge: cc.maxDirtyAge}
+		iopt := ingest.Options{
+			MaxDirty: cc.maxDirty, MaxDirtyAge: cc.maxDirtyAge,
+			ResliceMinCoverage: cc.resliceMinCoverage,
+		}
 		if cc.snapshot != "" && cc.snapshotEvery > 0 {
 			snapShards := cc.shards
 			if snapShards < 1 {
@@ -1003,7 +1012,7 @@ func (s *server) handleStats(c *corpus, w http.ResponseWriter, r *http.Request) 
 	// Ingester stats come first, outside the view: the ingester lock is
 	// taken before the dataset lock on the submit path, so taking it the
 	// other way around here could deadlock behind a queued apply.
-	var ingestBody map[string]interface{}
+	var ingestBody, resliceBody map[string]interface{}
 	if c.ing != nil {
 		ist := c.ing.Stats()
 		ingestBody = map[string]interface{}{
@@ -1022,6 +1031,19 @@ func (s *server) handleStats(c *corpus, w http.ResponseWriter, r *http.Request) 
 		if ist.LastError != "" {
 			ingestBody["last_error"] = ist.LastError
 		}
+		// Reslice state, from the same pre-view ingester snapshot (the
+		// trigger policy lives in the ingest loop).
+		resliceBody = map[string]interface{}{
+			"reslices": ist.Reslices,
+		}
+		if !ist.LastReslice.IsZero() {
+			resliceBody["last_reslice"] = ist.LastReslice.UTC().Format(time.RFC3339Nano)
+			resliceBody["coverage_before"] = ist.LastResliceCoverageBefore
+			resliceBody["coverage_after"] = ist.LastResliceCoverageAfter
+		}
+		if ist.LastResliceError != "" {
+			resliceBody["last_error"] = ist.LastResliceError
+		}
 	}
 	var body map[string]interface{}
 	c.view(func(ds *history.Dataset) {
@@ -1037,6 +1059,9 @@ func (s *server) handleStats(c *corpus, w http.ResponseWriter, r *http.Request) 
 			"index_bytes":            ist.MemoryBytes,
 			"dirty_attributes":       ist.DirtyAttributes,
 			"slice_pruning_coverage": ist.SlicePruningCoverage,
+		}
+		if resliceBody != nil {
+			body["reslice"] = resliceBody
 		}
 	})
 	if sx, ok := c.idx.(*shard.ShardedIndex); ok {

@@ -143,8 +143,9 @@ type timeSlice struct {
 
 // Index is the chained index structure of Section 4.2: M_T followed by the
 // time-slice matrices, optionally extended for reverse search. It is
-// immutable after Build — except through Refresh — and safe for concurrent
-// queries; Refresh blocks queries for its duration via mu.
+// immutable after Build — except through Refresh and Reslice — and safe
+// for concurrent queries; Refresh and the swap step of Reslice block
+// queries for their duration via mu.
 type Index struct {
 	// mu serializes Refresh (writer) against queries and stats readers.
 	// A pointer so the shallow Index copy AllPairsContext takes shares the
@@ -153,26 +154,55 @@ type Index struct {
 	ds           *history.Dataset
 	opt          Options
 	mT           *bitmatrix.Matrix // columns: Bloom(A[T])
-	slices       []timeSlice
 	mR           *bitmatrix.Matrix // columns: Bloom(R_{ε,w}(A)); reverse only
 	buildElapsed time.Duration
 	// Build-time observability, surfaced via Stats and the obs gauges:
-	// per-matrix fill times, Bloom fill ratios and per-slice pruning
-	// power estimates p(I).
+	// per-matrix fill times and Bloom fill ratios of M_T and M_R.
 	mtBuild, sliceBuild, mrBuild time.Duration
 	fillMT, fillMR               float64
-	fillSlices                   []float64
-	slicePower                   []float64
-	// dirty marks attributes whose histories changed after Build
-	// (index.Refresh): their slice-matrix entries are stale, so slice
-	// pruning must never eliminate them. They still pass through M_T
-	// pruning and exact validation, keeping results exact.
-	dirty *bitmatrix.Vec
+	// baseHorizon is the dataset horizon the index was built over. With
+	// opt.Seed it pins slice selection: a reslice at horizon h draws from
+	// seed opt.Seed + (h - baseHorizon), so reslicing an unchanged-horizon
+	// index reproduces the build's slice choice exactly.
+	baseHorizon timeline.Time
+	// ss is the slice-pruning state a background Reslice swaps atomically.
+	// A pointer (like mu and pool) so the long-lived shallow copies
+	// WithValidationWorkers hands out observe the swap too — a copy
+	// holding pre-swap fields would prune with cleared dirty bits against
+	// stale matrices, which is unsound.
+	ss *sliceState
+	// resliceMu serializes Reslice passes against each other; queries and
+	// Refresh never take it.
+	resliceMu *sync.Mutex
 	// pool recycles batched-query scratch (candidate vectors, arenas).
 	// A pointer so the shallow copies WithValidationWorkers takes share
 	// one pool; nil (an Index assembled without Build) degrades to
 	// unpooled allocation.
 	pool *queryPool
+}
+
+// sliceState bundles the time-slice matrices with the dirty set they are
+// consistent with, plus their per-slice observability. All fields are
+// guarded by Index.mu; Reslice rebuilds them off-lock into a shadow and
+// swaps the fields in under the write lock.
+type sliceState struct {
+	slices     []timeSlice
+	fillSlices []float64
+	slicePower []float64
+	// dirty marks attributes whose histories changed after the slices
+	// were built (index.Refresh): their slice-matrix entries are stale,
+	// so slice pruning must never eliminate them. They still pass through
+	// M_T pruning and exact validation, keeping results exact. Reslice
+	// clears the set by rebuilding the slices from current histories.
+	dirty *bitmatrix.Vec
+	// resliceLog, while non-nil, accumulates the attributes refreshed
+	// since an in-flight Reslice snapshotted the histories. Those
+	// attributes changed after the shadow matrices were filled, so the
+	// swap must carry their dirty bits over instead of clearing them.
+	resliceLog *bitmatrix.Vec
+	// Reslice observability, surfaced via Stats.
+	reslices    int64
+	lastReslice time.Time
 }
 
 // BuildStats reports what Build produced.
@@ -193,14 +223,20 @@ type BuildStats struct {
 	// SlicePruningPower is the estimate p(I) = Σ_A |A[I]| / |I| of
 	// Section 4.4.2 for each chosen slice interval.
 	SlicePruningPower []float64
-	// DirtyAttributes counts attributes refreshed since Build. Their
-	// slice-matrix entries are stale, so they are permanently exempt from
-	// slice pruning (still exact via M_T pruning + validation).
+	// DirtyAttributes counts attributes refreshed since the slices were
+	// last built (Build or Reslice). Their slice-matrix entries are stale,
+	// so they are exempt from slice pruning (still exact via M_T pruning +
+	// validation) until a Reslice or full rebuild re-covers them.
 	DirtyAttributes int
 	// SlicePruningCoverage is the fraction of attributes slice pruning
-	// still applies to: 1 - DirtyAttributes/Attributes. It only recovers
-	// on a full rebuild.
+	// still applies to: 1 - DirtyAttributes/Attributes. It recovers to 1
+	// when Reslice rebuilds the slice matrices from current histories (or
+	// on a full rebuild).
 	SlicePruningCoverage float64
+	// Reslices counts completed background re-slicing passes; LastReslice
+	// is when the most recent one swapped in (zero if none has run).
+	Reslices    int64
+	LastReslice time.Time
 }
 
 // Build constructs the index over a dataset. Malformed options are
@@ -216,8 +252,12 @@ func Build(ds *history.Dataset, opt Options) (*Index, error) {
 			ErrInvalidOptions, opt.Params.Weight.Horizon(), ds.Horizon())
 	}
 
-	idx := &Index{mu: &sync.RWMutex{}, ds: ds, opt: opt, pool: newQueryPool()}
+	idx := &Index{
+		mu: &sync.RWMutex{}, ds: ds, opt: opt, pool: newQueryPool(),
+		ss: &sliceState{}, resliceMu: &sync.Mutex{}, baseHorizon: ds.Horizon(),
+	}
 	n := ds.Len()
+	attrs := ds.Attrs()
 
 	// Filter construction (value-set unions + hashing) dominates build
 	// time and is embarrassingly parallel per attribute; writing the
@@ -226,7 +266,7 @@ func Build(ds *history.Dataset, opt Options) (*Index, error) {
 	fillMatrix := func(kind string, dst *time.Duration, filter func(h *history.History) *bloom.Filter) *bitmatrix.Matrix {
 		t0 := time.Now()
 		m := bitmatrix.NewMatrix(opt.Bloom, n)
-		filters := parallelFilters(ds, filter)
+		filters := parallelFilters(attrs, filter)
 		for i, f := range filters {
 			m.SetColumn(i, f)
 		}
@@ -243,25 +283,9 @@ func Build(ds *history.Dataset, opt Options) (*Index, error) {
 	})
 
 	// Time-slice matrices over A[I^δ], built with the maximum δ queries
-	// may use (Section 4.4). Only reverse-capable indices need the
-	// stronger δ-expanded disjointness of the slice intervals (§4.5).
-	rng := rand.New(rand.NewSource(opt.Seed))
-	disjointDelta := timeline.Time(0)
-	if opt.Reverse {
-		disjointDelta = opt.Params.Delta
-	}
-	ivs := selectSlices(ds, opt.Params.Weight, opt.Params.Epsilon, disjointDelta,
-		opt.Slices, opt.Strategy, rng)
-	for _, iv := range ivs {
-		expanded := iv.Expand(opt.Params.Delta)
-		ts := timeSlice{iv: iv, matrix: fillMatrix("slice", &idx.sliceBuild, func(h *history.History) *bloom.Filter {
-			return bloom.FromSet(opt.Bloom, h.Union(expanded))
-		})}
-		if opt.Reverse {
-			ts.minVio = minViolationWeights(ds, expanded, opt.Params.Weight)
-		}
-		idx.slices = append(idx.slices, ts)
-	}
+	// may use (Section 4.4). Shared with the shadow build of Reslice.
+	idx.ss.slices, idx.sliceBuild = buildTimeSlices(attrs, ds.Horizon(), opt,
+		rand.New(rand.NewSource(opt.Seed)))
 
 	// M_R over required values, for reverse search (Section 4.5). Its ε
 	// and w must be the maximum/assumed query parameters.
@@ -277,6 +301,45 @@ func Build(ds *history.Dataset, opt Options) (*Index, error) {
 	return idx, nil
 }
 
+// buildTimeSlices selects slice intervals over a history snapshot and
+// fills their Bloom matrices — and, for reverse-capable indices, the
+// per-slice minimum violation weights. Only reverse-capable indices need
+// the stronger δ-expanded disjointness of the slice intervals (§4.5).
+// Build calls it with the live dataset's attributes under construction
+// quiescence; Reslice calls it off-lock with history clones taken under
+// the read lock, so concurrent refreshes cannot race the shadow build.
+func buildTimeSlices(attrs []*history.History, horizon timeline.Time, opt Options,
+	rng *rand.Rand) ([]timeSlice, time.Duration) {
+	var elapsed time.Duration
+	disjointDelta := timeline.Time(0)
+	if opt.Reverse {
+		disjointDelta = opt.Params.Delta
+	}
+	ivs := selectSlices(attrs, horizon, opt.Params.Weight, opt.Params.Epsilon, disjointDelta,
+		opt.Slices, opt.Strategy, rng)
+	var slices []timeSlice
+	for _, iv := range ivs {
+		expanded := iv.Expand(opt.Params.Delta)
+		t0 := time.Now()
+		m := bitmatrix.NewMatrix(opt.Bloom, len(attrs))
+		filters := parallelFilters(attrs, func(h *history.History) *bloom.Filter {
+			return bloom.FromSet(opt.Bloom, h.Union(expanded))
+		})
+		for i, f := range filters {
+			m.SetColumn(i, f)
+		}
+		d := time.Since(t0)
+		elapsed += d
+		matrixBuildSeconds("slice").ObserveDuration(d)
+		ts := timeSlice{iv: iv, matrix: m}
+		if opt.Reverse {
+			ts.minVio = minViolationWeights(attrs, expanded, opt.Params.Weight)
+		}
+		slices = append(slices, ts)
+	}
+	return slices, elapsed
+}
+
 // observeBuild computes the build-quality measurements — Bloom fill
 // ratios per matrix and the pruning-power estimate p(I) per slice — and
 // publishes them on the obs gauges. The fill ratio is the knob the
@@ -285,18 +348,8 @@ func Build(ds *history.Dataset, opt Options) (*Index, error) {
 func (x *Index) observeBuild() {
 	x.fillMT = x.mT.FillRatio()
 	fillRatioGauge("m_t").Set(x.fillMT)
-	var sliceSum float64
-	for i, ts := range x.slices {
-		r := ts.matrix.FillRatio()
-		x.fillSlices = append(x.fillSlices, r)
-		sliceSum += r
-		p := slicePruningPower(x.ds, ts.iv)
-		x.slicePower = append(x.slicePower, p)
-		slicePruningPowerGauge(i).Set(p)
-	}
-	if len(x.slices) > 0 {
-		fillRatioGauge("slices").Set(sliceSum / float64(len(x.slices)))
-	}
+	x.ss.fillSlices, x.ss.slicePower = observeSlices(x.ds.Attrs(), x.ss.slices)
+	publishSliceGauges(x.ss.fillSlices, x.ss.slicePower)
 	if x.mR != nil {
 		x.fillMR = x.mR.FillRatio()
 		fillRatioGauge("m_r").Set(x.fillMR)
@@ -309,14 +362,37 @@ func (x *Index) observeBuild() {
 	mIndexSliceCoverage.Set(st.SlicePruningCoverage)
 }
 
+// observeSlices computes the Bloom fill ratio and pruning-power estimate
+// p(I) of each slice. Shared by Build (under construction quiescence) and
+// the off-lock shadow build of Reslice.
+func observeSlices(attrs []*history.History, slices []timeSlice) (fill, power []float64) {
+	for _, ts := range slices {
+		fill = append(fill, ts.matrix.FillRatio())
+		power = append(power, slicePruningPower(attrs, ts.iv))
+	}
+	return fill, power
+}
+
+// publishSliceGauges sets the per-slice pruning-power gauges and the mean
+// slice fill ratio.
+func publishSliceGauges(fill, power []float64) {
+	var sliceSum float64
+	for i, p := range power {
+		sliceSum += fill[i]
+		slicePruningPowerGauge(i).Set(p)
+	}
+	if len(fill) > 0 {
+		fillRatioGauge("slices").Set(sliceSum / float64(len(fill)))
+	}
+}
+
 // slicePruningPower computes p(I) = Σ_A |A[I]| / |I| (Section 4.4.2) for
 // a chosen slice, subsampling large corpora the same way slice selection
 // does.
-func slicePruningPower(ds *history.Dataset, iv timeline.Interval) float64 {
+func slicePruningPower(attrs []*history.History, iv timeline.Interval) float64 {
 	if iv.Len() <= 0 {
 		return 0
 	}
-	attrs := ds.Attrs()
 	const maxAttrs = 2000
 	stride := 1
 	if len(attrs) > maxAttrs {
@@ -330,15 +406,15 @@ func slicePruningPower(ds *history.Dataset, iv timeline.Interval) float64 {
 }
 
 // parallelFilters computes one Bloom filter per attribute concurrently.
-func parallelFilters(ds *history.Dataset, filter func(h *history.History) *bloom.Filter) []*bloom.Filter {
-	n := ds.Len()
+func parallelFilters(attrs []*history.History, filter func(h *history.History) *bloom.Filter) []*bloom.Filter {
+	n := len(attrs)
 	out := make([]*bloom.Filter, n)
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
-		for i, h := range ds.Attrs() {
+		for i, h := range attrs {
 			out[i] = filter(h)
 		}
 		return out
@@ -354,7 +430,7 @@ func parallelFilters(ds *history.Dataset, filter func(h *history.History) *bloom
 				if i >= n {
 					return
 				}
-				out[i] = filter(ds.Attr(history.AttrID(i)))
+				out[i] = filter(attrs[i])
 			}
 		}()
 	}
@@ -367,9 +443,9 @@ func parallelFilters(ds *history.Dataset, filter func(h *history.History) *bloom
 // the expanded slice interval: the Bloom filter cannot reveal which
 // version of A violated, so only the cheapest version sub-interval within
 // I^δ is guaranteed (Section 4.5).
-func minViolationWeights(ds *history.Dataset, expanded timeline.Interval, w timeline.WeightFunc) []float64 {
-	out := make([]float64, ds.Len())
-	for i, h := range ds.Attrs() {
+func minViolationWeights(attrs []*history.History, expanded timeline.Interval, w timeline.WeightFunc) []float64 {
+	out := make([]float64, len(attrs))
+	for i, h := range attrs {
 		min := -1.0
 		for v := 0; v < h.NumVersions(); v++ {
 			overlap := h.Validity(v).Intersect(expanded)
@@ -393,9 +469,9 @@ func minViolationWeights(ds *history.Dataset, expanded timeline.Interval, w time
 func (x *Index) Stats() BuildStats {
 	x.mu.RLock()
 	defer x.mu.RUnlock()
-	s := BuildStats{Attributes: x.ds.Len(), Slices: len(x.slices)}
+	s := BuildStats{Attributes: x.ds.Len(), Slices: len(x.ss.slices)}
 	s.MemoryBytes = x.mT.MemoryBytes()
-	for _, ts := range x.slices {
+	for _, ts := range x.ss.slices {
 		s.SliceSpans = append(s.SliceSpans, ts.iv)
 		s.MemoryBytes += ts.matrix.MemoryBytes()
 	}
@@ -405,15 +481,17 @@ func (x *Index) Stats() BuildStats {
 	s.Elapsed = x.buildElapsed
 	s.MTBuild, s.SliceBuild, s.MRBuild = x.mtBuild, x.sliceBuild, x.mrBuild
 	s.MTFillRatio, s.MRFillRatio = x.fillMT, x.fillMR
-	s.SliceFillRatios = append([]float64(nil), x.fillSlices...)
-	s.SlicePruningPower = append([]float64(nil), x.slicePower...)
-	if x.dirty != nil {
-		s.DirtyAttributes = x.dirty.Count()
+	s.SliceFillRatios = append([]float64(nil), x.ss.fillSlices...)
+	s.SlicePruningPower = append([]float64(nil), x.ss.slicePower...)
+	if x.ss.dirty != nil {
+		s.DirtyAttributes = x.ss.dirty.Count()
 	}
 	s.SlicePruningCoverage = 1
 	if s.Attributes > 0 {
 		s.SlicePruningCoverage = 1 - float64(s.DirtyAttributes)/float64(s.Attributes)
 	}
+	s.Reslices = x.ss.reslices
+	s.LastReslice = x.ss.lastReslice
 	return s
 }
 

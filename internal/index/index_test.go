@@ -360,7 +360,7 @@ func TestSliceSelectionInvariants(t *testing.T) {
 		delta := timeline.Time(r.Intn(8))
 		w := timeline.Uniform(horizon)
 		k := r.Intn(10)
-		ivs := selectSlices(ds, w, eps, delta, k, SliceStrategy(r.Intn(2)), r)
+		ivs := selectSlices(ds.Attrs(), ds.Horizon(), w, eps, delta, k, SliceStrategy(r.Intn(2)), r)
 		if len(ivs) > k {
 			return false
 		}

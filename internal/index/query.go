@@ -416,7 +416,7 @@ func (r *queryRun) forwardSlicePrune(ctx context.Context, q *history.History, p 
 	// The query's version boundaries are the same in every slice; compute
 	// them once rather than per slice.
 	bounds := q.ChangeTimes()
-	for _, ts := range x.slices {
+	for _, ts := range x.ss.slices {
 		if err := ctxErr(ctx); err != nil {
 			return err
 		}
@@ -443,7 +443,7 @@ func (r *queryRun) reverseSlicePrune(ctx context.Context, q *history.History, p 
 	}
 	vio := r.vioMap()
 	used := 0
-	for _, ts := range x.slices {
+	for _, ts := range x.ss.slices {
 		if err := ctxErr(ctx); err != nil {
 			return err
 		}
@@ -463,8 +463,8 @@ func (r *queryRun) reverseSlicePrune(ctx context.Context, q *history.History, p 
 		} else {
 			violators = ts.matrix.Violators(bloom.FromSet(x.opt.Bloom, qWin), cand)
 		}
-		if x.dirty != nil {
-			violators.AndNot(x.dirty)
+		if x.ss.dirty != nil {
+			violators.AndNot(x.ss.dirty)
 		}
 		violators.ForEach(func(c int) bool {
 			vio[c] += ts.minVio[c]

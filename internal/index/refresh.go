@@ -22,9 +22,10 @@ import (
 //   - The time-slice matrices are stale for changed attributes (an
 //     extension can back-fill days a slice covers, e.g. when a dead
 //     attribute resumes), so refreshed attributes are marked dirty and
-//     permanently exempted from slice pruning. M_T pruning and exact
-//     validation still apply to them, so results stay exact; rebuild
-//     periodically to regain full pruning.
+//     exempted from slice pruning until the slices are rebuilt. M_T
+//     pruning and exact validation still apply to them, so results stay
+//     exact; a background Reslice (or a full rebuild) re-derives the
+//     slice matrices from current histories and clears the exemption.
 //   - The reverse required-values matrix M_R gains the bits of each
 //     changed attribute's refreshed required-value set. Under a constant
 //     index weighting, required values only grow with appended time, so
@@ -83,16 +84,27 @@ func (x *Index) refreshLocked(changed []history.AttrID, newHorizon timeline.Time
 	if got := x.ds.Horizon(); got != newHorizon {
 		return fmt.Errorf("index: dataset horizon %d does not match newHorizon %d", got, newHorizon)
 	}
-	x.opt.Params.Weight = timeline.Constant{N: newHorizon, C: c.C}
-	if x.dirty == nil {
-		x.dirty = bitmatrix.NewVec(x.ds.Len())
-	}
-
+	// Validate every ID before touching any state: a bad ID mid-batch must
+	// not leave the index half-refreshed (weight advanced, some columns
+	// rewritten) — refresh is all-or-nothing.
 	for _, id := range changed {
 		if id < 0 || int(id) >= x.ds.Len() {
 			return fmt.Errorf("index: changed attribute %d out of range", id)
 		}
-		x.dirty.Set(int(id))
+	}
+	x.opt.Params.Weight = timeline.Constant{N: newHorizon, C: c.C}
+	if x.ss.dirty == nil {
+		x.ss.dirty = bitmatrix.NewVec(x.ds.Len())
+	}
+
+	for _, id := range changed {
+		x.ss.dirty.Set(int(id))
+		if x.ss.resliceLog != nil {
+			// An in-flight Reslice snapshotted the histories before this
+			// refresh; its shadow matrices will not reflect this change, so
+			// the swap must keep this attribute dirty.
+			x.ss.resliceLog.Set(int(id))
+		}
 		h := x.ds.Attr(id)
 		// Adding the full current value set is idempotent: existing bits
 		// stay set, new values contribute their bits.
@@ -102,7 +114,7 @@ func (x *Index) refreshLocked(changed []history.AttrID, newHorizon timeline.Time
 			x.mR.SetColumn(int(id), bloom.FromSet(x.opt.Bloom, req))
 		}
 	}
-	dirty := x.dirty.Count()
+	dirty := x.ss.dirty.Count()
 	mIndexDirtyAttributes.Set(float64(dirty))
 	coverage := 1.0
 	if n := x.ds.Len(); n > 0 {

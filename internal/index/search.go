@@ -189,8 +189,8 @@ func (r *queryRun) pruneSlice(q *history.History, bounds []timeline.Time, p core
 			pv = cand.Clone()
 			pv.AndNot(cI)
 		}
-		if x.dirty != nil {
-			pv.AndNot(x.dirty)
+		if x.ss.dirty != nil {
+			pv.AndNot(x.ss.dirty)
 		}
 		if pv.Count() == 0 {
 			continue

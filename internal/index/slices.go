@@ -67,20 +67,21 @@ func sliceLength(w timeline.WeightFunc, epsilon float64, s timeline.Time) timeli
 	return lo - s
 }
 
-// selectSlices chooses up to k disjoint index intervals. For forward-only
-// indices plain disjointness of the I_j suffices (Section 4.2.2); pass a
-// positive delta to additionally enforce disjointness of the δ-expanded
-// intervals I_j^δ, which Section 4.5 requires for the slices to be usable
-// in reverse search. The returned intervals are sorted by start time.
-func selectSlices(ds *history.Dataset, w timeline.WeightFunc, epsilon float64, delta timeline.Time,
-	k int, strategy SliceStrategy, rng *rand.Rand) []timeline.Interval {
-	n := ds.Horizon()
+// selectSlices chooses up to k disjoint index intervals over a history
+// snapshot (Build passes the live dataset's attributes, Reslice a pointer
+// snapshot). For forward-only indices plain disjointness of the I_j
+// suffices (Section 4.2.2); pass a positive delta to additionally enforce
+// disjointness of the δ-expanded intervals I_j^δ, which Section 4.5
+// requires for the slices to be usable in reverse search. The returned
+// intervals are sorted by start time.
+func selectSlices(attrs []*history.History, n timeline.Time, w timeline.WeightFunc, epsilon float64,
+	delta timeline.Time, k int, strategy SliceStrategy, rng *rand.Rand) []timeline.Interval {
 	if k <= 0 || n <= 0 {
 		return nil
 	}
 
 	// Candidate start times and their selection weights.
-	starts, weights := candidateStarts(ds, w, epsilon, strategy)
+	starts, weights := candidateStarts(attrs, n, w, epsilon, strategy)
 	if len(starts) == 0 {
 		return nil
 	}
@@ -135,9 +136,8 @@ func selectSlices(ds *history.Dataset, w timeline.WeightFunc, epsilon float64, d
 // each candidate (Section 4.4.2); the corpus is subsampled when large, as
 // the paper permits ("it is always possible to sample from T at a lower
 // granularity").
-func candidateStarts(ds *history.Dataset, w timeline.WeightFunc, epsilon float64,
+func candidateStarts(attrs []*history.History, n timeline.Time, w timeline.WeightFunc, epsilon float64,
 	strategy SliceStrategy) (starts []timeline.Time, weights []float64) {
-	n := ds.Horizon()
 	// Cap the number of candidate start positions. The step must round up:
 	// floor division would admit up to 2·maxCandidates−1 starts (n = 1023
 	// gives step 1, i.e. 1023 candidates) and make weighted selection pay
@@ -154,7 +154,6 @@ func candidateStarts(ds *history.Dataset, w timeline.WeightFunc, epsilon float64
 		return starts, nil
 	}
 	// Pruning power over a bounded attribute sample.
-	attrs := ds.Attrs()
 	const maxAttrs = 2000
 	strideA := 1
 	if len(attrs) > maxAttrs {

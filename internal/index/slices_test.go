@@ -17,7 +17,7 @@ func TestCandidateStartsCap(t *testing.T) {
 	for _, n := range []timeline.Time{1, 7, 511, 512, 513, 1023, 1024, 1025, 4096, 5000, 100000} {
 		ds := history.NewDataset(n)
 		w := timeline.Uniform(n)
-		starts, weights := candidateStarts(ds, w, 1, Random)
+		starts, weights := candidateStarts(ds.Attrs(), ds.Horizon(), w, 1, Random)
 		if len(starts) > maxCandidates {
 			t.Errorf("n=%d: %d candidate starts, cap is %d", n, len(starts), maxCandidates)
 		}
@@ -44,7 +44,7 @@ func TestCandidateStartsCap(t *testing.T) {
 func TestCandidateStartsWeightedCap(t *testing.T) {
 	r := rand.New(rand.NewSource(7))
 	ds := randDataset(r, 6, 1023)
-	starts, weights := candidateStarts(ds, timeline.Uniform(1023), 2, WeightedRandom)
+	starts, weights := candidateStarts(ds.Attrs(), ds.Horizon(), timeline.Uniform(1023), 2, WeightedRandom)
 	if len(starts) > 512 {
 		t.Errorf("weighted: %d candidate starts, cap is 512", len(starts))
 	}
@@ -81,7 +81,7 @@ func TestSelectSlicesInvariants(t *testing.T) {
 		k := 1 + r.Intn(8)
 		strategy := SliceStrategy(r.Intn(2))
 
-		ivs := selectSlices(ds, w, epsilon, delta, k, strategy, r)
+		ivs := selectSlices(ds.Attrs(), ds.Horizon(), w, epsilon, delta, k, strategy, r)
 		if len(ivs) > k {
 			t.Logf("seed %d: %d slices exceed k=%d", seed, len(ivs), k)
 			return false

@@ -1,0 +1,188 @@
+package ingest
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"tind/internal/index"
+	"tind/internal/wal"
+)
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, in *Ingester, what string, cond func(Stats) bool) Stats {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := in.Stats()
+		if cond(st) {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s: %+v", what, st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestIngestResliceCoverageTrigger drives the coverage trigger end to
+// end: live deltas dirty attributes through refresh, coverage dips under
+// the floor, and the background loop reslices until the engine reports
+// full coverage again — without any caller intervention.
+func TestIngestResliceCoverageTrigger(t *testing.T) {
+	ds := genDataset(t)
+	x := buildMono(t, ds, genHorizon)
+	log, err := wal.Open(filepath.Join(t.TempDir(), "ingest.wal"), wal.Options{Sync: wal.SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log.Close()
+	in := New(x, ds, log, Options{
+		MaxDirty:           4,
+		MaxDirtyAge:        10 * time.Millisecond,
+		FlushInterval:      5 * time.Millisecond,
+		ResliceMinCoverage: 0.999, // any dirty attribute triggers
+	})
+	in.Start()
+
+	g := newDeltaGen(ds, 3)
+	total := 0
+	for round := 0; round < 4; round++ {
+		batch := g.round(4)
+		if err := in.Submit(batch); err != nil {
+			t.Fatal(err)
+		}
+		total += len(batch)
+	}
+	st := waitFor(t, in, "drain+reslice", func(st Stats) bool {
+		return st.PendingRecords == 0 && st.AppliedRecords == int64(total) && st.Reslices > 0
+	})
+	if st.LastReslice.IsZero() {
+		t.Fatalf("Reslices=%d but LastReslice is zero", st.Reslices)
+	}
+	if st.LastResliceCoverageAfter != 1 {
+		t.Fatalf("last reslice coverage after = %g, want 1", st.LastResliceCoverageAfter)
+	}
+	if st.LastResliceCoverageBefore >= 0.999 {
+		t.Fatalf("last reslice coverage before = %g, should have been below the floor", st.LastResliceCoverageBefore)
+	}
+	if st.LastResliceError != "" {
+		t.Fatalf("unexpected reslice error: %q", st.LastResliceError)
+	}
+	// The serving engine is fully covered again after the last apply's
+	// trigger pass — no residual dirty exemptions.
+	waitFor(t, in, "coverage recovery", func(Stats) bool {
+		es := x.Stats()
+		return es.SlicePruningCoverage == 1 && es.DirtyAttributes == 0
+	})
+	if err := in.Close(); err != nil {
+		t.Fatal(err)
+	}
+	assertEngineParity(t, ds, x, g.horizon)
+}
+
+// TestIngestResliceHorizonGrowthTrigger pins the growth trigger with the
+// coverage trigger disabled: slices are reselected once the horizon has
+// advanced by the configured amount, even though coverage alone would
+// also have tripped a (disabled) coverage floor.
+func TestIngestResliceHorizonGrowthTrigger(t *testing.T) {
+	ds := genDataset(t)
+	sx := buildSharded(t, ds, genHorizon, 3)
+	log, err := wal.Open(filepath.Join(t.TempDir(), "ingest.wal"), wal.Options{Sync: wal.SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log.Close()
+	in := New(sx, ds, log, Options{
+		MaxDirty:                4,
+		MaxDirtyAge:             10 * time.Millisecond,
+		FlushInterval:           5 * time.Millisecond,
+		ResliceMaxHorizonGrowth: 6,
+	})
+	in.Start()
+
+	g := newDeltaGen(ds, 4)
+	total := 0
+	for round := 0; round < 3; round++ { // horizon +12 total, well past the bound
+		batch := g.round(4)
+		if err := in.Submit(batch); err != nil {
+			t.Fatal(err)
+		}
+		total += len(batch)
+	}
+	st := waitFor(t, in, "growth-triggered reslice", func(st Stats) bool {
+		return st.PendingRecords == 0 && st.AppliedRecords == int64(total) && st.Reslices > 0
+	})
+	// The pass itself restored full coverage. Applies landing after the
+	// last reslice may re-dirty attributes without re-triggering (their
+	// residual horizon growth sits below the bound) — that is the
+	// policy working, not a failure, so no quiescent-coverage wait here.
+	if st.LastResliceCoverageAfter != 1 {
+		t.Fatalf("growth-triggered reslice left coverage %g, want 1", st.LastResliceCoverageAfter)
+	}
+	if err := in.Close(); err != nil {
+		t.Fatal(err)
+	}
+	assertEngineParity(t, ds, sx, g.horizon)
+}
+
+// failingResliceEngine serves refreshes normally but fails every reslice
+// pass — the shape of an engine hitting a transient mid-reslice error.
+type failingResliceEngine struct {
+	*index.Index
+}
+
+var errResliceBoom = errors.New("reslice boom")
+
+func (f *failingResliceEngine) Reslice() (index.ResliceStats, error) {
+	return index.ResliceStats{}, errResliceBoom
+}
+
+// TestIngestResliceErrorIsolated pins the health split: a failing
+// reslice surfaces in LastResliceError but must not contaminate
+// LastError (which gates readiness), must not count as a completed pass,
+// and must not stop the loop from applying further batches exactly.
+func TestIngestResliceErrorIsolated(t *testing.T) {
+	ds := genDataset(t)
+	x := buildMono(t, ds, genHorizon)
+	log, err := wal.Open(filepath.Join(t.TempDir(), "ingest.wal"), wal.Options{Sync: wal.SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log.Close()
+	in := New(&failingResliceEngine{x}, ds, log, Options{
+		MaxDirty:           4,
+		MaxDirtyAge:        10 * time.Millisecond,
+		FlushInterval:      5 * time.Millisecond,
+		ResliceMinCoverage: 0.999,
+	})
+	in.Start()
+
+	g := newDeltaGen(ds, 5)
+	total := 0
+	for round := 0; round < 3; round++ {
+		batch := g.round(4)
+		if err := in.Submit(batch); err != nil {
+			t.Fatal(err)
+		}
+		total += len(batch)
+	}
+	st := waitFor(t, in, "failed reslice surfaced", func(st Stats) bool {
+		return st.PendingRecords == 0 && st.AppliedRecords == int64(total) && st.LastResliceError != ""
+	})
+	if st.LastResliceError != errResliceBoom.Error() {
+		t.Fatalf("LastResliceError = %q, want %q", st.LastResliceError, errResliceBoom)
+	}
+	if st.LastError != "" {
+		t.Fatalf("reslice failure leaked into LastError: %q", st.LastError)
+	}
+	if st.Reslices != 0 || !st.LastReslice.IsZero() {
+		t.Fatalf("failed pass counted as completed: Reslices=%d LastReslice=%v", st.Reslices, st.LastReslice)
+	}
+	if err := in.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Refreshes kept applying through the failures; queries stay exact.
+	assertEngineParity(t, ds, x, g.horizon)
+}

@@ -19,6 +19,7 @@ const (
 	EventIngestApply = "ingest_apply"
 	EventSnapshot    = "snapshot"
 	EventRefresh     = "refresh"
+	EventReslice     = "reslice"
 )
 
 // EventPhases is the per-phase breakdown of a query-shaped event,

@@ -14,4 +14,12 @@ var (
 	// monolithic discovery runs land in one series.
 	mAllPairsSeconds = reg.Histogram("tind_allpairs_seconds",
 		"Wall time of complete all-pairs discovery runs.", obs.ExpBuckets(0.001, 4, 14))
+	// Same idempotent-registration trick for the dirty/coverage gauges:
+	// each shard's Refresh/Reslice publishes shard-local values on these
+	// (last writer wins), so publishCoverage re-publishes the aggregate
+	// over the global corpus after every sharded refresh or reslice.
+	mIndexDirtyAttributes = reg.Gauge("tind_index_dirty_attributes",
+		"Attributes refreshed since the slices were last built and therefore exempt from slice pruning.")
+	mIndexSliceCoverage = reg.Gauge("tind_index_slice_pruning_coverage",
+		"Fraction of attributes still covered by slice pruning (1 - dirty/attributes).")
 )

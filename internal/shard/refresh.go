@@ -19,7 +19,8 @@ import (
 // ones, and the shard's matrices refresh — all before any query can
 // observe the shard again. The same soundness rules as the monolith
 // apply: the index weighting must be constant, bits only ever grow, and
-// refreshed attributes become permanently exempt from slice pruning.
+// refreshed attributes stay exempt from slice pruning until a Reslice
+// (or rebuild) of their shard re-covers them.
 //
 // Untouched shards keep their previous weight horizon. Their answers
 // remain exact for queries under the new horizon: forward search is
@@ -70,6 +71,9 @@ func (sx *ShardedIndex) Refresh(changed []history.AttrID, newHorizon timeline.Ti
 			return fmt.Errorf("shard %d: %w", s, err)
 		}
 	}
+	// Each refreshed shard published shard-local gauge values; restore the
+	// global aggregates.
+	sx.publishCoverage()
 	return nil
 }
 

@@ -1,0 +1,192 @@
+package shard
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"tind/internal/bloom"
+	"tind/internal/core"
+	"tind/internal/history"
+	"tind/internal/index"
+	"tind/internal/timeline"
+)
+
+// shardedCoverageGauge reads the process-wide coverage gauge the shards
+// and the aggregate publisher share.
+func shardedCoverageGauge() float64 { return mIndexSliceCoverage.Value() }
+
+// TestShardedResliceShardLocal pins the shard-local reslice contract:
+// only shards with dirty attributes reslice, the aggregate stats report
+// the pass, coverage returns to 1 and queries stay exact against the
+// oracle-checked monolith.
+func TestShardedResliceShardLocal(t *testing.T) {
+	const (
+		horizon = timeline.Time(100)
+		nShards = 4
+	)
+	ds := genDataset(t, 911, 20, horizon)
+	monoOpt := index.Options{
+		Bloom:   bloom.Params{M: 256, K: 2},
+		Slices:  8,
+		Params:  core.Params{Epsilon: 3.5, Delta: 2, Weight: timeline.Uniform(horizon)},
+		Reverse: true,
+		Seed:    911,
+	}
+	sx, err := Build(ds, Options{Shards: nShards, Seed: 5, Index: PartitionOptions(monoOpt, nShards)})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Dirty exactly the attributes of one shard — an idempotent refresh
+	// at the unchanged horizon, no data mutation.
+	target := sx.ShardOwner(0)
+	var changed []history.AttrID
+	for id := 0; id < ds.Len(); id++ {
+		if sx.ShardOwner(history.AttrID(id)) == target {
+			changed = append(changed, history.AttrID(id))
+		}
+	}
+	if err := sx.Refresh(changed, horizon); err != nil {
+		t.Fatal(err)
+	}
+	wantCov := 1 - float64(len(changed))/float64(ds.Len())
+	if agg := sx.Stats(); math.Abs(agg.SlicePruningCoverage-wantCov) > 1e-12 {
+		t.Fatalf("aggregate coverage %g, want %g", agg.SlicePruningCoverage, wantCov)
+	}
+	// The Refresh path must already publish the aggregate, not the last
+	// refreshed shard's local coverage (which would be (n-len)/n of one
+	// shard — here 0, since the whole shard is dirty).
+	if g := shardedCoverageGauge(); math.Abs(g-wantCov) > 1e-12 {
+		t.Fatalf("after shard-local refresh: coverage gauge %g, want aggregate %g", g, wantCov)
+	}
+
+	st, err := sx.Reslice()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.DirtyBefore != len(changed) || st.DirtyAfter != 0 {
+		t.Fatalf("reslice dirty %d -> %d, want %d -> 0", st.DirtyBefore, st.DirtyAfter, len(changed))
+	}
+	if math.Abs(st.CoverageBefore-wantCov) > 1e-12 || st.CoverageAfter != 1 {
+		t.Fatalf("reslice coverage %g -> %g, want %g -> 1", st.CoverageBefore, st.CoverageAfter, wantCov)
+	}
+	// Only the dirty shard resliced.
+	for s, sst := range sx.ShardStats() {
+		want := int64(0)
+		if s == target {
+			want = 1
+		}
+		if sst.Reslices != want {
+			t.Fatalf("shard %d: Reslices = %d, want %d (shard-local reslice)", s, sst.Reslices, want)
+		}
+	}
+	if agg := sx.Stats(); agg.Reslices != 1 || agg.LastReslice.IsZero() ||
+		agg.DirtyAttributes != 0 || agg.SlicePruningCoverage != 1 {
+		t.Fatalf("aggregate after reslice: %+v", agg)
+	}
+	if g := shardedCoverageGauge(); g != 1 {
+		t.Fatalf("after sharded reslice: coverage gauge %g, want 1", g)
+	}
+
+	// Queries remain exact.
+	p := core.Params{Epsilon: 3.5, Delta: 2, Weight: timeline.Uniform(horizon)}
+	tol := diffTol(p.Weight)
+	vio := vioMatrix(ds, p)
+	ctx := context.Background()
+	for qi := 0; qi < ds.Len(); qi += 3 {
+		self := history.AttrID(qi)
+		res, err := sx.Query(ctx, ds.Attr(self), index.QueryOptions{Mode: index.ModeForward, Params: p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkIDSet(t, "post-reslice forward", res.IDs, self, vio[qi], p.Epsilon, tol)
+	}
+}
+
+// TestShardedPartialResliceAggregation is the satellite-2 regression:
+// with two shards dirty, a reslice of only one of them must move the
+// aggregate coverage (and its gauge) by exactly that shard's dirty
+// count, recomputed from per-shard dirty sets — not be masked by a
+// global counter or by whichever shard last wrote the process gauge.
+func TestShardedPartialResliceAggregation(t *testing.T) {
+	const (
+		horizon = timeline.Time(100)
+		nShards = 4
+	)
+	ds := genDataset(t, 913, 24, horizon)
+	monoOpt := index.Options{
+		Bloom:  bloom.Params{M: 256, K: 2},
+		Slices: 8,
+		Params: core.Params{Epsilon: 3.5, Delta: 2, Weight: timeline.Uniform(horizon)},
+		Seed:   913,
+	}
+	sx, err := Build(ds, Options{Shards: nShards, Seed: 5, Index: PartitionOptions(monoOpt, nShards)})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Dirty every attribute of two different shards.
+	sA := sx.ShardOwner(0)
+	sB := -1
+	for id := 1; id < ds.Len(); id++ {
+		if s := sx.ShardOwner(history.AttrID(id)); s != sA {
+			sB = s
+			break
+		}
+	}
+	if sB < 0 {
+		t.Fatal("corpus landed on one shard; pick a different seed")
+	}
+	var changed []history.AttrID
+	perShard := make(map[int]int)
+	for id := 0; id < ds.Len(); id++ {
+		if s := sx.ShardOwner(history.AttrID(id)); s == sA || s == sB {
+			changed = append(changed, history.AttrID(id))
+			perShard[s]++
+		}
+	}
+	if err := sx.Refresh(changed, horizon); err != nil {
+		t.Fatal(err)
+	}
+
+	// Partial pass: reslice shard A directly (the diagnostic surface a
+	// targeted repair would use). Its index-level pass publishes
+	// shard-local gauge values; the aggregate must still come out right.
+	if _, err := sx.Shard(sA).Reslice(); err != nil {
+		t.Fatal(err)
+	}
+	wantDirty := perShard[sB]
+	wantCov := 1 - float64(wantDirty)/float64(ds.Len())
+	agg := sx.Stats()
+	if agg.DirtyAttributes != wantDirty {
+		t.Fatalf("after partial reslice: aggregate dirty %d, want %d (shard %d still dirty)",
+			agg.DirtyAttributes, wantDirty, sB)
+	}
+	if math.Abs(agg.SlicePruningCoverage-wantCov) > 1e-12 {
+		t.Fatalf("after partial reslice: aggregate coverage %g, want %g", agg.SlicePruningCoverage, wantCov)
+	}
+
+	// The full sharded pass finishes shard B (shard A is clean and gets
+	// skipped — its reslice count must not move) and republishes the
+	// aggregate gauge.
+	st, err := sx.Reslice()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.DirtyBefore != wantDirty || st.DirtyAfter != 0 {
+		t.Fatalf("finishing reslice: dirty %d -> %d, want %d -> 0", st.DirtyBefore, st.DirtyAfter, wantDirty)
+	}
+	if got := sx.ShardStats()[sA].Reslices; got != 1 {
+		t.Fatalf("clean shard %d resliced again: Reslices = %d, want 1", sA, got)
+	}
+	if got := sx.ShardStats()[sB].Reslices; got != 1 {
+		t.Fatalf("dirty shard %d: Reslices = %d, want 1", sB, got)
+	}
+	if g := shardedCoverageGauge(); g != 1 {
+		t.Fatalf("after full reslice: coverage gauge %g, want 1", g)
+	}
+	if agg := sx.Stats(); agg.Reslices != 2 {
+		t.Fatalf("aggregate Reslices = %d, want 2", agg.Reslices)
+	}
+}

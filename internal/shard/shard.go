@@ -245,6 +245,10 @@ func (sx *ShardedIndex) Stats() index.BuildStats {
 		agg.SliceFillRatios = append(agg.SliceFillRatios, st.SliceFillRatios...)
 		agg.SlicePruningPower = append(agg.SlicePruningPower, st.SlicePruningPower...)
 		agg.DirtyAttributes += st.DirtyAttributes
+		agg.Reslices += st.Reslices
+		if st.LastReslice.After(agg.LastReslice) {
+			agg.LastReslice = st.LastReslice
+		}
 	}
 	if len(sx.shards) > 0 {
 		// Fill ratios are per-matrix densities, not additive; report the
@@ -264,6 +268,27 @@ func (sx *ShardedIndex) Stats() index.BuildStats {
 		agg.SlicePruningCoverage = 1 - float64(agg.DirtyAttributes)/float64(agg.Attributes)
 	}
 	return agg
+}
+
+// publishCoverage republishes the dirty/coverage gauges from the
+// per-shard dirty sets aggregated over the global corpus. Each shard's
+// own Refresh/Reslice sets the process-wide gauges to shard-local values
+// (whichever shard wrote last wins), so without this re-publication a
+// reslice of one shard would leave the gauges reporting another shard's
+// state instead of moving the global coverage.
+func (sx *ShardedIndex) publishCoverage() {
+	dirty, attrs := 0, 0
+	for _, x := range sx.shards {
+		st := x.Stats()
+		dirty += st.DirtyAttributes
+		attrs += st.Attributes
+	}
+	coverage := 1.0
+	if attrs > 0 {
+		coverage = 1 - float64(dirty)/float64(attrs)
+	}
+	mIndexDirtyAttributes.Set(float64(dirty))
+	mIndexSliceCoverage.Set(coverage)
 }
 
 // ShardStats returns the unaggregated per-shard build statistics.
