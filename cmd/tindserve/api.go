@@ -273,12 +273,33 @@ func (s *server) handleQuery(mode string) queryHandler {
 		res, err := c.idx.Query(r.Context(), q, o)
 		noteStats(r, &res.Stats)
 		noteQuery(r, obs.EventQuery, mode, 0)
-		if err != nil {
+		if err != nil && !errors.Is(err, index.ErrPartialResult) {
 			queryError(w, err)
 			return
 		}
-		writeJSON(w, c.renderResult(q, o, res))
+		body := c.renderResult(q, o, res)
+		if err != nil {
+			// Some shards stayed unreachable after replica retries: the
+			// healthy shards' answer is correct but incomplete. 200 with an
+			// explicit marker — a silent subset would be indistinguishable
+			// from a full answer, and a 500 would throw away good results.
+			body["partial"] = true
+			body["shards_failed"] = failedShards(res.Stats.PerShard)
+		}
+		writeJSON(w, body)
 	}
+}
+
+// failedShards lists the shards whose scatter leg failed, from the
+// per-shard attribution of a partial result.
+func failedShards(per []index.ShardStat) []int {
+	down := []int{}
+	for _, st := range per {
+		if st.Failed() {
+			down = append(down, st.Shard)
+		}
+	}
+	return down
 }
 
 // batchRequest is the POST /query/batch body: a list of wire-form
@@ -342,7 +363,7 @@ func (s *server) handleBatch(c *corpus, w http.ResponseWriter, r *http.Request) 
 	results, err := c.idx.QueryBatch(r.Context(), batch, index.BatchOptions{})
 	elapsed := time.Since(start)
 	*agg = aggregateBatchStats(results, elapsed)
-	if err != nil {
+	if err != nil && !errors.Is(err, index.ErrPartialResult) {
 		queryError(w, err)
 		return
 	}
@@ -350,11 +371,21 @@ func (s *server) handleBatch(c *corpus, w http.ResponseWriter, r *http.Request) 
 	for i, res := range results {
 		bodies[i] = c.renderResult(queries[i], batch[i].Options, res)
 	}
-	writeJSON(w, map[string]interface{}{
+	out := map[string]interface{}{
 		"batch_size": len(bodies),
 		"elapsed_ms": float64(elapsed) / float64(time.Millisecond),
 		"results":    bodies,
-	})
+	}
+	if err != nil {
+		// Same contract as the single-query endpoints: a batch executed
+		// over a degraded cluster answers 200 with every entry's healthy-
+		// shard results and a batch-level partial marker (the scatter legs
+		// cover the whole batch, so the failed shards are the same for
+		// every entry).
+		out["partial"] = true
+		out["shards_failed"] = failedShards(agg.PerShard)
+	}
+	writeJSON(w, out)
 }
 
 // aggregateBatchStats folds per-entry batch results into one batch-level

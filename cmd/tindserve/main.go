@@ -51,6 +51,19 @@
 // replays the WAL before building the index, so recovered answers match
 // a from-scratch rebuild exactly.
 //
+// Distributed serving: -shard-server -shard-id I -shards N turns the
+// process into one shard of an N-way partition, serving scatter legs on
+// POST /shard/* (mounted behind the same readiness and shedding
+// middleware as the human endpoints); -router "urls;urls" turns it into
+// a scatter-gather router over those servers — the same query
+// endpoints, answered by fanning out to the shards and merging exactly
+// like the in-process sharded engine, with per-leg deadlines
+// (-leg-timeout) and bounded replica retries (-leg-retries). A dead
+// shard degrades queries to 200 responses marked "partial": true (never
+// a silently-shrunken "complete" answer, never a 500) and flips /readyz
+// to degraded until a probe reaches the shard again. Both modes are
+// read-only (-wal is rejected).
+//
 // Observability: /metrics serves the process-wide obs registry (query
 // phase latencies, candidate funnels, Bloom fill ratios, HTTP counters,
 // runtime gauges) in the Prometheus text format — or, when the scraper
@@ -99,6 +112,7 @@ import (
 	"tind/internal/ingest"
 	"tind/internal/obs"
 	"tind/internal/persist"
+	"tind/internal/router"
 	"tind/internal/sem"
 	"tind/internal/shard"
 	"tind/internal/timeline"
@@ -160,6 +174,11 @@ func main() {
 		horizon      = flag.Int("horizon", 1500, "synthetic corpus horizon (days)")
 		seed         = flag.Int64("seed", 1, "random seed")
 		shards       = flag.Int("shards", 1, "serve through a sharded scatter-gather index with this many shards (1 = monolithic)")
+		shardServer  = flag.Bool("shard-server", false, "serve one shard of an N-way partition over the /shard RPC surface (with -shards N and -shard-id)")
+		shardID      = flag.Int("shard-id", 0, "which shard this server owns (with -shard-server)")
+		routerF      = flag.String("router", "", "scatter-gather router over shard servers: shard URL groups separated by ';', replica URLs within a shard by ',' (e.g. \"http://a:8081,http://a2:8081;http://b:8081\")")
+		legTimeout   = flag.Duration("leg-timeout", 5*time.Second, "router: per-shard scatter-leg deadline (0 = none)")
+		legRetries   = flag.Int("leg-retries", 1, "router: replica retries per scatter leg beyond the first attempt")
 		queryTimeout = flag.Duration("query-timeout", 10*time.Second, "per-request query deadline (0 = none)")
 		maxInFlight  = flag.Int64("max-in-flight", 0, "concurrent query weight admitted before shedding with 503 (0 = 4×GOMAXPROCS)")
 		drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "grace period for in-flight requests on SIGINT/SIGTERM")
@@ -188,6 +207,8 @@ func main() {
 		sloLatency:     *sloLatency,
 		sloInterval:    *sloInterval,
 		sloBurnDegrade: *sloDegrade,
+		shardRPC:       *shardServer,
+		router:         *routerF != "",
 	}
 
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -206,6 +227,8 @@ func main() {
 	load := func(rp *replayProgress) (*serving, error) {
 		return loadServing(corpusConfig{
 			corpus: *corpusF, attrs: *attrs, horizon: *horizon, seed: *seed, shards: *shards,
+			shardServer: *shardServer, shardID: *shardID,
+			router: *routerF, legTimeout: *legTimeout, legRetries: *legRetries,
 			wal: *walF, snapshot: *snapshotF, snapshotEvery: *snapEvery,
 			maxDirty: *maxDirty, maxDirtyAge: *maxDirtyAge,
 			resliceMinCoverage: *resliceCov,
@@ -236,6 +259,10 @@ type config struct {
 	// sloBurnDegrade flips /readyz to degraded when every burn-rate
 	// window of some objective is at least this high; 0 disables.
 	sloBurnDegrade float64
+	// shardRPC mounts the /shard/* RPC surface (shard-server mode).
+	shardRPC bool
+	// router declares the router_shard_availability SLO (router mode).
+	router bool
 }
 
 // run serves on ln until ctx is done (SIGINT/SIGTERM in production),
@@ -339,12 +366,21 @@ type queryIndex interface {
 // corpusConfig is everything loadServing needs to assemble the serving
 // state: corpus source, engine layout and the live-ingestion knobs.
 type corpusConfig struct {
-	corpus        string
-	attrs         int
-	horizon       int
-	seed          int64
-	shards        int
-	wal           string
+	corpus  string
+	attrs   int
+	horizon int
+	seed    int64
+	shards  int
+	// shardServer serves shard shardID of the shards-way partition over
+	// the /shard RPC surface instead of building a full serving engine.
+	shardServer bool
+	shardID     int
+	// router scatter-gathers over remote shard servers: the -router
+	// topology spec, with the per-leg deadline and replica retry budget.
+	router     string
+	legTimeout time.Duration
+	legRetries int
+	wal        string
 	snapshot      string
 	snapshotEvery int
 	maxDirty      int
@@ -362,6 +398,12 @@ type serving struct {
 	idx queryIndex
 	ing *ingest.Ingester // nil without -wal
 	wal *wal.Log         // nil without -wal; owned by the serving state
+	// shardH is the /shard RPC surface in shard-server mode, mounted by
+	// routes behind the readiness/shedding middleware; nil otherwise.
+	shardH http.Handler
+	// rtr is the scatter-gather engine in router mode — idx points at it
+	// too; the typed field is for degradation probes on /readyz.
+	rtr *router.Router
 }
 
 // replayProgress publishes WAL-replay progress for /readyz while the
@@ -416,8 +458,19 @@ func loadDataset(cc corpusConfig) (*history.Dataset, int64, error) {
 // synthetic), WAL recovery replay, index build — the monolith by
 // default, an N-shard partition with -shards N > 1 (a -corpus container's
 // partitioning is independent of -shards, which only picks the serving
-// engine) — and, with -wal, the live-ingestion write path.
+// engine) — and, with -wal, the live-ingestion write path. Two special
+// modes replace the local engine: -shard-server builds and serves one
+// shard of the partition, -router builds no index at all and
+// scatter-gathers over remote shard servers. Both are read-only: live
+// ingestion writes through an engine that owns the whole index, which
+// neither mode has.
 func loadServing(cc corpusConfig, rp *replayProgress) (*serving, error) {
+	if cc.shardServer && cc.router != "" {
+		return nil, errors.New("-shard-server and -router are mutually exclusive")
+	}
+	if (cc.shardServer || cc.router != "") && cc.wal != "" {
+		return nil, errors.New("-wal live ingestion requires a full local engine; shard-server and router modes are read-only")
+	}
 	ds, walOffset, err := loadDataset(cc)
 	if err != nil {
 		return nil, err
@@ -457,6 +510,43 @@ func loadServing(cc corpusConfig, rp *replayProgress) (*serving, error) {
 	opt.Reverse = true
 	opt.Seed = cc.seed
 	sv := &serving{ds: ds, wal: log}
+	switch {
+	case cc.shardServer:
+		if cc.shards < 1 || cc.shardID < 0 || cc.shardID >= cc.shards {
+			return nil, fmt.Errorf("-shard-id %d out of range [0,%d)", cc.shardID, cc.shards)
+		}
+		sg, err := shard.BuildSingle(ds, shard.Options{
+			Shards: cc.shards, Seed: cc.seed, Index: shard.PartitionOptions(opt, cc.shards),
+		}, cc.shardID)
+		if err != nil {
+			return nil, err
+		}
+		ss := router.NewShardServer(sg)
+		sv.idx, sv.shardH = ss, ss.Handler()
+		return sv, nil
+	case cc.router != "":
+		topo, err := parseRouterSpec(cc.router)
+		if err != nil {
+			return nil, err
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		rt, err := router.New(ctx, router.Options{
+			Shards: topo, LegTimeout: cc.legTimeout, Retries: cc.legRetries,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("router: %w", err)
+		}
+		// The router resolves and renders against its own copy of the
+		// corpus; a mismatch with the cluster's would silently answer for
+		// the wrong attributes.
+		if info := rt.Info(); info.Attributes != ds.Len() || info.Horizon != int64(ds.Horizon()) {
+			return nil, fmt.Errorf("router: local corpus (%d attributes, horizon %d) does not match the cluster's (%d, %d) — start the router with the same corpus its shard servers serve",
+				ds.Len(), ds.Horizon(), info.Attributes, info.Horizon)
+		}
+		sv.idx, sv.rtr = rt, rt
+		return sv, nil
+	}
 	var eng ingest.Engine
 	if cc.shards > 1 {
 		sx, err := shard.Build(ds, shard.Options{
@@ -502,6 +592,28 @@ func closeLog(log *wal.Log) {
 	}
 }
 
+// parseRouterSpec parses the -router topology: shard URL groups
+// separated by semicolons, replica URLs within a shard by commas. Group
+// order is shard order — group i must be the servers started with
+// -shard-id i (router.New verifies this against each server's
+// /shard/info).
+func parseRouterSpec(spec string) ([][]string, error) {
+	var topo [][]string
+	for i, group := range strings.Split(spec, ";") {
+		var reps []string
+		for _, u := range strings.Split(group, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				reps = append(reps, u)
+			}
+		}
+		if len(reps) == 0 {
+			return nil, fmt.Errorf("router spec: shard %d has no replica URLs", i)
+		}
+		topo = append(topo, reps)
+	}
+	return topo, nil
+}
+
 // corpus is the serving state, swapped in atomically once the index
 // build completes. Without live ingestion it is immutable; with -wal the
 // dataset mutates under the ingester's lock, and handlers route dataset
@@ -515,6 +627,11 @@ type corpus struct {
 	// resolve's substring match does not re-lowercase every title on
 	// every request.
 	pagesLower []string
+	// shardH and rtr carry the distributed-mode state through the
+	// atomic corpus swap: the /shard RPC surface (shard-server mode)
+	// and the typed router handle for /readyz probes (router mode).
+	shardH http.Handler
+	rtr    *router.Router
 }
 
 // newCorpus derives every cached view (currently the lowercased page
@@ -527,7 +644,8 @@ func newCorpus(sv *serving) *corpus {
 	for i, h := range sv.ds.Attrs() {
 		pages[i] = strings.ToLower(h.Meta().Page)
 	}
-	return &corpus{ds: sv.ds, idx: sv.idx, ing: sv.ing, wal: sv.wal, pagesLower: pages}
+	return &corpus{ds: sv.ds, idx: sv.idx, ing: sv.ing, wal: sv.wal, pagesLower: pages,
+		shardH: sv.shardH, rtr: sv.rtr}
 }
 
 // view runs fn with the dataset quiescent. With live ingestion the
@@ -568,6 +686,8 @@ type server struct {
 	// sloBurnDegrade > 0 a sustained burn also degrades /readyz.
 	slo            *obs.SLOEngine
 	sloBurnDegrade float64
+	// shardRPC mounts the /shard/* scatter-leg surface (shard-server mode).
+	shardRPC bool
 }
 
 func newServer(cfg config) *server {
@@ -584,6 +704,7 @@ func newServer(cfg config) *server {
 		sampler:        obs.NewTailSampler(tailSamplePercentile, tailSampleWindow),
 		slo:            newSLOEngine(cfg),
 		sloBurnDegrade: cfg.sloBurnDegrade,
+		shardRPC:       cfg.shardRPC,
 		log:            slog.Default(),
 	}
 }
@@ -625,6 +746,18 @@ func (s *server) routes() http.Handler {
 	// /stats is not viewed: it reads ingester stats, whose lock is taken
 	// before the dataset lock on the submit path — see handleStats.
 	mux.Handle("GET /stats", s.query(1, s.handleStats))
+	if s.shardRPC {
+		// Scatter legs from the router go through the same readiness and
+		// shedding middleware as the human endpoints: a shard that is
+		// still building answers 503 not_ready in the shared envelope,
+		// which the router classifies as a degradable leg (retry the
+		// replica, then a typed partial result) rather than a hard error.
+		mux.Handle("POST /shard/query", s.query(1, s.handleShardRPC))
+		mux.Handle("POST /shard/batch", s.query(batchWeight, s.handleShardRPC))
+		mux.Handle("POST /shard/allpairs", s.query(batchWeight, s.handleShardRPC))
+		mux.Handle("GET /shard/info", s.query(1, s.handleShardRPC))
+		mux.Handle("GET /shard/stats", s.query(1, s.handleShardRPC))
+	}
 	mux.Handle("POST /ingest", s.query(1, s.handleIngest))
 	// /metrics, /debug/events and /slo are deliberately outside the query
 	// middleware: scrapes and debugging must work while the index is still
@@ -641,6 +774,14 @@ func (s *server) routes() http.Handler {
 		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	}
 	return recoverJSON(mux)
+}
+
+// handleShardRPC delegates a /shard/* request to the shard server's own
+// handler (wire decode, ownership resolution, global-id mapping). The
+// dataset is immutable in shard-server mode (-wal is rejected), so no
+// view is needed.
+func (s *server) handleShardRPC(c *corpus, w http.ResponseWriter, r *http.Request) {
+	c.shardH.ServeHTTP(w, r)
 }
 
 // handleMetrics serves the process-wide registry. Scrapers that accept
@@ -728,6 +869,53 @@ func traceSummary(st *index.QueryStats) string {
 	return s
 }
 
+// Shed reasons for retryAfterHint: why a request is being turned away.
+const (
+	shedNotReady  = "not_ready"
+	shedSaturated = "saturated"
+	shedDegraded  = "degraded"
+)
+
+// Bounds of the build-in-progress Retry-After hint, in seconds.
+const (
+	retryHintBuild = 5
+	retryHintMax   = 30
+)
+
+// retryAfterHint derives the Retry-After value from the server's actual
+// state instead of a fixed "1". While the corpus is loading, a retry in
+// one second will almost certainly shed again: a plain build takes
+// seconds, so the hint says so, and a WAL recovery replay with a
+// measured rate predicts its remaining time (bounded to [1,30]s — a
+// hint is a hint, not a promise). Saturation stays at 1s: capacity
+// frees as soon as an in-flight query completes. Degradation sits at
+// 2s: the ingest apply loop and the router's shard probes resolve on a
+// seconds cadence.
+func (s *server) retryAfterHint(reason string) string {
+	switch reason {
+	case shedSaturated:
+		return "1"
+	case shedDegraded:
+		return "2"
+	}
+	if s.replay.active.Load() {
+		total, done := s.replay.total.Load(), s.replay.done.Load()
+		elapsed := time.Since(time.Unix(0, s.replay.startNano.Load())).Seconds()
+		if done > 0 && elapsed > 0 && total > done {
+			rate := float64(done) / elapsed
+			hint := int(math.Ceil(float64(total-done) / rate))
+			if hint < 1 {
+				hint = 1
+			}
+			if hint > retryHintMax {
+				hint = retryHintMax
+			}
+			return strconv.Itoa(hint)
+		}
+	}
+	return strconv.Itoa(retryHintBuild)
+}
+
 // query gates an endpoint behind readiness, the concurrency limiter and
 // the per-request deadline. Not-ready and saturated both shed with 503 +
 // Retry-After rather than queueing: the client retrying in a second is
@@ -741,14 +929,14 @@ func (s *server) query(weight int64, h queryHandler) http.Handler {
 		if c == nil {
 			mHTTPShed("not_ready").Inc()
 			mHTTPRequests(endpoint, http.StatusServiceUnavailable).Inc()
-			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Retry-After", s.retryAfterHint(shedNotReady))
 			httpError(w, http.StatusServiceUnavailable, codeNotReady, errors.New("index still building, retry shortly"))
 			return
 		}
 		if !s.limiter.TryAcquire(weight) {
 			mHTTPShed("saturated").Inc()
 			mHTTPRequests(endpoint, http.StatusServiceUnavailable).Inc()
-			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Retry-After", s.retryAfterHint(shedSaturated))
 			httpError(w, http.StatusServiceUnavailable, codeSaturated, errors.New("server saturated, retry shortly"))
 			return
 		}
@@ -856,7 +1044,7 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	c := s.corpus.Load()
 	if c == nil {
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", s.retryAfterHint(shedNotReady))
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusServiceUnavailable)
 		body := map[string]interface{}{"status": "starting", "error": "index still building"}
@@ -889,7 +1077,7 @@ func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 				st.OldestPendingAge.Round(time.Millisecond), s.maxStaleness)
 		}
 		if degraded != "" {
-			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Retry-After", s.retryAfterHint(shedDegraded))
 			w.Header().Set("Content-Type", "application/json")
 			w.WriteHeader(http.StatusServiceUnavailable)
 			json.NewEncoder(w).Encode(map[string]interface{}{
@@ -902,13 +1090,33 @@ func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	// A router is only as ready as the shards behind it: an active probe
+	// of the topology turns unreachable shards into a degraded /readyz,
+	// so an orchestrator health-checking the router sees the cluster's
+	// state, not just the router process's.
+	if c.rtr != nil {
+		pctx, cancel := context.WithTimeout(r.Context(), 2*time.Second)
+		down := c.rtr.Probe(pctx)
+		cancel()
+		if len(down) > 0 {
+			w.Header().Set("Retry-After", s.retryAfterHint(shedDegraded))
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			json.NewEncoder(w).Encode(map[string]interface{}{
+				"status":      "degraded",
+				"error":       fmt.Sprintf("%d of %d shards unreachable; queries answer partial results", len(down), c.rtr.NumShards()),
+				"shards_down": down,
+			})
+			return
+		}
+	}
 	// A sustained multi-window budget burn also degrades readiness when
 	// the operator opted in with -slo-burn-degrade: the orchestrator can
 	// then pull a tail-latency-sick replica out of rotation before it
 	// exhausts the budget.
 	if s.sloBurnDegrade > 0 {
 		if reason := s.slo.Degraded(); reason != "" {
-			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Retry-After", s.retryAfterHint(shedDegraded))
 			w.Header().Set("Content-Type", "application/json")
 			w.WriteHeader(http.StatusServiceUnavailable)
 			json.NewEncoder(w).Encode(map[string]interface{}{
@@ -991,7 +1199,7 @@ func (s *server) handleIngest(c *corpus, w http.ResponseWriter, r *http.Request)
 		case errors.Is(err, ingest.ErrRejected):
 			httpError(w, http.StatusBadRequest, codeRejected, err)
 		case errors.Is(err, ingest.ErrClosed):
-			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Retry-After", s.retryAfterHint(shedSaturated))
 			httpError(w, http.StatusServiceUnavailable, codeNotReady, err)
 		default:
 			// WAL append failure: the delta is not durable, surface it loudly.
@@ -1064,8 +1272,20 @@ func (s *server) handleStats(c *corpus, w http.ResponseWriter, r *http.Request) 
 			body["reslice"] = resliceBody
 		}
 	})
-	if sx, ok := c.idx.(*shard.ShardedIndex); ok {
-		body["shards"] = sx.NumShards()
+	switch e := c.idx.(type) {
+	case *shard.ShardedIndex:
+		body["shards"] = e.NumShards()
+	case *router.Router:
+		down := e.Degraded()
+		if down == nil {
+			down = []int{}
+		}
+		body["shards"] = e.NumShards()
+		body["router"] = map[string]interface{}{"shards_down": down}
+	case *router.ShardServer:
+		body["shards"] = e.Single().Shards()
+		body["shard_id"] = e.Single().ShardID
+		body["owned_attributes"] = len(e.Single().Globals())
 	}
 	if ingestBody != nil {
 		body["ingest"] = ingestBody

@@ -36,6 +36,11 @@ const (
 //   - ingest_staleness: the oldest acknowledged-but-unapplied delta
 //     stays inside cfg.maxStaleness (always healthy when ingestion is
 //     disabled or unbounded — the gauge reads 0).
+//   - router_shard_availability (router mode only): at most 0.1% of
+//     scatter legs fail after replica retries, measured on
+//     tind_router_legs_total — partial results burn this budget even
+//     though the HTTP answer is a 200, so a flapping shard cannot hide
+//     behind the error-ratio objective.
 //
 // Burn rates are published as tind_slo_burn_rate{slo,window} and served
 // on GET /slo; with cfg.sloBurnDegrade > 0 a sustained multi-window burn
@@ -43,11 +48,8 @@ const (
 func newSLOEngine(cfg config) *obs.SLOEngine {
 	latencyThreshold := cfg.sloLatency.Seconds()
 	maxStale := cfg.maxStaleness.Seconds()
-	return obs.NewSLOEngine(obs.Default(), obs.SLOOptions{
-		Interval:    cfg.sloInterval,
-		DegradeBurn: cfg.sloBurnDegrade,
-	},
-		obs.SLO{
+	objectives := []obs.SLO{
+		{
 			Name:        "query_latency",
 			Description: fmt.Sprintf("99%% of queries complete within %v", cfg.sloLatency),
 			Target:      0.99,
@@ -60,7 +62,7 @@ func newSLOEngine(cfg config) *obs.SLOEngine {
 				return float64(m.Count)
 			},
 		},
-		obs.SLO{
+		{
 			Name:        "http_error_ratio",
 			Description: "99.9% of query requests answer without a 5xx",
 			Target:      0.999,
@@ -71,7 +73,7 @@ func newSLOEngine(cfg config) *obs.SLOEngine {
 				return sumRequests(s, func(int) bool { return true })
 			},
 		},
-		obs.SLO{
+		{
 			Name:        "ingest_staleness",
 			Description: fmt.Sprintf("99%% of checks find ingestion within the %v staleness bound", cfg.maxStaleness),
 			Target:      0.99,
@@ -82,7 +84,25 @@ func newSLOEngine(cfg config) *obs.SLOEngine {
 				return s.Value("tind_ingest_oldest_pending_seconds") <= maxStale
 			},
 		},
-	)
+	}
+	if cfg.router {
+		objectives = append(objectives, obs.SLO{
+			Name:        "router_shard_availability",
+			Description: "99.9% of scatter legs answer after replica retries",
+			Target:      0.999,
+			Bad: func(s *obs.Snapshot) float64 {
+				return s.Value("tind_router_legs_total", obs.L("status", "error"))
+			},
+			Total: func(s *obs.Snapshot) float64 {
+				return s.Value("tind_router_legs_total", obs.L("status", "ok")) +
+					s.Value("tind_router_legs_total", obs.L("status", "error"))
+			},
+		})
+	}
+	return obs.NewSLOEngine(obs.Default(), obs.SLOOptions{
+		Interval:    cfg.sloInterval,
+		DegradeBurn: cfg.sloBurnDegrade,
+	}, objectives...)
 }
 
 // sumRequests folds tind_http_requests_total over every (endpoint, code)

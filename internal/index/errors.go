@@ -27,6 +27,14 @@ var (
 // errors.Is check.
 var ErrInvalidOptions = errors.New("index: invalid options")
 
+// ErrPartialResult reports a distributed query answered by only a subset
+// of the shards: every leg that could complete contributed, the dead
+// legs are marked in QueryStats.PerShard (ShardStat.Err), and the
+// accompanying Result holds the union over the healthy shards. Callers
+// decide whether a partial answer is acceptable — tindserve serves it
+// with a partial marker instead of a 500, degraded but useful.
+var ErrPartialResult = errors.New("index: partial result (one or more shards unavailable)")
+
 // ctxErr translates the context's state into the package's typed errors.
 // It returns nil while the context is live, so it doubles as the poll
 // used at every cancellation checkpoint on the query path.

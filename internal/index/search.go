@@ -53,7 +53,16 @@ type ShardStat struct {
 	InitialCandidates int
 	Validated         int
 	Results           int
+	// Err marks a failed scatter leg with the leg's error text; empty on
+	// success. A failed leg's funnel counts are whatever the shard had
+	// accumulated when it aborted — without the marker a dead shard is
+	// indistinguishable from a legitimately fast "0 candidates" leg, so
+	// attribution, wide events and partial results all read it.
+	Err string
 }
+
+// Failed reports whether this scatter leg errored.
+func (s ShardStat) Failed() bool { return s.Err != "" }
 
 // Result is the answer to a tIND (or reverse tIND) search. When a query
 // aborts on a done context, Result carries the statistics accumulated up

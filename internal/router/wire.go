@@ -1,0 +1,313 @@
+// Package router distributes the tIND query surface across shard
+// servers: each server builds one hash-partition of the corpus
+// (shard.BuildSingle) and answers that shard's scatter leg over
+// JSON-over-HTTP; the Router fans queries out to all N shards and
+// gathers with shard.Gather — the exact merge the in-process
+// ShardedIndex uses — so the differential guarantee (sharded ≡ monolith
+// ≡ oracle) transfers to the distributed deployment by construction.
+//
+// The wire protocol speaks global AttrIDs only. Every shard server
+// loads the full dataset (resolution is cheap; the index over the owned
+// 1/N slice is the expensive part) so any global attribute can be the
+// query of any leg, and results come back already global — the Router's
+// gather maps ids through the identity.
+//
+// Degradation is the Router's job: per-leg deadlines, bounded retries
+// across a shard's replicas, and a typed partial result
+// (index.ErrPartialResult with the dead legs marked in
+// QueryStats.PerShard) when some — but not all — shards are
+// unreachable.
+package router
+
+import (
+	"fmt"
+	"time"
+
+	"tind/internal/core"
+	"tind/internal/history"
+	"tind/internal/index"
+	"tind/internal/timeline"
+)
+
+func durationNs(ns int64) time.Duration { return time.Duration(ns) }
+
+// Error codes of the JSON error envelope, the same contract tindserve
+// speaks: {"error": {"code": "...", "message": "..."}}. The Router
+// branches on the code to classify a leg failure as fatal (the request
+// itself is bad — no replica will ever accept it) or degraded (this
+// replica can't answer right now — retry, then serve partial).
+const (
+	codeInvalidParameter = "invalid_parameter"
+	codeNotReady         = "not_ready"
+	codeDeadlineExceeded = "deadline_exceeded"
+	codeCanceled         = "canceled"
+	codeInternal         = "internal"
+)
+
+// wireWeight carries a timeline.Constant weight function. Constant
+// covers everything the serving surface can express (Uniform and
+// Relative are both constants); a non-constant WeightFunc cannot cross
+// the wire and is rejected at encode time.
+type wireWeight struct {
+	N int64   `json:"n"`
+	C float64 `json:"c"`
+}
+
+// wireParams is core.Params on the wire.
+type wireParams struct {
+	Eps    float64    `json:"eps"`
+	Delta  int64      `json:"delta"`
+	Weight wireWeight `json:"weight"`
+}
+
+// wireQuery is one scatter leg's request: the global attribute id plus
+// the already-compiled query options. The Router compiles exactly once
+// (or receives pre-compiled options from tindserve's decode path) and
+// every shard executes the identical options — no per-shard defaulting
+// that could drift.
+type wireQuery struct {
+	Mode   string     `json:"mode"` // forward | reverse | topk
+	Attr   int64      `json:"attr"` // global AttrID
+	Params wireParams `json:"params"`
+	K      int        `json:"k,omitempty"`
+	Trace  bool       `json:"trace,omitempty"`
+}
+
+// wireBatch is one scatter leg of a batched query: the full batch goes
+// to every shard (each shard resolves ownership itself), so the
+// per-shard matrix sweep amortizes across the whole batch exactly like
+// the in-process ShardedIndex.QueryBatch.
+type wireBatch struct {
+	Queries []wireQuery `json:"queries"`
+}
+
+// wireAllPairs asks the receiving shard to run one (source, target)
+// block of the all-pairs fan-out: every attribute owned by SourceShard
+// as a forward query against the receiver's partition.
+type wireAllPairs struct {
+	SourceShard int        `json:"source_shard"`
+	Params      wireParams `json:"params"`
+}
+
+// wireTimings is index.Timings in nanoseconds.
+type wireTimings struct {
+	MTPrune     int64 `json:"mt_prune_ns"`
+	SlicePrune  int64 `json:"slice_prune_ns"`
+	SubsetCheck int64 `json:"subset_check_ns"`
+	Validate    int64 `json:"validate_ns"`
+	Rank        int64 `json:"rank_ns"`
+	Total       int64 `json:"total_ns"`
+}
+
+// wireStats is the funnel slice of index.QueryStats one leg reports:
+// candidate counts, per-phase timings and the leg's wall time. Traces
+// and PerShard attribution stay local to each side — the Router builds
+// its own PerShard from leg observations.
+type wireStats struct {
+	InitialCandidates int         `json:"initial_candidates"`
+	AfterSlices       int         `json:"after_slices"`
+	AfterSubsetCheck  int         `json:"after_subset_check"`
+	Validated         int         `json:"validated"`
+	Results           int         `json:"results"`
+	SlicesUsed        int         `json:"slices_used"`
+	ElapsedNs         int64       `json:"elapsed_ns"`
+	Timings           wireTimings `json:"timings"`
+}
+
+// wireRanked is one top-k entry, id already global.
+type wireRanked struct {
+	ID        int64   `json:"id"`
+	Violation float64 `json:"violation"`
+}
+
+// wireResult is one leg's answer. IDs/Ranked are global and in the
+// shard's merged order (ascending ids; ranked by violation, id).
+type wireResult struct {
+	IDs    []int64      `json:"ids,omitempty"`
+	Ranked []wireRanked `json:"ranked,omitempty"`
+	Stats  wireStats    `json:"stats"`
+}
+
+// wireBatchResult carries one leg's per-entry answers in batch order.
+type wireBatchResult struct {
+	Results []wireResult `json:"results"`
+}
+
+// wirePairs carries one all-pairs block's discovered (lhs, rhs) global
+// id pairs.
+type wirePairs struct {
+	Pairs [][2]int64 `json:"pairs"`
+}
+
+// Info describes a shard server's identity and corpus. The Router
+// verifies Shards/Seed/Attributes agreement across all shards at
+// startup so a mis-deployed topology (wrong seed, wrong shard count,
+// different corpus) fails loudly instead of silently dropping results.
+type Info struct {
+	ShardID    int   `json:"shard_id"`
+	Shards     int   `json:"shards"`
+	Seed       int64 `json:"seed"`
+	Attributes int   `json:"attributes"`
+	Owned      int   `json:"owned"`
+	Horizon    int64 `json:"horizon"`
+}
+
+// wireError is the JSON error envelope.
+type wireError struct {
+	Error struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+// modeToWire maps an index.Mode to its wire name.
+func modeToWire(m index.Mode) (string, error) {
+	switch m {
+	case index.ModeForward:
+		return "forward", nil
+	case index.ModeReverse:
+		return "reverse", nil
+	case index.ModeTopK:
+		return "topk", nil
+	}
+	return "", fmt.Errorf("%w: unknown mode %v", index.ErrInvalidOptions, m)
+}
+
+// wireToMode is the inverse of modeToWire.
+func wireToMode(s string) (index.Mode, error) {
+	switch s {
+	case "forward":
+		return index.ModeForward, nil
+	case "reverse":
+		return index.ModeReverse, nil
+	case "topk":
+		return index.ModeTopK, nil
+	}
+	return 0, fmt.Errorf("%w: unknown mode %q", index.ErrInvalidOptions, s)
+}
+
+// paramsToWire encodes core.Params; only constant weight functions are
+// expressible over the wire.
+func paramsToWire(p core.Params) (wireParams, error) {
+	c, ok := p.Weight.(timeline.Constant)
+	if !ok {
+		return wireParams{}, fmt.Errorf("%w: weight %T is not expressible over the wire (want timeline.Constant)",
+			index.ErrInvalidOptions, p.Weight)
+	}
+	return wireParams{
+		Eps:    p.Epsilon,
+		Delta:  int64(p.Delta),
+		Weight: wireWeight{N: int64(c.N), C: c.C},
+	}, nil
+}
+
+// wireToParams is the inverse of paramsToWire.
+func wireToParams(wp wireParams) core.Params {
+	return core.Params{
+		Epsilon: wp.Eps,
+		Delta:   timeline.Time(wp.Delta),
+		Weight:  timeline.Constant{N: timeline.Time(wp.Weight.N), C: wp.Weight.C},
+	}
+}
+
+// queryToWire encodes one compiled query for the scatter.
+func queryToWire(attr history.AttrID, o index.QueryOptions) (wireQuery, error) {
+	mode, err := modeToWire(o.Mode)
+	if err != nil {
+		return wireQuery{}, err
+	}
+	wp, err := paramsToWire(o.Params)
+	if err != nil {
+		return wireQuery{}, err
+	}
+	return wireQuery{Mode: mode, Attr: int64(attr), Params: wp, K: o.K, Trace: o.Trace}, nil
+}
+
+// wireToOptions decodes a leg request back into the compiled options
+// the shard's index executes.
+func wireToOptions(wq wireQuery) (history.AttrID, index.QueryOptions, error) {
+	mode, err := wireToMode(wq.Mode)
+	if err != nil {
+		return 0, index.QueryOptions{}, err
+	}
+	o := index.QueryOptions{Mode: mode, Params: wireToParams(wq.Params), K: wq.K, Trace: wq.Trace}
+	return history.AttrID(wq.Attr), o, nil
+}
+
+// statsToWire projects one leg's QueryStats onto the wire funnel.
+func statsToWire(st index.QueryStats) wireStats {
+	return wireStats{
+		InitialCandidates: st.InitialCandidates,
+		AfterSlices:       st.AfterSlices,
+		AfterSubsetCheck:  st.AfterSubsetCheck,
+		Validated:         st.Validated,
+		Results:           st.Results,
+		SlicesUsed:        st.SlicesUsed,
+		ElapsedNs:         st.Elapsed.Nanoseconds(),
+		Timings: wireTimings{
+			MTPrune:     st.Timings.MTPrune.Nanoseconds(),
+			SlicePrune:  st.Timings.SlicePrune.Nanoseconds(),
+			SubsetCheck: st.Timings.SubsetCheck.Nanoseconds(),
+			Validate:    st.Timings.Validate.Nanoseconds(),
+			Rank:        st.Timings.Rank.Nanoseconds(),
+			Total:       st.Timings.Total.Nanoseconds(),
+		},
+	}
+}
+
+// wireToStats rebuilds a leg's QueryStats from the wire funnel.
+func wireToStats(ws wireStats) index.QueryStats {
+	var st index.QueryStats
+	st.InitialCandidates = ws.InitialCandidates
+	st.AfterSlices = ws.AfterSlices
+	st.AfterSubsetCheck = ws.AfterSubsetCheck
+	st.Validated = ws.Validated
+	st.Results = ws.Results
+	st.SlicesUsed = ws.SlicesUsed
+	st.Elapsed = durationNs(ws.ElapsedNs)
+	st.Timings = index.Timings{
+		MTPrune:     durationNs(ws.Timings.MTPrune),
+		SlicePrune:  durationNs(ws.Timings.SlicePrune),
+		SubsetCheck: durationNs(ws.Timings.SubsetCheck),
+		Validate:    durationNs(ws.Timings.Validate),
+		Rank:        durationNs(ws.Timings.Rank),
+		Total:       durationNs(ws.Timings.Total),
+	}
+	return st
+}
+
+// resultToWire encodes one leg's answer with ids already global.
+func resultToWire(res index.Result) wireResult {
+	wr := wireResult{Stats: statsToWire(res.Stats)}
+	if len(res.IDs) > 0 {
+		wr.IDs = make([]int64, len(res.IDs))
+		for i, id := range res.IDs {
+			wr.IDs[i] = int64(id)
+		}
+	}
+	if len(res.Ranked) > 0 {
+		wr.Ranked = make([]wireRanked, len(res.Ranked))
+		for i, r := range res.Ranked {
+			wr.Ranked[i] = wireRanked{ID: int64(r.ID), Violation: r.Violation}
+		}
+	}
+	return wr
+}
+
+// wireToResult decodes one leg's answer.
+func wireToResult(wr wireResult) index.Result {
+	res := index.Result{Stats: wireToStats(wr.Stats)}
+	if len(wr.IDs) > 0 {
+		res.IDs = make([]history.AttrID, len(wr.IDs))
+		for i, id := range wr.IDs {
+			res.IDs[i] = history.AttrID(id)
+		}
+	}
+	if len(wr.Ranked) > 0 {
+		res.Ranked = make([]index.Ranked, len(wr.Ranked))
+		for i, r := range wr.Ranked {
+			res.Ranked[i] = index.Ranked{ID: history.AttrID(r.ID), Violation: r.Violation}
+		}
+	}
+	return res
+}

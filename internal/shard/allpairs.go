@@ -41,6 +41,14 @@ func (sx *ShardedIndex) AllPairsContext(ctx context.Context, p core.Params, work
 		seq[t] = sx.shards[t].WithValidationWorkers(1)
 	}
 
+	// The block workers run under a cancel-on-first-error child of ctx:
+	// besides the firstErr poll between queries, cancellation reaches
+	// *into* a running shard query at its next context poll, so sibling
+	// workers stop doing doomed validation work the moment one block
+	// fails rather than finishing their current query.
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
 	n := sx.ds.Len()
 	// One result slot per (global lhs, target shard): lock-free writes,
 	// deterministic assembly afterwards.
@@ -83,7 +91,9 @@ func (sx *ShardedIndex) AllPairsContext(ctx context.Context, p core.Params, work
 					var res index.Result
 					var err error
 					q := sx.attr(g)
-					if local, ok := sx.localQuery(b.t, q); ok {
+					if err = sx.injectedError(b.t); err != nil {
+						// fault hook: the target shard is down
+					} else if local, ok := sx.localQuery(b.t, q); ok {
 						res, err = seq[b.t].QueryByID(ctx, local, o)
 					} else {
 						res, err = seq[b.t].Query(ctx, q, o)
@@ -94,6 +104,7 @@ func (sx *ShardedIndex) AllPairsContext(ctx context.Context, p core.Params, work
 							firstErr = fmt.Errorf("shard %d: %w", b.t, err)
 						}
 						mu.Unlock()
+						cancel()
 						return
 					}
 					rhs := make([]history.AttrID, len(res.IDs))

@@ -62,18 +62,32 @@ func (sx *ShardedIndex) QueryBatch(ctx context.Context, batch []index.BatchQuery
 		}
 	}
 
+	// The per-shard batches scatter under a cancel-on-first-error child
+	// of ctx: one failed shard cancels its siblings at their next poll
+	// instead of letting them sweep the rest of the batch for a doomed
+	// answer. The root-cause error is reported; induced cancellations are
+	// marked per leg in every entry's PerShard attribution.
 	shardResults := make([][]index.Result, ns)
 	errs := make([]error, ns)
 	legTimes := make([]time.Duration, ns)
+	sctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	var wg sync.WaitGroup
 	for s := 0; s < ns; s++ {
 		wg.Add(1)
 		go func(s int) {
 			defer wg.Done()
 			t0 := time.Now()
-			sx.injectDelay(s)
-			shardResults[s], errs[s] = sx.shards[s].QueryBatch(ctx, perShard[s], o)
+			sx.injectDelay(sctx, s)
+			if err := sx.injectedError(s); err != nil {
+				errs[s] = err
+			} else {
+				shardResults[s], errs[s] = sx.shards[s].QueryBatch(sctx, perShard[s], o)
+			}
 			legTimes[s] = time.Since(t0)
+			if errs[s] != nil {
+				cancel()
+			}
 		}(s)
 	}
 	wg.Wait()
@@ -90,12 +104,10 @@ func (sx *ShardedIndex) QueryBatch(ctx context.Context, batch []index.BatchQuery
 		}
 		// legTimes cover the whole regrouped per-shard batch, so every
 		// entry reports the same PerShard leg attribution.
-		results[i] = sx.gather(batch[i].Options, leg, legTimes, elapsed)
+		results[i] = sx.gather(batch[i].Options, leg, legTimes, errs, elapsed)
 	}
-	for s, err := range errs {
-		if err != nil {
-			return results, fmt.Errorf("shard %d: %w", s, err)
-		}
+	if err := scatterError(errs); err != nil {
+		return results, err
 	}
 	return results, nil
 }

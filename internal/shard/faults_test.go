@@ -1,0 +1,198 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"tind/internal/core"
+	"tind/internal/index"
+)
+
+// This file is the regression suite for the scatter's failure paths:
+// cancel-on-first-error propagation (a failed leg must interrupt its
+// siblings instead of letting them finish doomed work) and honest
+// error-path attribution (a failed leg must be marked in PerShard, not
+// folded in as a fast zero-candidate leg). Both tests fail against the
+// pre-fix scatter, which launched legs with the caller's context and
+// waited for all of them unconditionally.
+
+var errInjected = errors.New("injected shard fault")
+
+func buildFaultIndex(t *testing.T, shards int) *ShardedIndex {
+	t.Helper()
+	ds := genDataset(t, 11, 48, 200)
+	sx, err := Build(ds, Options{Shards: shards, Seed: 7, Index: index.DefaultOptions(ds.Horizon())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sx
+}
+
+// TestScatterCancellationOnShardError injects a large delay into shard 1
+// and a fault into shard 0: the failing leg must cancel the delayed
+// sibling, so the scatter returns in a small fraction of the injected
+// delay. Pre-fix, the delayed leg slept out its full injected latency
+// under the caller's (live) context and wg.Wait blocked on it.
+func TestScatterCancellationOnShardError(t *testing.T) {
+	const injected = 3 * time.Second
+	sx := buildFaultIndex(t, 2)
+	sx.SetShardDelay(1, injected)
+	sx.SetShardError(0, errInjected)
+
+	q := sx.Dataset().Attr(0)
+	o := index.QueryOptions{Mode: index.ModeForward, Params: core.DefaultDays(sx.Dataset().Horizon())}
+
+	start := time.Now()
+	_, err := sx.Query(context.Background(), q, o)
+	wall := time.Since(start)
+
+	if err == nil {
+		t.Fatal("Query with a faulted shard returned nil error")
+	}
+	if !errors.Is(err, errInjected) {
+		t.Fatalf("Query returned %v, want the injected root cause (not a sibling's induced cancellation)", err)
+	}
+	if wall > injected/4 {
+		t.Fatalf("scatter took %v with a %v injected sibling delay: first error did not cancel the delayed leg", wall, injected)
+	}
+}
+
+// TestScatterBatchCancellationOnShardError is the QueryBatch variant of
+// the cancellation regression.
+func TestScatterBatchCancellationOnShardError(t *testing.T) {
+	const injected = 3 * time.Second
+	sx := buildFaultIndex(t, 2)
+	sx.SetShardDelay(1, injected)
+	sx.SetShardError(0, errInjected)
+
+	p := core.DefaultDays(sx.Dataset().Horizon())
+	batch := []index.BatchQuery{
+		{ByID: true, ID: 0, Options: index.QueryOptions{Mode: index.ModeForward, Params: p}},
+		{ByID: true, ID: 1, Options: index.QueryOptions{Mode: index.ModeForward, Params: p}},
+	}
+
+	start := time.Now()
+	_, err := sx.QueryBatch(context.Background(), batch, index.BatchOptions{})
+	wall := time.Since(start)
+
+	if err == nil {
+		t.Fatal("QueryBatch with a faulted shard returned nil error")
+	}
+	if !errors.Is(err, errInjected) {
+		t.Fatalf("QueryBatch returned %v, want the injected root cause", err)
+	}
+	if wall > injected/4 {
+		t.Fatalf("batch scatter took %v with a %v injected sibling delay: first error did not cancel the delayed leg", wall, injected)
+	}
+}
+
+// TestAllPairsReportsRootCauseOnShardError: all-pairs with a faulted
+// target shard must report the injected error, not an induced sibling
+// cancellation, and must not hang on the remaining blocks.
+func TestAllPairsReportsRootCauseOnShardError(t *testing.T) {
+	sx := buildFaultIndex(t, 3)
+	sx.SetShardError(2, errInjected)
+
+	_, err := sx.AllPairsContext(context.Background(), core.DefaultDays(sx.Dataset().Horizon()), 4)
+	if err == nil {
+		t.Fatal("AllPairsContext with a faulted shard returned nil error")
+	}
+	if !errors.Is(err, errInjected) {
+		t.Fatalf("AllPairsContext returned %v, want the injected root cause", err)
+	}
+}
+
+// TestErrorLegMarkedInPerShard asserts honest error-path attribution:
+// the failed leg's PerShard entry carries the error, the healthy legs'
+// entries do not — a dead shard must not masquerade as a legitimate
+// "0 candidates, fast" leg.
+func TestErrorLegMarkedInPerShard(t *testing.T) {
+	sx := buildFaultIndex(t, 3)
+	sx.SetShardError(1, errInjected)
+
+	q := sx.Dataset().Attr(0)
+	o := index.QueryOptions{Mode: index.ModeForward, Params: core.DefaultDays(sx.Dataset().Horizon())}
+	res, err := sx.Query(context.Background(), q, o)
+	if err == nil {
+		t.Fatal("Query with a faulted shard returned nil error")
+	}
+	if len(res.Stats.PerShard) != 3 {
+		t.Fatalf("PerShard has %d entries, want 3", len(res.Stats.PerShard))
+	}
+	leg := res.Stats.PerShard[1]
+	if !leg.Failed() {
+		t.Fatal("faulted shard's PerShard entry is unmarked — indistinguishable from a fast empty leg")
+	}
+	if !strings.Contains(leg.Err, errInjected.Error()) {
+		t.Fatalf("faulted leg Err = %q, want it to carry %q", leg.Err, errInjected)
+	}
+	// Healthy legs stay unmarked; induced cancellations (if a sibling was
+	// mid-flight when the fault fired) are marked as such, never silent.
+	for _, s := range []int{0, 2} {
+		if e := res.Stats.PerShard[s].Err; e != "" && !strings.Contains(e, index.ErrCanceled.Error()) {
+			t.Fatalf("healthy shard %d marked with unexpected error %q", s, e)
+		}
+	}
+
+	// Clearing the fault restores a clean scatter with no markers.
+	sx.SetShardError(1, nil)
+	res, err = sx.Query(context.Background(), q, o)
+	if err != nil {
+		t.Fatalf("Query after clearing the fault: %v", err)
+	}
+	for _, leg := range res.Stats.PerShard {
+		if leg.Failed() {
+			t.Fatalf("leg %d marked failed (%q) on a clean scatter", leg.Shard, leg.Err)
+		}
+	}
+}
+
+// TestBatchErrorLegMarkedInPerShard is the QueryBatch variant: every
+// entry's shared PerShard attribution marks the failed leg.
+func TestBatchErrorLegMarkedInPerShard(t *testing.T) {
+	sx := buildFaultIndex(t, 2)
+	sx.SetShardError(0, errInjected)
+
+	p := core.DefaultDays(sx.Dataset().Horizon())
+	batch := []index.BatchQuery{
+		{ByID: true, ID: 0, Options: index.QueryOptions{Mode: index.ModeForward, Params: p}},
+		{ByID: true, ID: 2, Options: index.QueryOptions{Mode: index.ModeReverse, Params: p}},
+	}
+	results, err := sx.QueryBatch(context.Background(), batch, index.BatchOptions{})
+	if err == nil {
+		t.Fatal("QueryBatch with a faulted shard returned nil error")
+	}
+	for i, res := range results {
+		if len(res.Stats.PerShard) != 2 {
+			t.Fatalf("entry %d: PerShard has %d entries, want 2", i, len(res.Stats.PerShard))
+		}
+		if !res.Stats.PerShard[0].Failed() {
+			t.Fatalf("entry %d: faulted shard's leg unmarked", i)
+		}
+	}
+}
+
+// TestScatterErrorPrefersRootCause pins scatterError's selection rule
+// directly: non-cancellation errors win over induced cancellations,
+// and an all-cancellation scatter reports the cancellation.
+func TestScatterErrorPrefersRootCause(t *testing.T) {
+	canceled := fmt.Errorf("%w: leg canceled", index.ErrCanceled)
+	if err := scatterError([]error{nil, nil}); err != nil {
+		t.Fatalf("clean scatter: %v", err)
+	}
+	err := scatterError([]error{canceled, errInjected, canceled})
+	if !errors.Is(err, errInjected) {
+		t.Fatalf("mixed scatter returned %v, want the root cause", err)
+	}
+	if !strings.Contains(err.Error(), "shard 1") {
+		t.Fatalf("root cause error %q does not name shard 1", err)
+	}
+	err = scatterError([]error{canceled, nil})
+	if !errors.Is(err, index.ErrCanceled) {
+		t.Fatalf("all-cancellation scatter returned %v, want ErrCanceled", err)
+	}
+}

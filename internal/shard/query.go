@@ -2,6 +2,7 @@ package shard
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -32,6 +33,13 @@ import (
 // by the shard queries themselves, so /metrics and the slow-query log
 // keep working unchanged.
 //
+// The legs run under a cancel-on-first-error child of ctx: the moment
+// one shard fails, its siblings are canceled at their next poll instead
+// of running their pruning and validation to completion for an answer
+// nobody will use. The reported error is the root cause (the first
+// non-cancellation failure), with the induced sibling cancellations
+// recorded per leg in Stats.PerShard.
+//
 // Each shard holds its own RWMutex, so a Refresh touching one shard only
 // blocks the scatter leg running against that shard.
 func (sx *ShardedIndex) Query(ctx context.Context, q *history.History, o index.QueryOptions) (index.Result, error) {
@@ -40,38 +48,84 @@ func (sx *ShardedIndex) Query(ctx context.Context, q *history.History, o index.Q
 	results := make([]index.Result, n)
 	errs := make([]error, n)
 	legs := make([]time.Duration, n)
+	sctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	var wg sync.WaitGroup
 	for s := 0; s < n; s++ {
 		wg.Add(1)
 		go func(s int) {
 			defer wg.Done()
 			t0 := time.Now()
-			sx.injectDelay(s)
-			if local, ok := sx.localQuery(s, q); ok {
-				results[s], errs[s] = sx.shards[s].QueryByID(ctx, local, o)
+			sx.injectDelay(sctx, s)
+			if err := sx.injectedError(s); err != nil {
+				errs[s] = err
+			} else if local, ok := sx.localQuery(s, q); ok {
+				results[s], errs[s] = sx.shards[s].QueryByID(sctx, local, o)
 			} else {
-				results[s], errs[s] = sx.shards[s].Query(ctx, q, o)
+				results[s], errs[s] = sx.shards[s].Query(sctx, q, o)
 			}
 			legs[s] = time.Since(t0)
+			if errs[s] != nil {
+				cancel()
+			}
 		}(s)
 	}
 	wg.Wait()
 
 	elapsed := time.Since(start)
+	if err := scatterError(errs); err != nil {
+		return index.Result{Stats: sx.gatherStats(results, legs, errs, elapsed)}, err
+	}
+	return sx.gather(o, results, legs, errs, elapsed), nil
+}
+
+// scatterError selects the error one scatter reports: nil when every leg
+// succeeded, otherwise the root cause. After the first failing leg
+// cancels its siblings, the siblings abort with ErrCanceled — collateral
+// of the propagation, not the cause — so the first *non*-cancellation
+// error wins, and only an all-cancellation scatter (the caller itself
+// went away) reports a cancellation.
+func scatterError(errs []error) error {
+	var fallback error
 	for s, err := range errs {
-		if err != nil {
-			return index.Result{Stats: sx.gatherStats(results, legs, elapsed)}, fmt.Errorf("shard %d: %w", s, err)
+		if err == nil {
+			continue
+		}
+		if !errors.Is(err, index.ErrCanceled) {
+			return fmt.Errorf("shard %d: %w", s, err)
+		}
+		if fallback == nil {
+			fallback = fmt.Errorf("shard %d: %w", s, err)
 		}
 	}
-	return sx.gather(o, results, legs, elapsed), nil
+	return fallback
 }
 
 // gatherStats folds the per-shard statistics of one query into the
-// monolith-shaped total, with the scatter-gather wall time as Elapsed
-// and Timings.Total, and attributes each scatter leg in PerShard (leg
-// wall time from legs, shard-local timings and funnel from the shard's
-// own stats) so stragglers stay visible after the merge.
-func (sx *ShardedIndex) gatherStats(perShard []index.Result, legs []time.Duration, elapsed time.Duration) index.QueryStats {
+// monolith-shaped total via GatherStats.
+func (sx *ShardedIndex) gatherStats(perShard []index.Result, legs []time.Duration, errs []error, elapsed time.Duration) index.QueryStats {
+	return GatherStats(perShard, legs, errs, elapsed)
+}
+
+// gather merges one query's per-shard results into the global answer via
+// Gather, mapping shard-local ids to global AttrIDs through the
+// partition table. Shared by the single-query and batched scatter paths.
+func (sx *ShardedIndex) gather(o index.QueryOptions, perShard []index.Result, legs []time.Duration, errs []error, elapsed time.Duration) index.Result {
+	return Gather(o, perShard, legs, errs, elapsed, func(s int, id history.AttrID) history.AttrID {
+		return sx.globals[s][id]
+	})
+}
+
+// GatherStats folds the per-shard statistics of one scattered query into
+// the monolith-shaped total, with the scatter-gather wall time as
+// Elapsed and Timings.Total, and attributes each scatter leg in PerShard
+// (leg wall time from legs, shard-local timings and funnel from the
+// shard's own stats) so stragglers stay visible after the merge. A
+// non-nil errs[s] marks leg s as failed (ShardStat.Err): its partial
+// funnel still folds into the sums — that work really ran — but the
+// marker keeps a dead shard distinguishable from a legitimately fast
+// "0 candidates" leg in attribution, wide events and partial results.
+func GatherStats(perShard []index.Result, legs []time.Duration, errs []error, elapsed time.Duration) index.QueryStats {
 	var st index.QueryStats
 	st.PerShard = make([]index.ShardStat, len(perShard))
 	for s := range perShard {
@@ -85,25 +139,38 @@ func (sx *ShardedIndex) gatherStats(perShard []index.Result, legs []time.Duratio
 			Validated:         src.Validated,
 			Results:           src.Results,
 		}
+		if errs != nil && errs[s] != nil {
+			st.PerShard[s].Err = errs[s].Error()
+		}
 	}
 	st.Elapsed = elapsed
 	st.Timings.Total = elapsed
 	return st
 }
 
-// gather merges one query's per-shard results into the global answer:
-// per-shard result sets union (they are disjoint by construction), top-k
-// rankings k-way merge by (violation, global id) truncated to K, and
-// shard-local ids map to global AttrIDs via the partition table. Shared
-// by the single-query and batched scatter paths.
-func (sx *ShardedIndex) gather(o index.QueryOptions, perShard []index.Result, legs []time.Duration, elapsed time.Duration) index.Result {
-	res := index.Result{Stats: sx.gatherStats(perShard, legs, elapsed)}
+// Gather merges the per-shard results of one scattered query into the
+// global answer under the monolith's exact semantics: per-shard result
+// sets union (they are disjoint by construction — each shard only
+// answers for its own attributes), top-k rankings k-way merge by
+// (violation, global id) truncated to K. mapID translates shard s's
+// result ids to global AttrIDs — the in-process ShardedIndex passes its
+// partition table, the distributed router passes the identity because
+// shard servers already answer in global ids. Failed legs (errs) carry
+// no results and are marked in Stats.PerShard.
+//
+// This function is the single merge implementation for both the
+// in-process and the distributed scatter-gather, so the differential
+// guarantee (sharded ≡ monolith ≡ oracle) transfers to the router by
+// construction.
+func Gather(o index.QueryOptions, perShard []index.Result, legs []time.Duration, errs []error,
+	elapsed time.Duration, mapID func(s int, id history.AttrID) history.AttrID) index.Result {
+	res := index.Result{Stats: GatherStats(perShard, legs, errs, elapsed)}
 	switch o.Mode {
 	case index.ModeTopK:
 		var ranked []index.Ranked
 		for s := range perShard {
 			for _, r := range perShard[s].Ranked {
-				ranked = append(ranked, index.Ranked{ID: sx.globals[s][r.ID], Violation: r.Violation})
+				ranked = append(ranked, index.Ranked{ID: mapID(s, r.ID), Violation: r.Violation})
 			}
 		}
 		sort.Slice(ranked, func(i, j int) bool {
@@ -121,7 +188,7 @@ func (sx *ShardedIndex) gather(o index.QueryOptions, perShard []index.Result, le
 		var ids []history.AttrID
 		for s := range perShard {
 			for _, lid := range perShard[s].IDs {
-				ids = append(ids, sx.globals[s][lid])
+				ids = append(ids, mapID(s, lid))
 			}
 		}
 		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })

@@ -27,6 +27,7 @@ import (
 
 	"tind/internal/history"
 	"tind/internal/index"
+	"tind/internal/timeline"
 )
 
 // Options configures a sharded build.
@@ -91,6 +92,10 @@ type ShardedIndex struct {
 	// delays holds per-shard injected scatter-leg latency (nanoseconds),
 	// the fault hook behind SetShardDelay. Zero everywhere in production.
 	delays []atomic.Int64
+	// faults holds per-shard injected leg errors (SetShardError), the
+	// fault hook behind the cancellation and partial-result drills. Nil
+	// everywhere in production.
+	faults []atomic.Pointer[error]
 
 	buildElapsed time.Duration
 }
@@ -110,12 +115,49 @@ func (sx *ShardedIndex) SetShardDelay(s int, d time.Duration) {
 	sx.delays[s].Store(int64(d))
 }
 
+// SetShardError injects err into every scatter leg hitting shard s —
+// the leg fails immediately after its injected delay, without running
+// the shard query. A nil err clears the fault. Together with
+// SetShardDelay this is the drill kit for the scatter's failure paths:
+// the cancellation regression test forces one shard to error while
+// another is slow, and the router tests knock shards out the same way.
+// Safe to call concurrently with queries.
+func (sx *ShardedIndex) SetShardError(s int, err error) {
+	if s < 0 || s >= len(sx.faults) {
+		return
+	}
+	if err == nil {
+		sx.faults[s].Store(nil)
+		return
+	}
+	sx.faults[s].Store(&err)
+}
+
+// injectedError returns the shard's configured fault error, if any.
+func (sx *ShardedIndex) injectedError(s int) error {
+	if p := sx.faults[s].Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
 // injectDelay sleeps the shard's configured fault latency, if any.
 // Called at the top of each scatter leg so the delay lands inside the
-// leg's measured wall time, exactly like a genuinely slow shard.
-func (sx *ShardedIndex) injectDelay(s int) {
-	if d := sx.delays[s].Load(); d > 0 {
-		time.Sleep(time.Duration(d))
+// leg's measured wall time, exactly like a genuinely slow shard. The
+// sleep honours ctx: a canceled scatter interrupts the injected
+// straggler just like the real query path polls its context, so the
+// cancellation drills measure the scatter's reaction time, not the
+// injected latency.
+func (sx *ShardedIndex) injectDelay(ctx context.Context, s int) {
+	d := sx.delays[s].Load()
+	if d <= 0 {
+		return
+	}
+	t := time.NewTimer(time.Duration(d))
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
 	}
 }
 
@@ -138,6 +180,7 @@ func Build(ds *history.Dataset, opt Options) (*ShardedIndex, error) {
 		globals:  make([][]history.AttrID, opt.Shards),
 		locals:   make([]localRef, n),
 		delays:   make([]atomic.Int64, opt.Shards),
+		faults:   make([]atomic.Pointer[error], opt.Shards),
 	}
 	for g := 0; g < n; g++ {
 		s := history.ShardOf(history.AttrID(g), opt.Seed, opt.Shards)
@@ -145,11 +188,9 @@ func Build(ds *history.Dataset, opt Options) (*ShardedIndex, error) {
 		sx.globals[s] = append(sx.globals[s], history.AttrID(g))
 	}
 	for s := 0; s < opt.Shards; s++ {
-		sds := ds.Derive(ds.Horizon())
-		for _, g := range sx.globals[s] {
-			if _, err := sds.Add(ds.Attr(g).Clone()); err != nil {
-				return nil, fmt.Errorf("shard %d: %w", s, err)
-			}
+		sds, err := deriveShardDataset(ds, sx.globals[s])
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", s, err)
 		}
 		sx.datasets[s] = sds
 	}
@@ -160,9 +201,7 @@ func Build(ds *history.Dataset, opt Options) (*ShardedIndex, error) {
 		wg.Add(1)
 		go func(s int) {
 			defer wg.Done()
-			iopt := opt.Index
-			iopt.Seed += int64(s)
-			sx.shards[s], errs[s] = index.Build(sx.datasets[s], iopt)
+			sx.shards[s], errs[s] = index.Build(sx.datasets[s], shardIndexOptions(opt, s))
 		}(s)
 	}
 	wg.Wait()
@@ -175,6 +214,171 @@ func Build(ds *history.Dataset, opt Options) (*ShardedIndex, error) {
 	mShardCount.Set(float64(opt.Shards))
 	mShardBuildSeconds.ObserveDuration(sx.buildElapsed)
 	return sx, nil
+}
+
+// shardIndexOptions derives shard s's index configuration: the seed is
+// perturbed by the shard number so slice selection differs across
+// shards; everything else applies verbatim. Build and BuildSingle share
+// it so a shard built alone (shard-server deployment) is bit-for-bit
+// the shard a ShardedIndex would have built in-process.
+func shardIndexOptions(opt Options, s int) index.Options {
+	iopt := opt.Index
+	iopt.Seed += int64(s)
+	return iopt
+}
+
+// deriveShardDataset clones the given global attributes into a dataset
+// of their own (sharing version data and the value dictionary), in the
+// given — ascending global id — order, so local ids are the position of
+// each global id in globals.
+func deriveShardDataset(ds *history.Dataset, globals []history.AttrID) (*history.Dataset, error) {
+	sds := ds.Derive(ds.Horizon())
+	for _, g := range globals {
+		if _, err := sds.Add(ds.Attr(g).Clone()); err != nil {
+			return nil, err
+		}
+	}
+	return sds, nil
+}
+
+// OwnedGlobals returns the global attribute ids that shard s owns under
+// the ShardOf(·, seed, shards) assignment over a corpus of n attributes,
+// ascending. The position of a global id in the returned slice is its
+// shard-local id — the contract every consumer of the partition (the
+// in-process ShardedIndex, the sharded persist container, the shard
+// servers and the router) shares.
+func OwnedGlobals(n int, seed int64, shards, s int) []history.AttrID {
+	var out []history.AttrID
+	for g := 0; g < n; g++ {
+		if history.ShardOf(history.AttrID(g), seed, shards) == s {
+			out = append(out, history.AttrID(g))
+		}
+	}
+	return out
+}
+
+// Single is one shard of the partition built in isolation: the shard's
+// complete index over its own dataset of clones, plus the global-id
+// table that maps its local answers back to corpus ids. It is the
+// engine behind the shard-server deployment (internal/router), built by
+// BuildSingle with exactly the per-shard configuration Build uses, so a
+// process serving one shard answers identically to the same shard
+// inside an in-process ShardedIndex.
+type Single struct {
+	// ShardID and Shards identify the slot: this is shard ShardID of a
+	// Shards-way partition under Opt.Seed.
+	ShardID int
+
+	opt     Options
+	ds      *history.Dataset // the full global dataset (for external queries)
+	sds     *history.Dataset // the shard's own dataset of clones
+	idx     *index.Index
+	globals []history.AttrID // local id -> global id, ascending
+}
+
+// BuildSingle builds shard s of the opt.Shards-way partition of ds,
+// alone. The full dataset stays referenced — a scatter leg for an
+// attribute another shard owns queries with that attribute's history,
+// so the shard server needs every history even though it indexes only
+// its own — but the index (the expensive part: matrices, Bloom filters,
+// slices) covers only the owned 1/N slice of the corpus.
+func BuildSingle(ds *history.Dataset, opt Options, s int) (*Single, error) {
+	if opt.Shards < 1 {
+		return nil, fmt.Errorf("%w: shard count %d < 1", index.ErrInvalidOptions, opt.Shards)
+	}
+	if s < 0 || s >= opt.Shards {
+		return nil, fmt.Errorf("%w: shard id %d out of range [0,%d)", index.ErrInvalidOptions, s, opt.Shards)
+	}
+	globals := OwnedGlobals(ds.Len(), opt.Seed, opt.Shards, s)
+	sds, err := deriveShardDataset(ds, globals)
+	if err != nil {
+		return nil, fmt.Errorf("shard %d: %w", s, err)
+	}
+	idx, err := index.Build(sds, shardIndexOptions(opt, s))
+	if err != nil {
+		return nil, fmt.Errorf("shard %d: %w", s, err)
+	}
+	return &Single{ShardID: s, opt: opt, ds: ds, sds: sds, idx: idx, globals: globals}, nil
+}
+
+// Index returns the shard's index.
+func (sg *Single) Index() *index.Index { return sg.idx }
+
+// Shards returns N, the partition width this shard is one slot of.
+func (sg *Single) Shards() int { return sg.opt.Shards }
+
+// Seed returns the partition seed driving the ShardOf assignment.
+func (sg *Single) Seed() int64 { return sg.opt.Seed }
+
+// Dataset returns the full global dataset the shard was carved from.
+func (sg *Single) Dataset() *history.Dataset { return sg.ds }
+
+// Globals returns the owned global ids in local order (ascending).
+func (sg *Single) Globals() []history.AttrID { return sg.globals }
+
+// Global maps a shard-local id to its global id.
+func (sg *Single) Global(local history.AttrID) history.AttrID { return sg.globals[local] }
+
+// Local maps a global id to the shard-local id, reporting whether this
+// shard owns it.
+func (sg *Single) Local(g history.AttrID) (history.AttrID, bool) {
+	if g < 0 || int(g) >= sg.ds.Len() {
+		return 0, false
+	}
+	if history.ShardOf(g, sg.opt.Seed, sg.opt.Shards) != sg.ShardID {
+		return 0, false
+	}
+	lo, hi := 0, len(sg.globals)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if sg.globals[mid] < g {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return history.AttrID(lo), true
+}
+
+// Refresh incorporates appended history data for the given global
+// attributes into this shard, mirroring ShardedIndex.Refresh for the
+// single-shard deployment: the caller has already applied the appends to
+// the global dataset and extended its horizon; ids this shard does not
+// own only extend the shard's weight horizon. Serialized by the caller
+// against other refreshes.
+func (sg *Single) Refresh(changed []history.AttrID, newHorizon timeline.Time) error {
+	if got := sg.ds.Horizon(); got != newHorizon {
+		return fmt.Errorf("shard: dataset horizon %d does not match newHorizon %d", got, newHorizon)
+	}
+	var owned []history.AttrID
+	for _, g := range changed {
+		if g < 0 || int(g) >= sg.ds.Len() {
+			return fmt.Errorf("shard: changed attribute %d out of range", g)
+		}
+		if _, ok := sg.Local(g); ok {
+			owned = append(owned, g)
+		}
+	}
+	if len(owned) == 0 {
+		// No owned attribute changed: like an untouched shard of a
+		// ShardedIndex, keep the previous weight horizon — answers stay
+		// exact under the new horizon (DESIGN.md §9).
+		return nil
+	}
+	return sg.idx.RefreshWith(newHorizon, func(sds *history.Dataset) ([]history.AttrID, error) {
+		if err := sds.ExtendHorizon(newHorizon); err != nil {
+			return nil, err
+		}
+		locals := make([]history.AttrID, 0, len(owned))
+		for _, g := range owned {
+			local, _ := sg.Local(g)
+			if err := sds.Replace(local, sg.ds.Attr(g).Clone()); err != nil {
+				return nil, err
+			}
+			locals = append(locals, local)
+		}
+		return locals, nil
+	})
 }
 
 // NumShards returns N.
@@ -232,9 +436,27 @@ func (sx *ShardedIndex) attr(g history.AttrID) *history.History {
 // ratios and pruning powers concatenate in shard order; dirty-attribute
 // accounting sums with coverage recomputed over the global corpus.
 func (sx *ShardedIndex) Stats() index.BuildStats {
+	per := make([]index.BuildStats, len(sx.shards))
+	for s, x := range sx.shards {
+		per[s] = x.Stats()
+	}
+	agg := AggregateStats(per)
+	agg.Elapsed = sx.buildElapsed
+	return agg
+}
+
+// AggregateStats folds per-shard build statistics into one monolith-
+// shaped summary: counts, memory and phase times sum; slice spans, fill
+// ratios and pruning powers concatenate in shard order; fill ratios
+// (per-matrix densities, not additive) report the mean; dirty-attribute
+// accounting sums with coverage recomputed over the global corpus.
+// Elapsed is the caller's to set — build wall time is a deployment
+// property (shard-parallel in-process, independent per shard server),
+// not an aggregate. Shared by ShardedIndex.Stats and the distributed
+// router's stats endpoint.
+func AggregateStats(per []index.BuildStats) index.BuildStats {
 	var agg index.BuildStats
-	for _, x := range sx.shards {
-		st := x.Stats()
+	for _, st := range per {
 		agg.Attributes += st.Attributes
 		agg.Slices += st.Slices
 		agg.SliceSpans = append(agg.SliceSpans, st.SliceSpans...)
@@ -250,19 +472,15 @@ func (sx *ShardedIndex) Stats() index.BuildStats {
 			agg.LastReslice = st.LastReslice
 		}
 	}
-	if len(sx.shards) > 0 {
-		// Fill ratios are per-matrix densities, not additive; report the
-		// mean across shards.
+	if len(per) > 0 {
 		var mt, mr float64
-		for _, x := range sx.shards {
-			st := x.Stats()
+		for _, st := range per {
 			mt += st.MTFillRatio
 			mr += st.MRFillRatio
 		}
-		agg.MTFillRatio = mt / float64(len(sx.shards))
-		agg.MRFillRatio = mr / float64(len(sx.shards))
+		agg.MTFillRatio = mt / float64(len(per))
+		agg.MRFillRatio = mr / float64(len(per))
 	}
-	agg.Elapsed = sx.buildElapsed
 	agg.SlicePruningCoverage = 1
 	if agg.Attributes > 0 {
 		agg.SlicePruningCoverage = 1 - float64(agg.DirtyAttributes)/float64(agg.Attributes)
